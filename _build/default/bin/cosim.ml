@@ -1,0 +1,256 @@
+(* cosim — command-line driver for the CO-protocol simulator.
+
+   Examples:
+     cosim run -n 4 --per-entity 20 --loss 0.05
+     cosim run -n 5 --workload poisson --duration-ms 100 --trace
+     cosim compare -n 4 --loss 0.1        (CO vs FIFO vs TO vs CBCAST)
+     cosim examples                       (list the example scenarios) *)
+
+module Cluster = Repro_core.Cluster
+module Config = Repro_core.Config
+module Metrics = Repro_core.Metrics
+module Workload = Repro_harness.Workload
+module Oracle = Repro_harness.Oracle
+module Experiment = Repro_harness.Experiment
+module Simtime = Repro_sim.Simtime
+module Trace = Repro_sim.Trace
+module Network = Repro_sim.Network
+module Topology = Repro_sim.Topology
+module Engine = Repro_sim.Engine
+module Stats = Repro_util.Stats
+open Cmdliner
+
+let make_workload ~kind ~n ~per_entity ~interval_ms ~duration_ms ~seed =
+  match kind with
+  | "continuous" ->
+    Workload.continuous ~n ~per_entity ~interval:(Simtime.of_ms interval_ms) ()
+  | "poisson" ->
+    let rng = Repro_util.Prng.create ~seed in
+    Workload.poisson ~n ~rng ~mean_interval_ms:(float_of_int interval_ms)
+      ~duration:(Simtime.of_ms duration_ms) ()
+  | "bursty" ->
+    let rng = Repro_util.Prng.create ~seed in
+    Workload.bursty ~n ~rng ~burst_size:per_entity
+      ~burst_gap:(Simtime.of_ms (interval_ms * 4))
+      ~bursts:n ()
+  | "single" ->
+    Workload.single_source ~src:0 ~n ~count:per_entity
+      ~interval:(Simtime.of_ms interval_ms) ()
+  | other -> invalid_arg (Printf.sprintf "unknown workload %S" other)
+
+let pp_summary label (s : Stats.summary) =
+  if s.Stats.count > 0 then
+    Printf.printf "  %-16s mean %.3fms  p50 %.3fms  p99 %.3fms  (%d samples)\n"
+      label s.Stats.mean s.Stats.p50 s.Stats.p99 s.Stats.count
+
+let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
+    workload_kind mode show_trace quiet =
+  let protocol =
+    {
+      Config.default with
+      Config.window;
+      defer = Config.Deferred { timeout = Simtime.of_ms defer_ms };
+      causality_mode = (if mode = "direct" then Config.Direct else Config.Transitive);
+    }
+  in
+  let config =
+    { (Cluster.default_config ~n) with Cluster.protocol; loss_prob = loss; seed }
+  in
+  let workload =
+    make_workload ~kind:workload_kind ~n ~per_entity ~interval_ms ~duration_ms
+      ~seed
+  in
+  let cluster, o = Experiment.run ~config ~workload () in
+  if show_trace then
+    Format.printf "%a@." Trace.dump (Cluster.trace cluster);
+  Printf.printf "cluster: n=%d  workload=%s (%d messages)  loss=%.1f%%  seed=%d\n"
+    n workload_kind o.Experiment.submitted (loss *. 100.) seed;
+  Printf.printf "virtual time to quiescence: %.3fms (%d events)\n"
+    o.Experiment.sim_end_ms o.Experiment.events;
+  Printf.printf "delivered: %d (expected %d)\n" o.Experiment.delivered_total
+    (o.Experiment.submitted * n);
+  pp_summary "Tap (delivery)" o.Experiment.tap_ms;
+  pp_summary "pre-ack" o.Experiment.preack_ms;
+  pp_summary "ack" o.Experiment.ack_ms;
+  Printf.printf "traffic: %d copies on the wire, %d lost\n"
+    o.Experiment.transmissions o.Experiment.losses;
+  if not quiet then begin
+    Format.printf "metrics: %a@." Metrics.pp o.Experiment.metrics;
+    let stats =
+      Repro_harness.Trace_stats.per_entity (Cluster.trace cluster) ~n
+    in
+    Array.iter
+      (fun p -> Format.printf "  %a@." Repro_harness.Trace_stats.pp_per_entity p)
+      stats
+  end;
+  Printf.printf "oracle: %s\n"
+    (if Oracle.ok o.Experiment.oracle then "CO service OK"
+     else Format.asprintf "VIOLATIONS %a" Oracle.pp_report o.Experiment.oracle);
+  if Oracle.ok o.Experiment.oracle then 0 else 1
+
+let compare_cmd n per_entity interval_ms loss seed =
+  let workload =
+    make_workload ~kind:"continuous" ~n ~per_entity ~interval_ms ~duration_ms:0
+      ~seed
+  in
+  (* CO *)
+  let config = { (Cluster.default_config ~n) with Cluster.loss_prob = loss; seed } in
+  let _, o = Experiment.run ~config ~workload () in
+  Printf.printf "%-8s delivered %4d/%d  tap %.3fms  wire %5d  rexmit %d\n" "CO"
+    o.Experiment.delivered_total (o.Experiment.submitted * n)
+    o.Experiment.tap_ms.Stats.mean o.Experiment.transmissions
+    o.Experiment.metrics.Metrics.retransmitted;
+  (* Baselines over equivalent media *)
+  let fresh_net () =
+    let engine = Engine.create () in
+    let topology = Topology.uniform ~n ~delay:(Simtime.of_ms 1) in
+    let cfg =
+      {
+        (Network.default_config topology) with
+        Network.inbox_capacity = 256;
+        service_time = (fun _ -> Simtime.of_us 100);
+        loss_prob = loss;
+        seed;
+      }
+    in
+    (engine, Network.create engine cfg)
+  in
+  let engine, net = fresh_net () in
+  let pb = Repro_baselines.Pobcast.create engine net ~n ~retry:(Simtime.of_ms 10) in
+  let tag = ref 0 in
+  Workload.apply_with
+    ~submit:(fun ~at ~src payload ->
+      incr tag;
+      let t = !tag in
+      Engine.schedule engine ~at (fun () ->
+          Repro_baselines.Pobcast.broadcast pb ~src ~tag:t payload))
+    workload;
+  Engine.run engine ~max_events:20_000_000;
+  let pb_delivered =
+    List.fold_left
+      (fun acc e ->
+        acc + List.length (Repro_baselines.Pobcast.delivered_tags pb ~entity:e))
+      0 (List.init n Fun.id)
+  in
+  Printf.printf "%-8s delivered %4d/%d  rexmit %d (FIFO only: may violate causality)\n"
+    "PO" pb_delivered
+    (List.length workload * n)
+    (Repro_baselines.Pobcast.retransmissions pb);
+  let engine, net = fresh_net () in
+  let tb = Repro_baselines.Tobcast.create engine net ~n ~retry:(Simtime.of_ms 10) in
+  let tag = ref 0 in
+  Workload.apply_with
+    ~submit:(fun ~at ~src payload ->
+      incr tag;
+      let t = !tag in
+      Engine.schedule engine ~at (fun () ->
+          Repro_baselines.Tobcast.broadcast tb ~src ~tag:t payload))
+    workload;
+  Engine.run engine ~max_events:20_000_000;
+  let tb_delivered =
+    List.fold_left
+      (fun acc e ->
+        acc + List.length (Repro_baselines.Tobcast.delivered_tags tb ~entity:e))
+      0 (List.init n Fun.id)
+  in
+  Printf.printf "%-8s delivered %4d/%d  rexmit %d (go-back-N)\n" "TO"
+    tb_delivered
+    (List.length workload * n)
+    (Repro_baselines.Tobcast.retransmissions tb);
+  let engine, net = fresh_net () in
+  let cb = Repro_baselines.Cbcast.create engine net ~n in
+  let tag = ref 0 in
+  Workload.apply_with
+    ~submit:(fun ~at ~src payload ->
+      incr tag;
+      let t = !tag in
+      Engine.schedule engine ~at (fun () ->
+          Repro_baselines.Cbcast.broadcast cb ~src ~tag:t payload))
+    workload;
+  Engine.run engine ~max_events:20_000_000;
+  let cb_stalled =
+    List.fold_left
+      (fun acc e -> acc + Repro_baselines.Cbcast.stalled cb ~entity:e)
+      0 (List.init n Fun.id)
+  in
+  Printf.printf "%-8s delivered %4d/%d  stalled %d (no loss detection)\n" "CBCAST"
+    (Repro_baselines.Cbcast.delivered_total cb)
+    (List.length workload * n)
+    cb_stalled;
+  0
+
+let examples_cmd () =
+  print_endline "runnable examples (dune exec examples/<name>.exe):";
+  print_endline "  quickstart        - 3-entity causal broadcast in a page of code";
+  print_endline "  cscw_whiteboard   - collaborative editing, causal dependencies";
+  print_endline "  bank_replication  - replicated ledger, no overdrafts";
+  print_endline "  lossy_recovery    - gap detection + selective retransmission";
+  0
+
+(* Cmdliner plumbing *)
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n"; "entities" ] ~doc:"Cluster size.")
+
+let per_entity_arg =
+  Arg.(value & opt int 20 & info [ "per-entity" ] ~doc:"Messages per entity.")
+
+let interval_arg =
+  Arg.(value & opt int 5 & info [ "interval-ms" ] ~doc:"Submission interval (ms).")
+
+let duration_arg =
+  Arg.(value & opt int 100 & info [ "duration-ms" ] ~doc:"Poisson workload duration (ms).")
+
+let loss_arg =
+  Arg.(value & opt float 0. & info [ "loss" ] ~doc:"iid loss probability (0..1).")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let window_arg = Arg.(value & opt int 8 & info [ "window" ] ~doc:"Flow window W.")
+
+let defer_arg =
+  Arg.(value & opt int 5 & info [ "defer-ms" ] ~doc:"Deferred confirmation timeout (ms).")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt string "continuous"
+    & info [ "workload" ] ~doc:"continuous | poisson | bursty | single.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt string "transitive"
+    & info [ "causality" ] ~doc:"transitive (default) | direct (paper's Theorem 4.1).")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full network trace.")
+
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Less output.")
+
+let run_term =
+  Term.(
+    const run_cmd $ n_arg $ per_entity_arg $ interval_arg $ duration_arg
+    $ loss_arg $ seed_arg $ window_arg $ defer_arg $ workload_arg $ mode_arg
+    $ trace_arg $ quiet_arg)
+
+let compare_term =
+  Term.(const compare_cmd $ n_arg $ per_entity_arg $ interval_arg $ loss_arg $ seed_arg)
+
+let examples_term = Term.(const examples_cmd $ const ())
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a CO cluster over a workload and report.") run_term;
+    Cmd.v
+      (Cmd.info "compare" ~doc:"Run CO and the three baselines on one workload.")
+      compare_term;
+    Cmd.v (Cmd.info "examples" ~doc:"List example scenarios.") examples_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "cosim" ~version:"1.0"
+      ~doc:"Causally Ordering Broadcast protocol simulator (ICDCS 1994)"
+  in
+  exit (Cmd.eval' (Cmd.group info ~default:run_term cmds))

@@ -1,0 +1,1 @@
+examples/bank_replication.ml: Buffer Format List Printf Repro_core Repro_pdu Repro_sim String

@@ -1,0 +1,1 @@
+examples/cscw_whiteboard.ml: Format Hashtbl List Printf Repro_core Repro_pdu Repro_sim String

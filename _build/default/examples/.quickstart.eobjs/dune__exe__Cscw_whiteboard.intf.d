@@ -1,0 +1,1 @@
+examples/cscw_whiteboard.mli:

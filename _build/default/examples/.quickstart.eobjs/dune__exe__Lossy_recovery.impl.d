@@ -1,0 +1,1 @@
+examples/lossy_recovery.ml: Format List Printf Repro_core Repro_pdu Repro_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Repro_core Repro_pdu Repro_sim

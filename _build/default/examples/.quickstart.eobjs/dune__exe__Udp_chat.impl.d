@@ -1,0 +1,1 @@
+examples/udp_chat.ml: Format Fun List Repro_core Repro_pdu Repro_sim Repro_transport

@@ -1,0 +1,62 @@
+(* CSCW scenario from the paper's introduction: a shared whiteboard edited
+   from three sites.
+
+   Site 0 draws a box; site 1 attaches an arrow to that box (a causally
+   dependent edit: it was made after seeing the box); site 2 concurrently
+   draws a circle. The CO service guarantees every site applies "arrow"
+   after "box" — without any application-level coordination — while the
+   concurrent circle may interleave anywhere.
+
+   Each site materializes its whiteboard by applying operations in delivery
+   order; the example checks that every materialized board is causally
+   consistent and prints them. *)
+
+module Cluster = Repro_core.Cluster
+module Simtime = Repro_sim.Simtime
+
+type op = { site : int; verb : string; needs : string option }
+
+let parse payload =
+  match String.split_on_char '|' payload with
+  | [ site; verb; "" ] -> { site = int_of_string site; verb; needs = None }
+  | [ site; verb; needs ] ->
+    { site = int_of_string site; verb; needs = Some needs }
+  | _ -> failwith "bad op"
+
+let render ops =
+  String.concat " → " (List.map (fun o -> Printf.sprintf "%s@%d" o.verb o.site) ops)
+
+let () =
+  let n = 3 in
+  let cluster = Cluster.create (Cluster.default_config ~n) in
+
+  (* The schedule: the arrow is submitted by site 1 well after the box has
+     propagated (so it causally follows it); the circle is concurrent. *)
+  Cluster.submit_at cluster ~at:(Simtime.of_ms 0) ~src:0 "0|draw-box|";
+  Cluster.submit_at cluster ~at:(Simtime.of_ms 6) ~src:1 "1|attach-arrow|draw-box";
+  Cluster.submit_at cluster ~at:(Simtime.of_ms 1) ~src:2 "2|draw-circle|";
+
+  Cluster.run cluster ~max_events:500_000;
+
+  let ok = ref true in
+  for site = 0 to n - 1 do
+    let ops =
+      List.map
+        (fun (_, (d : Repro_pdu.Pdu.data)) -> parse d.payload)
+        (Cluster.deliveries cluster ~entity:site)
+    in
+    Format.printf "site %d board: %s@." site (render ops);
+    (* Causal consistency: every op that `needs` another appears after it. *)
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun o ->
+        (match o.needs with
+        | Some dep when not (Hashtbl.mem seen dep) ->
+          ok := false;
+          Format.printf "  !! %s applied before its dependency %s@." o.verb dep
+        | Some _ | None -> ());
+        Hashtbl.replace seen o.verb ())
+      ops
+  done;
+  if !ok then Format.printf "@.all boards causally consistent ✓@."
+  else exit 1

@@ -1,0 +1,65 @@
+(* Loss detection and selective retransmission in action (§4.3, Figure 6).
+
+   A 3-entity cluster transfers a small "file" from entity 0 while the
+   network drops 15% of the copies addressed to entity 2. The example
+   prints every gap detection, RET and retransmission as they happen, and
+   then verifies entity 2 still delivered the complete file in order. *)
+
+module Cluster = Repro_core.Cluster
+module Entity = Repro_core.Entity
+module Metrics = Repro_core.Metrics
+module Simtime = Repro_sim.Simtime
+module Engine = Repro_sim.Engine
+
+let () =
+  let n = 3 in
+  let config =
+    { (Cluster.default_config ~n) with Cluster.loss_prob = 0.15; seed = 2026 }
+  in
+  let cluster = Cluster.create config in
+  let engine = Cluster.engine cluster in
+
+  (* Narrate the failure-recovery machinery at entity 2. *)
+  Entity.add_observer (Cluster.entity cluster 2) (fun ev ->
+      let now = Simtime.to_ms (Engine.now engine) in
+      match ev with
+      | Entity.Gap_detected { lsrc; lo; hi } ->
+        Format.printf "%7.3fms  E2 detects loss: PDUs %d..%d from E%d missing@."
+          now lo (hi - 1) lsrc
+      | Entity.Accepted _ | Entity.Preacknowledged _ | Entity.Acknowledged _
+      | Entity.Ret_answered _ -> ());
+  Entity.add_observer (Cluster.entity cluster 0) (fun ev ->
+      let now = Simtime.to_ms (Engine.now engine) in
+      match ev with
+      | Entity.Ret_answered { dst; count } ->
+        Format.printf "%7.3fms  E0 answers E%d's RET: rebroadcasts %d PDU(s)@."
+          now dst count
+      | Entity.Accepted _ | Entity.Preacknowledged _ | Entity.Acknowledged _
+      | Entity.Gap_detected _ -> ());
+
+  let chunks = 20 in
+  for i = 1 to chunks do
+    Cluster.submit_at cluster
+      ~at:(Simtime.of_ms (2 * i))
+      ~src:0
+      (Printf.sprintf "chunk-%02d" i)
+  done;
+
+  Cluster.run cluster ~max_events:2_000_000;
+
+  let delivered =
+    List.map
+      (fun (_, (d : Repro_pdu.Pdu.data)) -> d.payload)
+      (Cluster.deliveries cluster ~entity:2)
+  in
+  let expected = List.init chunks (fun i -> Printf.sprintf "chunk-%02d" (i + 1)) in
+  let metrics = Cluster.aggregate_metrics cluster in
+  Format.printf "@.entity 2 delivered %d/%d chunks, in order: %b@."
+    (List.length delivered) chunks (delivered = expected);
+  Format.printf
+    "cluster totals: %d copies lost, %d gaps detected, %d RETs, %d selective \
+     retransmissions@."
+    (Repro_sim.Network.losses (Cluster.network cluster))
+    metrics.Metrics.gaps_detected metrics.Metrics.ret_sent
+    metrics.Metrics.retransmitted;
+  if delivered <> expected then exit 1

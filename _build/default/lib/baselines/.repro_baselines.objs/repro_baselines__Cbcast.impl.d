@@ -1,0 +1,1 @@
+lib/baselines/cbcast.ml: Array List Repro_clock Repro_sim

@@ -1,0 +1,1 @@
+lib/baselines/cbcast.mli: Repro_clock Repro_sim

@@ -1,0 +1,1 @@
+lib/baselines/pobcast.ml: Array Hashtbl List Repro_sim

@@ -1,0 +1,1 @@
+lib/baselines/pobcast.mli: Repro_sim

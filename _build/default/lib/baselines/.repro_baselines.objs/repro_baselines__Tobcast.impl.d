@@ -1,0 +1,1 @@
+lib/baselines/tobcast.ml: Array Hashtbl List Repro_sim

@@ -1,0 +1,1 @@
+lib/baselines/tobcast.mli: Repro_sim

@@ -1,0 +1,100 @@
+module Vector_clock = Repro_clock.Vector_clock
+module Engine = Repro_sim.Engine
+module Network = Repro_sim.Network
+module Simtime = Repro_sim.Simtime
+
+type message = {
+  src : int;
+  vt : Vector_clock.t;
+  payload : string;
+  tag : int;
+}
+
+type node = {
+  id : int;
+  mutable clock : Vector_clock.t;
+  mutable delay_queue : message list;
+  mutable rev_deliveries : (Simtime.t * message) list;
+  mutable delivered : int;
+}
+
+type t = {
+  engine : Engine.t;
+  net : message Network.t;
+  nodes : node array;
+  mutable sent : int;
+}
+
+let deliver t node m =
+  node.clock <- Vector_clock.merge node.clock m.vt;
+  node.rev_deliveries <- (Engine.now t.engine, m) :: node.rev_deliveries;
+  node.delivered <- node.delivered + 1
+
+(* Drain the delay queue to a fixpoint: delivering one message may make
+   others causally ready. *)
+let rec drain t node =
+  let ready, waiting =
+    List.partition
+      (fun m -> Vector_clock.causally_ready ~sender:m.src ~msg:m.vt ~local:node.clock)
+      node.delay_queue
+  in
+  match ready with
+  | [] -> ()
+  | _ ->
+    node.delay_queue <- waiting;
+    List.iter (deliver t node) ready;
+    drain t node
+
+let on_receive t node m =
+  if m.src = node.id then ()
+    (* Own copy: already delivered locally at send time. *)
+  else begin
+    node.delay_queue <- node.delay_queue @ [ m ];
+    drain t node
+  end
+
+let create engine net ~n =
+  if Network.n net <> n then invalid_arg "Cbcast.create: network size mismatch";
+  let t =
+    {
+      engine;
+      net;
+      nodes =
+        Array.init n (fun id ->
+            {
+              id;
+              clock = Vector_clock.zero ~n;
+              delay_queue = [];
+              rev_deliveries = [];
+              delivered = 0;
+            });
+      sent = 0;
+    }
+  in
+  Array.iter
+    (fun node ->
+      Network.attach net ~id:node.id ~handler:(fun ~src:_ m -> on_receive t node m))
+    t.nodes;
+  t
+
+let broadcast t ~src ~tag payload =
+  let node = t.nodes.(src) in
+  node.clock <- Vector_clock.incr node.clock src;
+  let m = { src; vt = node.clock; payload; tag } in
+  (* CBCAST delivers to the sender at send time. *)
+  node.rev_deliveries <- (Engine.now t.engine, m) :: node.rev_deliveries;
+  node.delivered <- node.delivered + 1;
+  t.sent <- t.sent + 1;
+  ignore (Network.broadcast t.net ~src m)
+
+let deliveries t ~entity = List.rev t.nodes.(entity).rev_deliveries
+
+let delivered_tags t ~entity =
+  List.rev_map (fun (_, m) -> m.tag) t.nodes.(entity).rev_deliveries
+
+let stalled t ~entity = List.length t.nodes.(entity).delay_queue
+
+let sent t = t.sent
+
+let delivered_total t =
+  Array.fold_left (fun acc node -> acc + node.delivered) 0 t.nodes

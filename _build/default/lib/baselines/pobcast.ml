@@ -1,0 +1,135 @@
+module Engine = Repro_sim.Engine
+module Network = Repro_sim.Network
+module Simtime = Repro_sim.Simtime
+
+type wire =
+  | Data of { src : int; seq : int; payload : string; tag : int }
+  | Nack of { lsrc : int; lo : int; hi : int } (* request [lo, hi) from lsrc *)
+
+type node = {
+  id : int;
+  mutable next_seq : int; (* next seq this node assigns *)
+  req : int array; (* next expected per source *)
+  pending : (int, wire) Hashtbl.t array; (* out-of-order, per source *)
+  history : (int, wire) Hashtbl.t; (* own sent messages by seq *)
+  mutable rev_deliveries : (Simtime.t * int) list;
+  nack_armed : bool array;
+  nack_bound : int array; (* exclusive bound of highest requested gap *)
+}
+
+type t = {
+  engine : Engine.t;
+  net : wire Network.t;
+  nodes : node array;
+  retry : Simtime.t;
+  mutable sent : int;
+  mutable rexmit : int;
+  mutable nacks : int;
+}
+
+let deliver t node ~tag =
+  node.rev_deliveries <- (Engine.now t.engine, tag) :: node.rev_deliveries
+
+let send_nack t node ~lsrc =
+  if node.nack_bound.(lsrc) > node.req.(lsrc) then begin
+    t.nacks <- t.nacks + 1;
+    ignore
+      (Network.unicast t.net ~src:node.id ~dst:lsrc
+         (Nack { lsrc; lo = node.req.(lsrc); hi = node.nack_bound.(lsrc) }))
+  end
+
+let rec arm_nack_timer t node ~lsrc =
+  if not node.nack_armed.(lsrc) then begin
+    node.nack_armed.(lsrc) <- true;
+    Engine.schedule_after t.engine ~delay:t.retry (fun () ->
+        node.nack_armed.(lsrc) <- false;
+        if node.nack_bound.(lsrc) > node.req.(lsrc) then begin
+          send_nack t node ~lsrc;
+          arm_nack_timer t node ~lsrc
+        end)
+  end
+
+let accept t node ~src ~seq:_ ~tag = deliver t node ~tag;
+  node.req.(src) <- node.req.(src) + 1
+
+let on_receive t node wire =
+  match wire with
+  | Nack { lsrc; lo; hi } ->
+    if lsrc = node.id then
+      for seq = lo to hi - 1 do
+        match Hashtbl.find_opt node.history seq with
+        | Some w ->
+          t.rexmit <- t.rexmit + 1;
+          ignore (Network.broadcast t.net ~src:node.id w)
+        | None -> ()
+      done
+  | Data { src; seq; payload = _; tag } ->
+    if src = node.id then () (* loopback: delivered at send time *)
+    else if seq < node.req.(src) then () (* duplicate *)
+    else if seq > node.req.(src) then begin
+      (* Selective repeat: buffer and request only the gap. *)
+      if not (Hashtbl.mem node.pending.(src) seq) then
+        Hashtbl.replace node.pending.(src) seq wire;
+      if seq >= node.nack_bound.(src) then node.nack_bound.(src) <- seq;
+      send_nack t node ~lsrc:src;
+      arm_nack_timer t node ~lsrc:src
+    end
+    else begin
+      accept t node ~src ~seq ~tag;
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt node.pending.(src) node.req.(src) with
+        | Some (Data { src = s; seq = q; tag = tg; _ }) ->
+          Hashtbl.remove node.pending.(src) q;
+          accept t node ~src:s ~seq:q ~tag:tg
+        | Some (Nack _) | None -> continue := false
+      done
+    end
+
+let create engine net ~n ~retry =
+  if Network.n net <> n then invalid_arg "Pobcast.create: network size mismatch";
+  let t =
+    {
+      engine;
+      net;
+      nodes =
+        Array.init n (fun id ->
+            {
+              id;
+              next_seq = 0;
+              req = Array.make n 0;
+              pending = Array.init n (fun _ -> Hashtbl.create 16);
+              history = Hashtbl.create 64;
+              rev_deliveries = [];
+              nack_armed = Array.make n false;
+              nack_bound = Array.make n 0;
+            });
+      retry;
+      sent = 0;
+      rexmit = 0;
+      nacks = 0;
+    }
+  in
+  Array.iter
+    (fun node ->
+      Network.attach net ~id:node.id ~handler:(fun ~src:_ w -> on_receive t node w))
+    t.nodes;
+  t
+
+let broadcast t ~src ~tag payload =
+  let node = t.nodes.(src) in
+  let seq = node.next_seq in
+  node.next_seq <- seq + 1;
+  let w = Data { src; seq; payload; tag } in
+  Hashtbl.replace node.history seq w;
+  (* FIFO broadcast delivers to the sender at send time. *)
+  deliver t node ~tag;
+  node.req.(src) <- seq + 1;
+  t.sent <- t.sent + 1;
+  ignore (Network.broadcast t.net ~src w)
+
+let deliveries t ~entity = List.rev t.nodes.(entity).rev_deliveries
+let delivered_tags t ~entity = List.rev_map snd t.nodes.(entity).rev_deliveries
+let sent t = t.sent
+let retransmissions t = t.rexmit
+let nacks t = t.nacks

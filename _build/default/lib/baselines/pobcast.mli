@@ -1,0 +1,30 @@
+(** FIFO (locally ordering, LO-service) broadcast with selective repeat.
+
+    Each source numbers its own broadcasts; receivers accept them in
+    per-source order, buffering out-of-sequence arrivals and requesting
+    exactly the missing range (selective retransmission, like the CO
+    protocol's transport). Delivery happens immediately on in-order
+    acceptance — there is {e no} cross-source coordination, so the service
+    is only local-order-preserved: a reply can be delivered before the
+    message it answers (the anomaly in the paper's Figure 2,
+    [RL'_k = ⟨g q p⟩]). Used as an ablation baseline: the CO protocol is
+    exactly this transport plus the AL/PAL atomicity machinery. *)
+
+type wire
+
+type t
+
+val create :
+  Repro_sim.Engine.t -> wire Repro_sim.Network.t -> n:int
+  -> retry:Repro_sim.Simtime.t -> t
+
+val broadcast : t -> src:int -> tag:int -> string -> unit
+
+val deliveries : t -> entity:int -> (Repro_sim.Simtime.t * int) list
+(** [(time, tag)] at [entity], chronological. *)
+
+val delivered_tags : t -> entity:int -> int list
+
+val sent : t -> int
+val retransmissions : t -> int
+val nacks : t -> int

@@ -1,0 +1,187 @@
+module Engine = Repro_sim.Engine
+module Network = Repro_sim.Network
+module Simtime = Repro_sim.Simtime
+
+type wire =
+  | Submit of { origin : int; oseq : int; payload : string; tag : int }
+  | Order of { gseq : int; origin : int; payload : string; tag : int }
+  | Nack of { expected : int }
+
+type node = {
+  id : int;
+  mutable expected : int; (* next global sequence number to deliver *)
+  mutable max_seen : int; (* highest gseq observed (exclusive bound is +1) *)
+  mutable rev_deliveries : (Simtime.t * int) list;
+  mutable nack_outstanding : bool;
+  mutable pending_submissions : (int * string * int) list; (* oseq, payload, tag *)
+  mutable next_oseq : int;
+  mutable submit_timer_armed : bool;
+}
+
+type sequencer_state = {
+  mutable next_gseq : int;
+  history : (int, wire) Hashtbl.t; (* gseq -> Order *)
+  seen : (int * int, int) Hashtbl.t; (* (origin, oseq) -> gseq dedup *)
+}
+
+type t = {
+  engine : Engine.t;
+  net : wire Network.t;
+  nodes : node array;
+  seqr : sequencer_state;
+  retry : Simtime.t;
+  mutable fresh : int;
+  mutable rexmit : int;
+  mutable nacks : int;
+  mutable discarded : int;
+}
+
+let sequencer_id = 0
+
+let order_out t (o : wire) =
+  ignore (Network.broadcast t.net ~src:sequencer_id o)
+
+let sequence t ~origin ~oseq ~payload ~tag =
+  match Hashtbl.find_opt t.seqr.seen (origin, oseq) with
+  | Some gseq -> (
+    (* Duplicate submission: the origin has not seen its own message
+       ordered, so the Order broadcast was probably lost — rebroadcast it. *)
+    match Hashtbl.find_opt t.seqr.history gseq with
+    | Some o ->
+      t.rexmit <- t.rexmit + 1;
+      order_out t o
+    | None -> ())
+  | None ->
+    let gseq = t.seqr.next_gseq in
+    Hashtbl.add t.seqr.seen (origin, oseq) gseq;
+    t.seqr.next_gseq <- gseq + 1;
+    let o = Order { gseq; origin; payload; tag } in
+    Hashtbl.replace t.seqr.history gseq o;
+    t.fresh <- t.fresh + 1;
+    order_out t o
+
+(* Go-back-N sender: rebroadcast everything from the NACKed point. *)
+let go_back_n t ~expected =
+  let rec resend gseq =
+    if gseq < t.seqr.next_gseq then begin
+      (match Hashtbl.find_opt t.seqr.history gseq with
+      | Some o ->
+        t.rexmit <- t.rexmit + 1;
+        order_out t o
+      | None -> ());
+      resend (gseq + 1)
+    end
+  in
+  resend expected
+
+let rec send_nack t node =
+  t.nacks <- t.nacks + 1;
+  ignore
+    (Network.unicast t.net ~src:node.id ~dst:sequencer_id
+       (Nack { expected = node.expected }));
+  arm_nack_timer t node
+
+(* Re-NACK while a known message (some gseq we saw out of order) remains
+   undelivered: the NACK or the recovery burst itself may have been lost. *)
+and arm_nack_timer t node =
+  if not node.nack_outstanding then begin
+    node.nack_outstanding <- true;
+    Engine.schedule_after t.engine ~delay:t.retry (fun () ->
+        node.nack_outstanding <- false;
+        if node.expected <= node.max_seen then send_nack t node)
+  end
+
+let deliver_in_order t node ~gseq ~tag =
+  assert (gseq = node.expected);
+  node.expected <- node.expected + 1;
+  node.rev_deliveries <- (Engine.now t.engine, tag) :: node.rev_deliveries
+
+let rec arm_submit_timer t node =
+  if (not node.submit_timer_armed) && node.pending_submissions <> [] then begin
+    node.submit_timer_armed <- true;
+    Engine.schedule_after t.engine ~delay:t.retry (fun () ->
+        node.submit_timer_armed <- false;
+        List.iter
+          (fun (oseq, payload, tag) ->
+            if node.id = sequencer_id then
+              sequence t ~origin:node.id ~oseq ~payload ~tag
+            else
+              ignore
+                (Network.unicast t.net ~src:node.id ~dst:sequencer_id
+                   (Submit { origin = node.id; oseq; payload; tag })))
+          node.pending_submissions;
+        arm_submit_timer t node)
+  end
+
+let on_receive t node wire =
+  match wire with
+  | Submit { origin; oseq; payload; tag } ->
+    if node.id = sequencer_id then sequence t ~origin ~oseq ~payload ~tag
+  | Nack { expected } -> if node.id = sequencer_id then go_back_n t ~expected
+  | Order { gseq; origin; payload = _; tag } ->
+    if gseq > node.max_seen then node.max_seen <- gseq;
+    if gseq < node.expected then () (* duplicate *)
+    else if gseq > node.expected then begin
+      (* Go-back-N receiver: no out-of-order buffer. *)
+      t.discarded <- t.discarded + 1;
+      send_nack t node
+    end
+    else begin
+      deliver_in_order t node ~gseq ~tag;
+      if origin = node.id then
+        node.pending_submissions <-
+          List.filter (fun (_, _, tg) -> tg <> tag) node.pending_submissions
+    end
+
+let create engine net ~n ~retry =
+  if Network.n net <> n then invalid_arg "Tobcast.create: network size mismatch";
+  if n < 2 then invalid_arg "Tobcast.create: n must be >= 2";
+  let t =
+    {
+      engine;
+      net;
+      nodes =
+        Array.init n (fun id ->
+            {
+              id;
+              expected = 0;
+              max_seen = -1;
+              rev_deliveries = [];
+              nack_outstanding = false;
+              pending_submissions = [];
+              next_oseq = 0;
+              submit_timer_armed = false;
+            });
+      seqr =
+        { next_gseq = 0; history = Hashtbl.create 256; seen = Hashtbl.create 256 };
+      retry;
+      fresh = 0;
+      rexmit = 0;
+      nacks = 0;
+      discarded = 0;
+    }
+  in
+  Array.iter
+    (fun node ->
+      Network.attach net ~id:node.id ~handler:(fun ~src:_ w -> on_receive t node w))
+    t.nodes;
+  t
+
+let broadcast t ~src ~tag payload =
+  let node = t.nodes.(src) in
+  let oseq = node.next_oseq in
+  node.next_oseq <- oseq + 1;
+  node.pending_submissions <- (oseq, payload, tag) :: node.pending_submissions;
+  if src = sequencer_id then sequence t ~origin:src ~oseq ~payload ~tag
+  else
+    ignore
+      (Network.unicast t.net ~src ~dst:sequencer_id
+         (Submit { origin = src; oseq; payload; tag }));
+  arm_submit_timer t node
+
+let deliveries t ~entity = List.rev t.nodes.(entity).rev_deliveries
+let delivered_tags t ~entity = List.rev_map snd t.nodes.(entity).rev_deliveries
+let fresh_broadcasts t = t.fresh
+let retransmissions t = t.rexmit
+let nacks t = t.nacks
+let discarded t = t.discarded

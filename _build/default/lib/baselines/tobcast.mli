@@ -1,0 +1,44 @@
+(** Sequencer-based totally ordering broadcast with go-back-N recovery.
+
+    The §5 comparison target: "protocols which provide the TO service use
+    the go-back-n retransmission scheme where all PDUs following the lost
+    PDU are retransmitted". Entity 0 is the sequencer: origins submit to it,
+    it assigns a global sequence number and broadcasts. Receivers accept
+    only the next-in-sequence broadcast; anything newer is {e discarded}
+    (the go-back-N receiver keeps no out-of-order buffer) and answered with
+    a NACK, upon which the sequencer rebroadcasts {e everything} from the
+    gap onward. Losses are recovered, but at O(window) redundant traffic per
+    loss — the shape experiment E4 contrasts with the CO protocol's
+    selective retransmission.
+
+    Submissions and NACKs ride the same lossy network; both are retried on a
+    timer until acknowledged by progress. *)
+
+type wire
+
+type t
+
+val create :
+  Repro_sim.Engine.t -> wire Repro_sim.Network.t -> n:int
+  -> retry:Repro_sim.Simtime.t -> t
+(** Entity 0 acts as sequencer. [retry] is the resubmission / re-NACK
+    period. *)
+
+val broadcast : t -> src:int -> tag:int -> string -> unit
+(** Submit a message for total ordering. *)
+
+val deliveries : t -> entity:int -> (Repro_sim.Simtime.t * int) list
+(** [(time, tag)] in delivery (= total) order at [entity]. *)
+
+val delivered_tags : t -> entity:int -> int list
+
+val fresh_broadcasts : t -> int
+(** Order broadcasts for newly sequenced messages. *)
+
+val retransmissions : t -> int
+(** Messages rebroadcast by go-back-N recovery (each counted once per
+    rebroadcast, however many receivers needed it). *)
+
+val nacks : t -> int
+val discarded : t -> int
+(** Out-of-order broadcasts thrown away by receivers. *)

@@ -1,0 +1,1 @@
+lib/clock/causality.ml: Array Hashtbl Vector_clock

@@ -1,0 +1,1 @@
+lib/clock/causality.mli: Vector_clock

@@ -1,0 +1,1 @@
+lib/clock/matrix_clock.ml: Array Format String

@@ -1,0 +1,13 @@
+type t = { mutable value : int }
+
+let create () = { value = 0 }
+
+let now c = c.value
+
+let tick c =
+  c.value <- c.value + 1;
+  c.value
+
+let observe c ts =
+  c.value <- max c.value ts + 1;
+  c.value

@@ -1,0 +1,21 @@
+(** Lamport scalar logical clock (Lamport 1978, the paper's reference [8]).
+
+    The CO protocol itself does not ship Lamport timestamps, but the
+    ground-truth oracle and the trace tooling use them to order events. *)
+
+type t
+(** Mutable scalar clock. *)
+
+val create : unit -> t
+(** Fresh clock at 0. *)
+
+val now : t -> int
+(** Current value, without ticking. *)
+
+val tick : t -> int
+(** [tick c] advances the clock for a local or send event and returns the new
+    value. *)
+
+val observe : t -> int -> int
+(** [observe c ts] merges a received timestamp [ts] ([c := max c ts + 1]) and
+    returns the new value — the receive-event rule. *)

@@ -1,0 +1,41 @@
+type t = { n : int; cells : int array array }
+
+let create ~n ~init =
+  if n <= 0 then invalid_arg "Matrix_clock.create: n must be > 0";
+  { n; cells = Array.init n (fun _ -> Array.make n init) }
+
+let size m = m.n
+
+let get m ~row ~col = m.cells.(row).(col)
+
+let set m ~row ~col v = m.cells.(row).(col) <- v
+
+let raise_to m ~row ~col v =
+  if v > m.cells.(row).(col) then m.cells.(row).(col) <- v
+
+let set_row m ~row values =
+  if Array.length values <> m.n then
+    invalid_arg "Matrix_clock.set_row: length mismatch";
+  Array.iteri (fun col v -> raise_to m ~row ~col v) values
+
+let row m i = Array.copy m.cells.(i)
+
+let col_min m k =
+  let acc = ref m.cells.(0).(k) in
+  for j = 1 to m.n - 1 do
+    if m.cells.(j).(k) < !acc then acc := m.cells.(j).(k)
+  done;
+  !acc
+
+let col_min_all m = Array.init m.n (col_min m)
+
+let copy m = { n = m.n; cells = Array.map Array.copy m.cells }
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "[%s]@,"
+        (String.concat " " (Array.to_list (Array.map string_of_int r))))
+    m.cells;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** n×n matrix clock — the abstract structure behind the protocol's AL/PAL.
+
+    Row [j] holds what this entity knows entity [j] has seen: in the CO
+    protocol [AL.(j).(k)] is "the sequence number entity [j] expects next from
+    entity [k]". The two derived quantities the protocol uses are the
+    column minima: [col_min m k] = the highest sequence number everyone is
+    known to have passed for source [k] — exactly the paper's [minAL_k] /
+    [minPAL_k]. *)
+
+type t
+(** Mutable n×n matrix of non-negative ints. *)
+
+val create : n:int -> init:int -> t
+val size : t -> int
+val get : t -> row:int -> col:int -> int
+
+val set : t -> row:int -> col:int -> int -> unit
+(** Plain assignment (used by the acceptance action, which overwrites row
+    [src] with the PDU's ACK vector). *)
+
+val raise_to : t -> row:int -> col:int -> int -> unit
+(** Monotone assignment: [raise_to m ~row ~col v] sets the cell to
+    [max current v]. Retransmitted (old) PDUs must never move knowledge
+    backwards. *)
+
+val set_row : t -> row:int -> int array -> unit
+(** Overwrite a whole row monotonically (each cell raised, never lowered).
+    @raise Invalid_argument on length mismatch. *)
+
+val row : t -> int -> int array
+(** Fresh copy of a row. *)
+
+val col_min : t -> int -> int
+(** [col_min m k] = min over rows j of [m.(j).(k)] — the paper's [min AL_k]. *)
+
+val col_min_all : t -> int array
+(** All column minima at once. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type t = int array
+(* Invariant: never mutated after construction; all operations copy. *)
+
+type order = Before | After | Equal | Concurrent
+
+let zero ~n =
+  if n <= 0 then invalid_arg "Vector_clock.zero: n must be > 0";
+  Array.make n 0
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Vector_clock.of_array: empty";
+  Array.iter
+    (fun x -> if x < 0 then invalid_arg "Vector_clock.of_array: negative")
+    a;
+  Array.copy a
+
+let to_array v = Array.copy v
+
+let size = Array.length
+
+let get v i = v.(i)
+
+let incr v i =
+  let w = Array.copy v in
+  w.(i) <- w.(i) + 1;
+  w
+
+let merge a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.merge: size mismatch";
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+let leq a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.leq: size mismatch";
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let equal a b = Array.length a = Array.length b && leq a b && leq b a
+
+let compare_partial a b =
+  let ab = leq a b and ba = leq b a in
+  match (ab, ba) with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let causally_ready ~sender ~msg ~local =
+  if Array.length msg <> Array.length local then
+    invalid_arg "Vector_clock.causally_ready: size mismatch";
+  let ok = ref (msg.(sender) = local.(sender) + 1) in
+  Array.iteri (fun k x -> if k <> sender && x > local.(k) then ok := false) msg;
+  !ok
+
+let pp ppf v =
+  Format.fprintf ppf "⟨%s⟩"
+    (String.concat "," (Array.to_list (Array.map string_of_int v)))
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,48 @@
+(** Vector clocks (Fidge/Mattern), as used by ISIS CBCAST.
+
+    A vector clock for a cluster of [n] entities is an [n]-vector of event
+    counts. The CBCAST baseline stamps every message with the sender's vector
+    and delivers by the standard causal-delivery rule; the oracle uses vector
+    comparison as the ground truth for the happened-before relation. *)
+
+type t
+(** Immutable vector timestamp. *)
+
+type order = Before | After | Equal | Concurrent
+
+val zero : n:int -> t
+(** All-zeros vector for a cluster of [n] entities. *)
+
+val of_array : int array -> t
+(** Copies the array. @raise Invalid_argument on an empty array or negative
+    component. *)
+
+val to_array : t -> int array
+(** Fresh copy. *)
+
+val size : t -> int
+val get : t -> int -> int
+
+val incr : t -> int -> t
+(** [incr v i] is [v] with component [i] incremented — the send/local rule. *)
+
+val merge : t -> t -> t
+(** Component-wise maximum — the receive rule (before the local increment).
+    @raise Invalid_argument on size mismatch. *)
+
+val compare_partial : t -> t -> order
+(** Partial order: [Before] iff [a <= b] pointwise and [a <> b]. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff [a] pointwise <= [b]. *)
+
+val equal : t -> t -> bool
+
+val causally_ready : sender:int -> msg:t -> local:t -> bool
+(** CBCAST delivery condition for a message stamped [msg] from [sender] at a
+    receiver whose clock is [local]:
+    [msg.(sender) = local.(sender) + 1] and [msg.(k) <= local.(k)] for all
+    [k <> sender]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

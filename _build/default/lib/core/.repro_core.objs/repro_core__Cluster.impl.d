@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Config Entity Hashtbl List Metrics Pdu Repro_clock Repro_pdu Repro_sim Repro_util

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Config Entity Metrics Repro_clock Repro_pdu Repro_sim

@@ -1,0 +1,1 @@
+lib/core/entity.ml: Array Config Failure Flow Hashtbl List Logs Metrics Pdu Precedence Queue Repro_clock Repro_pdu Repro_sim String

@@ -1,0 +1,1 @@
+lib/core/entity.mli: Config Metrics Repro_clock Repro_pdu Repro_sim

@@ -1,0 +1,1 @@
+lib/core/failure.ml: Array Repro_sim

@@ -1,0 +1,1 @@
+lib/core/logs.ml: Array Hashtbl List Pdu Precedence Repro_pdu Repro_util

@@ -1,0 +1,1 @@
+lib/core/logs.mli: Repro_pdu

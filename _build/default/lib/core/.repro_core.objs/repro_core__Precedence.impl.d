@@ -1,0 +1,1 @@
+lib/core/precedence.ml: Array List Pdu Repro_pdu

@@ -1,0 +1,182 @@
+open Repro_pdu
+module Engine = Repro_sim.Engine
+module Network = Repro_sim.Network
+module Simtime = Repro_sim.Simtime
+module Topology = Repro_sim.Topology
+module Trace = Repro_sim.Trace
+
+type config = {
+  n : int;
+  protocol : Config.t;
+  topology : Topology.t;
+  inbox_capacity : int;
+  service_time : Pdu.t -> Simtime.t;
+  loss_prob : float;
+  seed : int;
+}
+
+let default_service_time ~n _pdu = Simtime.of_us (40 + (12 * n))
+
+let default_config ~n =
+  {
+    n;
+    protocol = Config.default;
+    topology = Topology.uniform ~n ~delay:(Simtime.of_ms 1);
+    inbox_capacity = 64;
+    service_time = default_service_time ~n;
+    loss_prob = 0.;
+    seed = 0;
+  }
+
+let tag_of_key ~src ~seq = (src * 0x1000000) + seq
+let key_of_tag tag = (tag / 0x1000000, tag mod 0x1000000)
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  net : Pdu.t Network.t;
+  entities : Entity.t array;
+  deliveries : (Simtime.t * Pdu.data) list array; (* reverse chronological *)
+  send_times : (int * int, Simtime.t) Hashtbl.t;
+  preack_ms : Repro_util.Stats.Acc.t;
+  ack_ms : Repro_util.Stats.Acc.t;
+  deliver_ms : Repro_util.Stats.Acc.t;
+  causality : Repro_clock.Causality.t;
+  rev_data_keys : (int * int) list ref; (* data PDUs, newest first *)
+}
+
+let create (config : config) =
+  if config.n < 2 then invalid_arg "Cluster.create: n must be >= 2";
+  Config.validate config.protocol;
+  let engine = Engine.create () in
+  let net_config =
+    {
+      (Network.default_config config.topology) with
+      Network.inbox_capacity = config.inbox_capacity;
+      service_time = config.service_time;
+      loss_prob = config.loss_prob;
+      seed = config.seed;
+    }
+  in
+  let net = Network.create engine net_config in
+  let deliveries = Array.make config.n [] in
+  let send_times = Hashtbl.create 1024 in
+  let preack_ms = Repro_util.Stats.Acc.create () in
+  let ack_ms = Repro_util.Stats.Acc.create () in
+  let deliver_ms = Repro_util.Stats.Acc.create () in
+  let causality = Repro_clock.Causality.create ~n:config.n in
+  let rev_data_keys = ref [] in
+  let entities =
+    Array.init config.n (fun id ->
+        let record_first_send pdu =
+          match pdu with
+          | Pdu.Data d when d.src = id ->
+            let key = Pdu.key d in
+            if not (Hashtbl.mem send_times key) then begin
+              Hashtbl.add send_times key (Engine.now engine);
+              if not (Pdu.is_confirmation d) then
+                rev_data_keys := key :: !rev_data_keys;
+              Repro_clock.Causality.send causality ~entity:id
+                ~msg:(tag_of_key ~src:d.src ~seq:d.seq)
+            end
+          | Pdu.Data _ | Pdu.Ret _ | Pdu.Ctl _ -> ()
+        in
+        let actions =
+          {
+            Entity.broadcast =
+              (fun pdu ->
+                record_first_send pdu;
+                ignore (Network.broadcast net ~src:id pdu));
+            unicast =
+              (fun ~dst pdu -> ignore (Network.unicast net ~src:id ~dst pdu));
+            deliver =
+              (fun d ->
+                let now = Engine.now engine in
+                deliveries.(id) <- (now, d) :: deliveries.(id);
+                Trace.record (Network.trace net)
+                  (Trace.Delivered
+                     { time = now; entity = id; tag = tag_of_key ~src:d.src ~seq:d.seq });
+                match Hashtbl.find_opt send_times (Pdu.key d) with
+                | Some t0 ->
+                  Repro_util.Stats.Acc.add deliver_ms (Simtime.to_ms (now - t0))
+                | None -> ());
+            now = (fun () -> Engine.now engine);
+            set_timer =
+              (fun ~delay f -> Engine.schedule_after engine ~delay f);
+            available_buffer = (fun () -> Network.available_buffer net id);
+          }
+        in
+        let entity = Entity.create ~config:config.protocol ~id ~n:config.n ~actions in
+        Entity.add_observer entity (fun ev ->
+            let now = Engine.now engine in
+            let latency (d : Pdu.data) acc =
+              match Hashtbl.find_opt send_times (Pdu.key d) with
+              | Some t0 -> Repro_util.Stats.Acc.add acc (Simtime.to_ms (now - t0))
+              | None -> ()
+            in
+            match ev with
+            | Entity.Accepted d ->
+              (* Ground-truth happened-before: acceptance is the paper's
+                 receipt event r_i[p]. *)
+              Repro_clock.Causality.receive causality ~entity:id
+                ~msg:(tag_of_key ~src:d.src ~seq:d.seq)
+            | Entity.Preacknowledged d -> latency d preack_ms
+            | Entity.Acknowledged d -> latency d ack_ms
+            | Entity.Gap_detected _ | Entity.Ret_answered _ -> ());
+        entity)
+  in
+  Array.iteri
+    (fun id entity ->
+      Network.attach net ~id ~handler:(fun ~src:_ pdu -> Entity.receive entity pdu))
+    entities;
+  {
+    config;
+    engine;
+    net;
+    entities;
+    deliveries;
+    send_times;
+    preack_ms;
+    ack_ms;
+    deliver_ms;
+    causality;
+    rev_data_keys;
+  }
+
+let engine t = t.engine
+let network t = t.net
+let entity t i = t.entities.(i)
+let size t = t.config.n
+
+let submit_at t ~at ~src payload =
+  Engine.schedule t.engine ~at (fun () ->
+      ignore (Entity.submit t.entities.(src) payload))
+
+let submit t ~src payload = submit_at t ~at:(Engine.now t.engine) ~src payload
+
+let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
+
+let deliveries t ~entity = List.rev t.deliveries.(entity)
+
+let delivery_keys t ~entity =
+  List.rev_map (fun (_, d) -> Pdu.key d) t.deliveries.(entity)
+
+let send_time t ~key = Hashtbl.find_opt t.send_times key
+
+let delivery_latencies t = Repro_util.Stats.Acc.samples t.deliver_ms
+let preack_latencies t = Repro_util.Stats.Acc.samples t.preack_ms
+let ack_latencies t = Repro_util.Stats.Acc.samples t.ack_ms
+
+let aggregate_metrics t =
+  let acc = Metrics.create () in
+  Array.iter (fun e -> Metrics.add ~into:acc (Entity.metrics e)) t.entities;
+  acc
+
+let entity_metrics t i = Entity.metrics t.entities.(i)
+let trace t = Network.trace t.net
+let causality t = t.causality
+
+let data_keys t = List.rev !(t.rev_data_keys)
+
+let data_tags t =
+  List.rev_map (fun (src, seq) -> tag_of_key ~src ~seq) !(t.rev_data_keys)

@@ -1,0 +1,43 @@
+type defer_policy =
+  | Immediate
+  | Deferred of { timeout : Repro_sim.Simtime.t }
+  | Never
+
+type causality_mode = Direct | Transitive
+
+type t = {
+  cid : int;
+  window : int;
+  buf_units_per_pdu : int;
+  defer : defer_policy;
+  ret_retry_timeout : Repro_sim.Simtime.t;
+  anti_entropy : bool;
+  initial_buf : int;
+  retain_arl : bool;
+  causality_mode : causality_mode;
+}
+
+let default =
+  {
+    cid = 0;
+    window = 8;
+    buf_units_per_pdu = 1;
+    defer = Deferred { timeout = Repro_sim.Simtime.of_ms 5 };
+    ret_retry_timeout = Repro_sim.Simtime.of_ms 20;
+    anti_entropy = true;
+    initial_buf = 64;
+    retain_arl = true;
+    causality_mode = Transitive;
+  }
+
+let validate t =
+  if t.cid < 0 then invalid_arg "Config: negative cid";
+  if t.window < 1 then invalid_arg "Config: window must be >= 1";
+  if t.buf_units_per_pdu < 1 then invalid_arg "Config: H must be >= 1";
+  if t.initial_buf < 1 then invalid_arg "Config: initial_buf must be >= 1";
+  (match t.defer with
+  | Immediate | Never -> ()
+  | Deferred { timeout } ->
+    if timeout <= 0 then invalid_arg "Config: defer timeout must be > 0");
+  if t.ret_retry_timeout <= 0 then
+    invalid_arg "Config: ret_retry_timeout must be > 0"

@@ -1,0 +1,62 @@
+(** Protocol parameters of a CO entity.
+
+    The names follow §4 of the paper: [W] is the window size, [H] the buffer
+    units one PDU occupies; the flow condition divides the advertised buffer
+    by [H·2n] because with deferred confirmation O(n) PDUs are in flight per
+    round and a PDU waits up to two rounds (pre-ack + ack) before it can be
+    discarded. *)
+
+type defer_policy =
+  | Immediate
+      (** Confirm every receipt with its own PDU — the O(n²) traffic mode the
+          paper argues against; kept for experiment E2. *)
+  | Deferred of { timeout : Repro_sim.Simtime.t }
+      (** Paper's deferred confirmation: send one (possibly empty) PDU after
+          hearing from every other entity, or after [timeout] since the first
+          unconfirmed receipt. *)
+  | Never
+      (** No automatic confirmations at all: only explicit {!Entity.submit}
+          traffic carries ACK vectors. For hand-driven unit tests and
+          ablations; a real cluster needs data from every entity to make
+          progress under this policy. *)
+
+type causality_mode =
+  | Direct
+      (** The paper's literal Theorem 4.1 test: [p ≺ q] iff [q]'s sender had
+          directly accepted a PDU from [p]'s source at or beyond [p]. Misses
+          chains relayed through a third entity that [q]'s sender never heard
+          from directly — see DESIGN.md §7 and experiment E8. *)
+  | Transitive
+      (** Corrected test: the transitive closure of the one-hop relation,
+          computed from the headers of accepted PDUs (reach vectors). By the
+          in-order-acceptance invariant, every real causal predecessor of a
+          PDU has been accepted by the time the PDU is pre-acknowledged, so
+          the closure equals true happened-before. Default. *)
+
+type t = {
+  cid : int;  (** Cluster identifier stamped on every PDU. *)
+  window : int;  (** [W], per-source send window. *)
+  buf_units_per_pdu : int;  (** [H]. *)
+  defer : defer_policy;
+  ret_retry_timeout : Repro_sim.Simtime.t;
+      (** Re-issue a RET if the gap is still open after this long (the RET
+          itself, or the retransmission, may be lost). *)
+  anti_entropy : bool;
+      (** Answer a peer whose ACK vector is behind with an unsequenced CTL
+          confirmation so it can detect its loss (liveness at quiescence; see
+          DESIGN.md). *)
+  initial_buf : int;
+      (** BUF value assumed for every peer before its first PDU arrives. *)
+  retain_arl : bool;
+      (** Keep acknowledged PDUs in ARL for inspection. Experiments with
+          millions of PDUs turn this off; delivery callbacks fire either
+          way. *)
+  causality_mode : causality_mode;
+}
+
+val default : t
+(** cid 0, W = 8, H = 1, deferred confirmation with 5ms timeout, 20ms RET
+    retry, anti-entropy on, initial buffer 64. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on nonsensical parameters. *)

@@ -1,0 +1,566 @@
+open Repro_pdu
+module Matrix_clock = Repro_clock.Matrix_clock
+module Simtime = Repro_sim.Simtime
+
+type actions = {
+  broadcast : Pdu.t -> unit;
+  unicast : dst:int -> Pdu.t -> unit;
+  deliver : Pdu.data -> unit;
+  now : unit -> Simtime.t;
+  set_timer : delay:Simtime.t -> (unit -> unit) -> unit;
+  available_buffer : unit -> int;
+}
+
+type event =
+  | Accepted of Pdu.data
+  | Preacknowledged of Pdu.data
+  | Acknowledged of Pdu.data
+  | Gap_detected of { lsrc : int; lo : int; hi : int }
+  | Ret_answered of { dst : int; count : int }
+
+type t = {
+  config : Config.t;
+  id : int;
+  n : int;
+  actions : actions;
+  mutable seq : int; (* next sequence number to assign *)
+  req : int array; (* REQ_j: next expected from j (self included) *)
+  al : Matrix_clock.t; (* row = informant j, col = subject k *)
+  pal : Matrix_clock.t;
+  buf : int array; (* last advertised free buffer per entity *)
+  buf_at : Simtime.t array; (* when that advertisement was heard *)
+  sl : Logs.Sending.t;
+  logs : Logs.Receipt.t;
+  pending : (int, Pdu.data) Hashtbl.t array; (* out-of-sequence, per source *)
+  dt_queue : string Queue.t; (* flow-blocked application requests *)
+  fails : Failure.t;
+  heard : bool array; (* DT received from j since our last transmission *)
+  mutable req_at_last_send : int array;
+  mutable need_immediate_confirm : bool;
+  mutable prompted : bool; (* a CTL asked us to flush confirmations *)
+  mutable defer_timer_armed : bool;
+  mutable hb_interval : Simtime.t; (* current heartbeat period (with backoff) *)
+  mutable accepted_at_last_hb : int;
+  ret_timer_armed : bool array;
+  last_ctl_to : Simtime.t array; (* anti-entropy rate limiting *)
+  mutable last_send_at : Simtime.t; (* spacing clock for deferred empties *)
+  mutable last_ctl_broadcast_at : Simtime.t;
+  headers : (int * int, int array) Hashtbl.t; (* accepted (src,seq) -> ACK *)
+  reach_memo : (int * int, int array) Hashtbl.t; (* (src,seq) -> reach *)
+  mutable undelivered : int; (* accepted data PDUs not yet acknowledged *)
+  metrics : Metrics.t;
+  mutable observers : (event -> unit) list;
+}
+
+let create ~config ~id ~n ~actions =
+  Config.validate config;
+  if n < 2 then invalid_arg "Entity.create: cluster needs at least 2 entities";
+  if id < 0 || id >= n then invalid_arg "Entity.create: id out of range";
+  {
+    config;
+    id;
+    n;
+    actions;
+    seq = 1;
+    req = Array.make n 1;
+    al = Matrix_clock.create ~n ~init:1;
+    pal = Matrix_clock.create ~n ~init:1;
+    buf = Array.make n config.initial_buf;
+    buf_at = Array.make n (-1_000_000_000);
+    sl = Logs.Sending.create ();
+    logs = Logs.Receipt.create ~n;
+    pending = Array.init n (fun _ -> Hashtbl.create 16);
+    dt_queue = Queue.create ();
+    fails = Failure.create ~n;
+    heard = Array.make n false;
+    req_at_last_send = Array.make n 1;
+    need_immediate_confirm = false;
+    prompted = false;
+    defer_timer_armed = false;
+    hb_interval = 0;
+    accepted_at_last_hb = 0;
+    ret_timer_armed = Array.make n false;
+    last_ctl_to = Array.make n (-1_000_000_000);
+    last_send_at = -1_000_000_000;
+    last_ctl_broadcast_at = -1_000_000_000;
+    headers = Hashtbl.create 256;
+    reach_memo = Hashtbl.create 256;
+    undelivered = 0;
+    metrics = Metrics.create ();
+    observers = [];
+  }
+
+let id t = t.id
+let cluster_size t = t.n
+let add_observer t f = t.observers <- t.observers @ [ f ]
+let notify t e = List.iter (fun f -> f e) t.observers
+
+let minal t k = Matrix_clock.col_min t.al k
+let minpal t k = Matrix_clock.col_min t.pal k
+
+(* Lowest sequence number some PEER still expects from us. The flow window
+   slides on this rather than on [minal t t.id]: our own AL row is always
+   one behind ([ACK_self = SEQ] convention), and including it would cap the
+   usable window at W-1 and deadlock W=1 outright. *)
+let minal_peers t =
+  let acc = ref max_int in
+  for j = 0 to t.n - 1 do
+    if j <> t.id then begin
+      let v = Matrix_clock.get t.al ~row:j ~col:t.id in
+      if v < !acc then acc := v
+    end
+  done;
+  !acc
+
+(* Reach vector of an accepted PDU: reach.(m) = highest sequence number from
+   source m whose PDU causally precedes it (0 = none). Computed from the
+   stored headers by following direct predecessors: the PDU (m, ack.(m)-1)
+   for every component m (the self component uses the seq-1 convention built
+   into the ACK self field). Returns [None] while some transitive
+   predecessor has not been accepted yet — the PACK action then defers the
+   PDU, so every vector that is ever memoized is exact. *)
+let rec reach_opt t ((_, _) as key) =
+  match Hashtbl.find_opt t.reach_memo key with
+  | Some r -> Some r
+  | None -> (
+    match Hashtbl.find_opt t.headers key with
+    | None -> None
+    | Some ack -> (
+      let r = Array.make t.n 0 in
+      let complete = ref true in
+      for m = 0 to t.n - 1 do
+        let base = ack.(m) - 1 in
+        if base > r.(m) then r.(m) <- base;
+        if base >= 1 then begin
+          match reach_opt t (m, base) with
+          | Some pr ->
+            for l = 0 to t.n - 1 do
+              if pr.(l) > r.(l) then r.(l) <- pr.(l)
+            done
+          | None -> complete := false
+        end
+      done;
+      match !complete with
+      | true ->
+        Hashtbl.replace t.reach_memo key r;
+        Some r
+      | false -> None))
+
+(* Whether the PDU's causal past is fully accepted here, so its reach vector
+   (and hence its CPI position) is exact. Always true in Direct mode, which
+   orders by the paper's one-hop test alone. *)
+let reach_ready t (p : Pdu.data) =
+  match t.config.causality_mode with
+  | Config.Direct -> true
+  | Config.Transitive -> reach_opt t (Pdu.key p) <> None
+
+(* The causality-precedence test used for CPI ordering. *)
+let precedes_current t (p : Pdu.data) (q : Pdu.data) =
+  match t.config.causality_mode with
+  | Config.Direct -> Precedence.precedes p q
+  | Config.Transitive ->
+    if p.src = q.src then p.seq < q.seq
+    else (
+      match reach_opt t (Pdu.key q) with
+      | Some r -> r.(p.src) >= p.seq
+      | None -> Precedence.precedes p q)
+
+(* Smallest known free buffer in the cluster. A peer's advertisement decays
+   back to [initial_buf] once it is older than the RET retry timeout:
+   receivers drain their inboxes over time, and honouring a stale low BUF
+   forever would shut the window permanently on a cluster that has gone
+   quiet (nobody sends, so nobody re-advertises). *)
+let minbuf t =
+  let now = t.actions.now () in
+  let acc = ref (t.actions.available_buffer ()) in
+  for j = 0 to t.n - 1 do
+    if j <> t.id then begin
+      let fresh =
+        Simtime.compare now (Simtime.add t.buf_at.(j) t.config.ret_retry_timeout)
+        < 0
+      in
+      let v = if fresh then t.buf.(j) else max t.buf.(j) t.config.initial_buf in
+      if v < !acc then acc := v
+    end
+  done;
+  !acc
+
+let note_buf t ~peer v =
+  t.buf.(peer) <- v;
+  t.buf_at.(peer) <- t.actions.now ()
+
+let flow_ok t =
+  Flow.may_send ~config:t.config ~n:t.n ~seq:t.seq ~minal_self:(minal_peers t)
+    ~minbuf:(minbuf t)
+
+let req_changed t =
+  let changed = ref false in
+  for j = 0 to t.n - 1 do
+    if j <> t.id && t.req.(j) <> t.req_at_last_send.(j) then changed := true
+  done;
+  !changed
+
+(* Broadcast a fresh sequenced DT PDU. The self component of the ACK vector
+   is this PDU's own sequence number (Example 4.1, Table 1): the sender
+   expects its own copy of [p] next on the loopback. *)
+let transmit t ~payload =
+  let ack = Array.copy t.req in
+  ack.(t.id) <- t.seq;
+  let pdu =
+    Pdu.data ~cid:t.config.cid ~src:t.id ~seq:t.seq ~ack
+      ~buf:(t.actions.available_buffer ())
+      ~payload
+  in
+  let d = match pdu with Pdu.Data d -> d | Pdu.Ret _ | Pdu.Ctl _ -> assert false in
+  t.seq <- t.seq + 1;
+  Logs.Sending.append t.sl d;
+  if String.length payload = 0 then
+    t.metrics.confirmations_sent <- t.metrics.confirmations_sent + 1
+  else t.metrics.data_sent <- t.metrics.data_sent + 1;
+  t.req_at_last_send <- Array.copy t.req;
+  t.last_send_at <- t.actions.now ();
+  Array.fill t.heard 0 t.n false;
+  t.need_immediate_confirm <- false;
+  t.actions.broadcast pdu
+
+let send_ctl_broadcast t =
+  t.metrics.ctl_sent <- t.metrics.ctl_sent + 1;
+  t.actions.broadcast
+    (Pdu.ctl ~cid:t.config.cid ~src:t.id ~ack:t.req
+       ~buf:(t.actions.available_buffer ()))
+
+let send_ctl_to t ~dst =
+  t.metrics.ctl_sent <- t.metrics.ctl_sent + 1;
+  t.actions.unicast ~dst
+    (Pdu.ctl ~cid:t.config.cid ~src:t.id ~ack:t.req
+       ~buf:(t.actions.available_buffer ()))
+
+let pump t =
+  while (not (Queue.is_empty t.dt_queue)) && flow_ok t do
+    transmit t ~payload:(Queue.pop t.dt_queue)
+  done
+
+let send_ret t ~lsrc ~lseq =
+  t.metrics.ret_sent <- t.metrics.ret_sent + 1;
+  t.actions.broadcast
+    (Pdu.ret ~cid:t.config.cid ~src:t.id ~lsrc ~lseq ~ack:t.req
+       ~buf:(t.actions.available_buffer ()))
+
+let rec arm_ret_timer t lsrc =
+  if not t.ret_timer_armed.(lsrc) then begin
+    t.ret_timer_armed.(lsrc) <- true;
+    t.actions.set_timer ~delay:t.config.ret_retry_timeout (fun () ->
+        t.ret_timer_armed.(lsrc) <- false;
+        match
+          Failure.retry_due t.fails ~now:(t.actions.now ())
+            ~retry_after:t.config.ret_retry_timeout ~lsrc ~req:t.req.(lsrc)
+        with
+        | Some (_, hi) ->
+          send_ret t ~lsrc ~lseq:hi;
+          arm_ret_timer t lsrc
+        | None -> ())
+  end
+
+(* Failure conditions F(1)/F(2): evidence that PDUs from [lsrc] strictly
+   below [bound] exist and we have not received them. *)
+let check_gap t ~lsrc ~bound =
+  if lsrc <> t.id then
+    match
+      Failure.observe t.fails ~now:(t.actions.now ())
+        ~retry_after:t.config.ret_retry_timeout ~lsrc ~req:t.req.(lsrc) ~bound
+    with
+    | Failure.No_gap | Failure.Already_requested -> ()
+    | Failure.Request { lo; hi } ->
+      t.metrics.gaps_detected <- t.metrics.gaps_detected + 1;
+      notify t (Gap_detected { lsrc; lo; hi });
+      send_ret t ~lsrc ~lseq:hi;
+      arm_ret_timer t lsrc
+
+let scan_acks_for_gaps t ~informant ack =
+  for l = 0 to t.n - 1 do
+    if l <> t.id && l <> informant && ack.(l) > t.req.(l) then
+      check_gap t ~lsrc:l ~bound:ack.(l)
+  done
+
+(* Anti-entropy (liveness extension, DESIGN.md): if a peer's confirmation
+   shows it is missing PDUs we know exist, answer with an unsequenced CTL so
+   the peer's own failure condition (2) can fire. *)
+let maybe_help_stale_peer t ~peer ack =
+  if t.config.anti_entropy && peer <> t.id then begin
+    let behind = ref false in
+    for l = 0 to t.n - 1 do
+      if l <> peer && ack.(l) < t.req.(l) then behind := true
+    done;
+    if !behind then begin
+      let now = t.actions.now () in
+      if
+        Simtime.compare now
+          (Simtime.add t.last_ctl_to.(peer) t.config.ret_retry_timeout)
+        >= 0
+      then begin
+        t.last_ctl_to.(peer) <- now;
+        send_ctl_to t ~dst:peer
+      end
+    end
+  end
+
+(* Acceptance action (§4.2): in-sequence PDU joins RRL_src; its ACK vector is
+   new knowledge for AL and for failure detection. *)
+let accept t (q : Pdu.data) =
+  let j = q.src in
+  t.req.(j) <- q.seq + 1;
+  Failure.satisfied_up_to t.fails ~lsrc:j ~req:t.req.(j);
+  Matrix_clock.set_row t.al ~row:j q.ack;
+  note_buf t ~peer:j q.buf;
+  Hashtbl.replace t.headers (Pdu.key q) q.ack;
+  Logs.Receipt.rrl_enqueue t.logs ~src:j q;
+  if not (Pdu.is_confirmation q) then begin
+    t.undelivered <- t.undelivered + 1;
+    if j <> t.id then t.need_immediate_confirm <- true
+  end;
+  t.metrics.accepted <- t.metrics.accepted + 1;
+  notify t (Accepted q);
+  scan_acks_for_gaps t ~informant:j q.ack;
+  maybe_help_stale_peer t ~peer:j q.ack
+
+let handle_data t (p : Pdu.data) =
+  let j = p.src in
+  if j <> t.id then t.heard.(j) <- true;
+  if p.seq < t.req.(j) then t.metrics.duplicates <- t.metrics.duplicates + 1
+  else if p.seq > t.req.(j) then begin
+    (* Out of sequence: selective repeat buffers it and requests the gap. *)
+    t.metrics.out_of_order <- t.metrics.out_of_order + 1;
+    if not (Hashtbl.mem t.pending.(j) p.seq) then
+      Hashtbl.replace t.pending.(j) p.seq p;
+    note_buf t ~peer:j p.buf;
+    check_gap t ~lsrc:j ~bound:p.seq
+  end
+  else begin
+    (* ACC condition holds; accept, then drain consecutive pending PDUs. *)
+    accept t p;
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt t.pending.(j) t.req.(j) with
+      | Some q ->
+        Hashtbl.remove t.pending.(j) q.seq;
+        accept t q
+      | None -> continue := false
+    done
+  end
+
+(* RET and CTL PDUs are unsequenced but their ACK vectors are truthful
+   receipt confirmations, so they raise AL (sliding flow windows and
+   enabling pre-acknowledgment without consuming sequence numbers). The
+   exactness of reach vectors, which the paper-era argument tied to
+   in-order-only AL updates, is guaranteed by [reach_ready] gating in the
+   PACK action instead. *)
+let handle_ret t (r : Pdu.ret) =
+  Matrix_clock.set_row t.al ~row:r.src r.ack;
+  note_buf t ~peer:r.src r.buf;
+  scan_acks_for_gaps t ~informant:r.src r.ack;
+  if r.lsrc = t.id then begin
+    (* Selective retransmission: rebroadcast the requested range, capped at
+       two windows per RET so a large gap is repaired in paced rounds
+       instead of one burst that would overrun the receiver again. *)
+    let lo = r.ack.(t.id) in
+    let hi = min r.lseq (lo + (2 * t.config.window)) in
+    let pdus = Logs.Sending.range t.sl ~lo ~hi in
+    List.iter (fun (g : Pdu.data) -> t.actions.broadcast (Pdu.Data g)) pdus;
+    t.metrics.retransmitted <- t.metrics.retransmitted + List.length pdus;
+    notify t (Ret_answered { dst = r.src; count = List.length pdus })
+  end
+
+let handle_ctl t (c : Pdu.ctl) =
+  Matrix_clock.set_row t.al ~row:c.src c.ack;
+  note_buf t ~peer:c.src c.buf;
+  scan_acks_for_gaps t ~informant:c.src c.ack;
+  (* A CTL is only ever sent by an entity with work pending: if we hold
+     receipt confirmations it has not seen, flush them even though nothing
+     is pending locally — the sender may be flow-blocked on our AL row. *)
+  t.prompted <- true
+
+(* PACK action (§4.4): RRL tops whose SEQ < minAL_src move into PRL in
+   causality-precedence position; their ACK vectors raise PAL. *)
+let pack_scan t =
+  for j = 0 to t.n - 1 do
+    let continue = ref true in
+    while !continue do
+      match Logs.Receipt.rrl_top t.logs ~src:j with
+      | Some p when p.seq < minal t j && reach_ready t p ->
+        ignore (Logs.Receipt.rrl_dequeue t.logs ~src:j);
+        Matrix_clock.set_row t.pal ~row:j p.ack;
+        Logs.Receipt.prl_insert ~precedes:(precedes_current t) t.logs p;
+        notify t (Preacknowledged p)
+      | Some _ | None -> continue := false
+    done
+  done
+
+(* ACK action (§4.5): PRL tops whose SEQ < minPAL_src are acknowledged and,
+   if they carry data, delivered to the application — in causal order. *)
+let ack_scan t =
+  let continue = ref true in
+  while !continue do
+    match Logs.Receipt.prl_top t.logs with
+    | Some p when p.seq < minpal t p.src ->
+      ignore (Logs.Receipt.prl_dequeue t.logs);
+      if t.config.retain_arl then Logs.Receipt.arl_enqueue t.logs p;
+      if not (Pdu.is_confirmation p) then begin
+        t.undelivered <- t.undelivered - 1;
+        t.metrics.delivered <- t.metrics.delivered + 1;
+        t.actions.deliver p
+      end;
+      notify t (Acknowledged p)
+    | Some _ | None -> continue := false
+  done
+
+(* A confirmation is useful only while some data PDU is still unacknowledged
+   here: once everything is acknowledged everywhere this entity could learn
+   of, staying silent is what lets the cluster reach quiescence (an entity
+   that is itself stuck keeps heartbeating, and up-to-date peers answer its
+   stale ACK vectors with CTLs — see [maybe_help_stale_peer]).
+
+   Confirmations deliberately bypass the flow window: the window gates data,
+   while confirmations ARE the mechanism that slides it — gating them would
+   deadlock small windows (every entity waiting for every other's
+   confirmation). Under the deferred policy their cadence is additionally
+   floored at the defer timeout: confirmations advance REQ at the receivers,
+   so without the floor a cluster of idle-but-unacknowledged entities
+   confirms each other's confirmations at network round-trip cadence — the
+   opposite of what deferral is for. *)
+let confirm_now t ~heartbeat =
+  let spacing_ok =
+    match t.config.defer with
+    | Config.Deferred { timeout } ->
+      Simtime.compare (t.actions.now ()) (Simtime.add t.last_send_at timeout) >= 0
+    | Config.Immediate | Config.Never -> true
+  in
+  (* Confirmations are owed while (a) some accepted data awaits
+     acknowledgment, or (b) our own send queue is flow-blocked — the window
+     slides only on peers' AL knowledge of our REQ, so a silent cluster of
+     blocked senders would deadlock.
+
+     A sequenced empty PDU is preferred (only sequenced PDUs feed PAL and
+     drive the acknowledgment level), but it must stay inside the data
+     window so the empties never starve queued data of sequence slots; one
+     extra slot is allowed when no data is queued, which bootstraps tiny
+     windows. When no sequenced slot is available, fall back to an
+     unsequenced CTL broadcast: it still carries the REQ vector, raising AL
+     at the peers (window sliding, pre-acknowledgment) for free. *)
+  let work_pending =
+    t.undelivered > 0 || (not (Queue.is_empty t.dt_queue)) || t.prompted
+  in
+  t.prompted <- false;
+  if spacing_ok && work_pending && (req_changed t || heartbeat) then begin
+    let window_eff =
+      max 1 (Flow.effective_window ~config:t.config ~n:t.n ~minbuf:(minbuf t))
+    in
+    let slack = if Queue.is_empty t.dt_queue then 1 else 0 in
+    if t.seq < minal_peers t + window_eff + slack then transmit t ~payload:""
+    else begin
+      let now = t.actions.now () in
+      if
+        Simtime.compare now
+          (Simtime.add t.last_ctl_broadcast_at t.config.ret_retry_timeout)
+        >= 0
+        || req_changed t
+      then begin
+        t.last_ctl_broadcast_at <- now;
+        t.req_at_last_send <- Array.copy t.req;
+        send_ctl_broadcast t
+      end
+    end
+  end
+
+let confirm_needed t = t.undelivered > 0 || not (Queue.is_empty t.dt_queue)
+
+(* The heartbeat re-fires every [timeout] while confirmations are owed, but
+   backs off exponentially (up to 64x) when firing makes no progress — under
+   processing saturation a fixed-cadence control plane would keep the
+   receivers' inboxes full and the flow windows shut forever. Any accepted
+   PDU resets the cadence. *)
+let rec ensure_heartbeat_armed t ~timeout =
+  if (not t.defer_timer_armed) && confirm_needed t then begin
+    t.defer_timer_armed <- true;
+    let interval = if t.hb_interval < timeout then timeout else t.hb_interval in
+    t.actions.set_timer ~delay:interval (fun () ->
+        t.defer_timer_armed <- false;
+        if t.metrics.accepted = t.accepted_at_last_hb then
+          t.hb_interval <- min (interval * 2) (timeout * 64)
+        else t.hb_interval <- timeout;
+        t.accepted_at_last_hb <- t.metrics.accepted;
+        confirm_now t ~heartbeat:true;
+        pump t;
+        ensure_heartbeat_armed t ~timeout)
+  end
+
+let after_processing t =
+  pack_scan t;
+  ack_scan t;
+  Logs.Sending.prune_below t.sl ~seq:(minal t t.id);
+  pump t;
+  let occupancy = Logs.Receipt.buffered t.logs in
+  if occupancy > t.metrics.peak_buffered then t.metrics.peak_buffered <- occupancy;
+  match t.config.defer with
+  | Config.Immediate ->
+    if t.need_immediate_confirm || t.prompted then confirm_now t ~heartbeat:false;
+    t.need_immediate_confirm <- false;
+    t.prompted <- false;
+    ensure_heartbeat_armed t ~timeout:t.config.ret_retry_timeout
+  | Config.Deferred { timeout } ->
+    let all_heard = ref true in
+    for j = 0 to t.n - 1 do
+      if j <> t.id && not t.heard.(j) then all_heard := false
+    done;
+    if (!all_heard && req_changed t) || t.prompted then
+      confirm_now t ~heartbeat:false;
+    ensure_heartbeat_armed t ~timeout
+  | Config.Never -> t.prompted <- false
+
+let receive t pdu =
+  let ours =
+    match pdu with
+    | Pdu.Data d -> d.cid = t.config.cid
+    | Pdu.Ret r -> r.cid = t.config.cid
+    | Pdu.Ctl c -> c.cid = t.config.cid
+  in
+  if ours then begin
+    (match pdu with
+    | Pdu.Data d -> handle_data t d
+    | Pdu.Ret r -> handle_ret t r
+    | Pdu.Ctl c -> handle_ctl t c);
+    after_processing t
+  end
+
+let submit t payload =
+  if flow_ok t && Queue.is_empty t.dt_queue then begin
+    transmit t ~payload;
+    true
+  end
+  else begin
+    Queue.push payload t.dt_queue;
+    t.metrics.flow_blocked <- t.metrics.flow_blocked + 1;
+    (match t.config.defer with
+    | Config.Immediate ->
+      ensure_heartbeat_armed t ~timeout:t.config.ret_retry_timeout
+    | Config.Deferred { timeout } -> ensure_heartbeat_armed t ~timeout
+    | Config.Never -> ());
+    false
+  end
+
+(* Inspection *)
+
+let causally_precedes t p q = precedes_current t p q
+
+let seq_next t = t.seq
+let req t = Array.copy t.req
+let al_matrix t = Matrix_clock.copy t.al
+let pal_matrix t = Matrix_clock.copy t.pal
+let rrl_length t ~src = Logs.Receipt.rrl_length t.logs ~src
+let prl_list t = Logs.Receipt.prl_to_list t.logs
+let arl_list t = Logs.Receipt.arl_to_list t.logs
+let buffered t = Logs.Receipt.buffered t.logs
+let pending_count t =
+  Array.fold_left (fun acc h -> acc + Hashtbl.length h) 0 t.pending
+let queued_requests t = Queue.length t.dt_queue
+let undelivered_data t = t.undelivered
+let metrics t = t.metrics

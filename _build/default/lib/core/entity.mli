@@ -1,0 +1,102 @@
+(** A CO protocol entity (§4): the complete per-node state machine.
+
+    An entity is transport-agnostic: it interacts with the world only through
+    the {!actions} record (broadcast/unicast a PDU, deliver to the
+    application, read the clock, arm timers, read its own free buffer), so it
+    runs identically under the discrete-event simulator, in unit tests that
+    feed it PDUs by hand, or over a real transport.
+
+    Life of a PDU at entity [i]:
+    + a DT request is {!submit}ted; if the flow condition (§4.2) holds a DT
+      PDU is broadcast, else the request queues until the window slides;
+    + an incoming DT PDU is checked against the ACC condition
+      ([SEQ = REQ_src]); in-sequence PDUs are accepted into [RRL_src]
+      (advancing [REQ], folding the carried ACK vector into [AL] and the
+      failure conditions F(1)/F(2)); out-of-sequence PDUs are buffered and
+      the gap is requested with a RET (selective repeat);
+    + the PACK action moves RRL tops with [SEQ < minAL_src] into the
+      causality-ordered [PRL] (CPI), folding their ACK vectors into [PAL];
+    + the ACK action moves the PRL top into [ARL] once
+      [SEQ < minPAL_src]; data PDUs are then delivered to the application —
+      in causality-precedence order, which is the CO service. *)
+
+type actions = {
+  broadcast : Repro_pdu.Pdu.t -> unit;
+  unicast : dst:int -> Repro_pdu.Pdu.t -> unit;
+  deliver : Repro_pdu.Pdu.data -> unit;
+      (** Called for acknowledged PDUs carrying application data, in causal
+          order. *)
+  now : unit -> Repro_sim.Simtime.t;
+  set_timer : delay:Repro_sim.Simtime.t -> (unit -> unit) -> unit;
+  available_buffer : unit -> int;  (** Own free inbox units (BUF field). *)
+}
+
+(** Protocol-level happenings, for tests and latency measurement. *)
+type event =
+  | Accepted of Repro_pdu.Pdu.data
+  | Preacknowledged of Repro_pdu.Pdu.data
+  | Acknowledged of Repro_pdu.Pdu.data
+  | Gap_detected of { lsrc : int; lo : int; hi : int }
+  | Ret_answered of { dst : int; count : int }
+
+type t
+
+val create : config:Config.t -> id:int -> n:int -> actions:actions -> t
+(** @raise Invalid_argument on invalid config, [n < 2] or [id] out of
+    range. *)
+
+val id : t -> int
+val cluster_size : t -> int
+
+val submit : t -> string -> bool
+(** [submit t payload] takes a DT request from the application. Returns
+    [true] if a PDU was broadcast immediately, [false] if the request was
+    queued by the flow condition (it will be sent when the window slides —
+    asynchronous transmission, §1). *)
+
+val receive : t -> Repro_pdu.Pdu.t -> unit
+(** Feed a PDU from the network (including this entity's own loopback copy,
+    which the MC medium always delivers). *)
+
+val add_observer : t -> (event -> unit) -> unit
+(** Register a protocol-event listener; all registered listeners fire in
+    registration order. *)
+
+(** {2 Inspection} — used by tests, oracles and experiments. *)
+
+val causally_precedes :
+  t -> Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool
+(** The precedence test this entity uses for CPI ordering: Theorem 4.1 in
+    [Direct] mode, its transitive closure over accepted headers in
+    [Transitive] mode. *)
+
+val seq_next : t -> int
+(** Next sequence number this entity will use. *)
+
+val req : t -> int array
+(** Copy of the REQ vector. *)
+
+val minal : t -> int -> int
+(** [minal t k] = the paper's [minAL_k]. *)
+
+val minpal : t -> int -> int
+
+val al_matrix : t -> Repro_clock.Matrix_clock.t
+(** Copies; row = informant entity, column = subject source. *)
+
+val pal_matrix : t -> Repro_clock.Matrix_clock.t
+
+val rrl_length : t -> src:int -> int
+val prl_list : t -> Repro_pdu.Pdu.data list
+val arl_list : t -> Repro_pdu.Pdu.data list
+val buffered : t -> int
+val pending_count : t -> int
+(** Out-of-sequence PDUs parked awaiting gap repair. *)
+
+val queued_requests : t -> int
+(** DT requests blocked by the flow condition. *)
+
+val undelivered_data : t -> int
+(** Data PDUs accepted but not yet acknowledged here. 0 at quiescence. *)
+
+val metrics : t -> Metrics.t

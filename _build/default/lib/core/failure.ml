@@ -1,0 +1,56 @@
+type t = {
+  requested_bound : int array; (* exclusive; 0 = nothing outstanding *)
+  requested_at : Repro_sim.Simtime.t array;
+}
+
+type decision =
+  | No_gap
+  | Already_requested
+  | Request of { lo : int; hi : int }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Failure.create: n must be > 0";
+  { requested_bound = Array.make n 0; requested_at = Array.make n 0 }
+
+let observe t ~now ~retry_after ~lsrc ~req ~bound =
+  if bound <= req then No_gap
+  else begin
+    let prev_bound = t.requested_bound.(lsrc) in
+    let stale =
+      prev_bound > 0
+      && Repro_sim.Simtime.compare now
+           (Repro_sim.Simtime.add t.requested_at.(lsrc) retry_after)
+         >= 0
+    in
+    if bound <= prev_bound && not stale then Already_requested
+    else begin
+      t.requested_bound.(lsrc) <- max bound prev_bound;
+      t.requested_at.(lsrc) <- now;
+      Request { lo = req; hi = max bound prev_bound }
+    end
+  end
+
+let satisfied_up_to t ~lsrc ~req =
+  if t.requested_bound.(lsrc) > 0 && req >= t.requested_bound.(lsrc) then begin
+    t.requested_bound.(lsrc) <- 0;
+    t.requested_at.(lsrc) <- 0
+  end
+
+let outstanding t ~lsrc =
+  if t.requested_bound.(lsrc) = 0 then None
+  else Some (t.requested_bound.(lsrc), t.requested_at.(lsrc))
+
+let retry_due t ~now ~retry_after ~lsrc ~req =
+  match outstanding t ~lsrc with
+  | None -> None
+  | Some (bound, at) ->
+    if req >= bound then begin
+      satisfied_up_to t ~lsrc ~req;
+      None
+    end
+    else if Repro_sim.Simtime.compare now (Repro_sim.Simtime.add at retry_after) >= 0
+    then begin
+      t.requested_at.(lsrc) <- now;
+      Some (req, bound)
+    end
+    else None

@@ -1,0 +1,45 @@
+(** Failure detection and selective-retransmission bookkeeping (§4.3).
+
+    The two failure conditions:
+    - {b F(1)}: receiving [p] from [E_j] with [p.SEQ > REQ_j] reveals that
+      PDUs [REQ_j .. p.SEQ - 1] from [E_j] are missing.
+    - {b F(2)}: receiving [q] from [E_k] whose [q.ACK_j > REQ_j] reveals that
+      PDUs [REQ_j .. q.ACK_j - 1] from [E_j] are missing ([E_k] has them).
+
+    This module tracks which ranges have already been requested so a burst of
+    PDUs exposing the same gap produces one RET, and re-arms a request after
+    a timeout in case the RET or the retransmission itself was lost. *)
+
+type t
+
+type decision =
+  | No_gap  (** Bound does not exceed REQ: nothing missing. *)
+  | Already_requested  (** Gap known; an outstanding RET covers it. *)
+  | Request of { lo : int; hi : int }
+      (** Issue a RET for [lo <= SEQ < hi] (lo = current REQ). *)
+
+val create : n:int -> t
+
+val observe :
+  t -> now:Repro_sim.Simtime.t -> retry_after:Repro_sim.Simtime.t
+  -> lsrc:int -> req:int -> bound:int -> decision
+(** [observe t ~now ~retry_after ~lsrc ~req ~bound] examines evidence that
+    PDUs from [lsrc] up to (excluding) [bound] exist, given that [req] is the
+    next expected. Returns what to do; when the answer is [Request], the
+    range is recorded as outstanding until it is satisfied or [retry_after]
+    elapses. *)
+
+val satisfied_up_to : t -> lsrc:int -> req:int -> unit
+(** Inform the tracker that REQ for [lsrc] has advanced (gaps below [req] are
+    closed). *)
+
+val outstanding : t -> lsrc:int -> (int * Repro_sim.Simtime.t) option
+(** The highest requested exclusive bound and when it was requested, if an
+    outstanding request exists for [lsrc]. *)
+
+val retry_due :
+  t -> now:Repro_sim.Simtime.t -> retry_after:Repro_sim.Simtime.t -> lsrc:int
+  -> req:int -> (int * int) option
+(** If an outstanding request for [lsrc] is still unsatisfied and older than
+    [retry_after], return the [(lo, hi)] range to re-request and refresh its
+    timestamp. *)

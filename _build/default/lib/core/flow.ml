@@ -1,0 +1,6 @@
+let effective_window ~(config : Config.t) ~n ~minbuf =
+  let by_buffer = minbuf / (config.buf_units_per_pdu * 2 * n) in
+  max 0 (min config.window by_buffer)
+
+let may_send ~config ~n ~seq ~minal_self ~minbuf =
+  seq >= minal_self && seq < minal_self + effective_window ~config ~n ~minbuf

@@ -1,0 +1,19 @@
+(** The flow (window) condition of §4.2.
+
+    A new PDU with sequence number [SEQ] may be broadcast only when
+
+    [minAL_i <= SEQ < minAL_i + min(W, minBUF / (H * 2n))]
+
+    where [minAL_i] is the lowest sequence number some entity still expects
+    from this entity [i], [W] the configured window, [minBUF] the smallest
+    advertised free buffer in the cluster, [H] the buffer units one PDU
+    occupies, and [2n] accounts for the O(n) PDUs in flight per round over
+    the two confirmation rounds (pre-ack + ack). *)
+
+val effective_window : config:Config.t -> n:int -> minbuf:int -> int
+(** [min(W, minbuf / (H·2n))], clamped to >= 0. *)
+
+val may_send : config:Config.t -> n:int -> seq:int -> minal_self:int -> minbuf:int -> bool
+(** Whether the flow condition admits sending [seq] now. [seq >= minal_self]
+    always holds for the next fresh sequence number; the binding constraint
+    is the upper bound. *)

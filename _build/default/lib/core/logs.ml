@@ -1,0 +1,104 @@
+open Repro_pdu
+
+module Sending = struct
+  type t = {
+    tbl : (int, Pdu.data) Hashtbl.t;
+    mutable last : int;
+    mutable low : int; (* lowest retained seq *)
+  }
+
+  let create () = { tbl = Hashtbl.create 64; last = 0; low = 1 }
+
+  let append t (p : Pdu.data) =
+    if p.seq <> t.last + 1 then
+      invalid_arg "Logs.Sending.append: non-consecutive seq";
+    Hashtbl.replace t.tbl p.seq p;
+    t.last <- p.seq
+
+  let find t ~seq = Hashtbl.find_opt t.tbl seq
+
+  let range t ~lo ~hi =
+    let rec collect seq acc =
+      if seq >= hi then List.rev acc
+      else
+        match find t ~seq with
+        | Some p -> collect (seq + 1) (p :: acc)
+        | None -> collect (seq + 1) acc
+    in
+    collect (max lo t.low) []
+
+  let last_seq t = t.last
+
+  let prune_below t ~seq =
+    for s = t.low to min (seq - 1) t.last do
+      Hashtbl.remove t.tbl s
+    done;
+    if seq > t.low then t.low <- seq
+
+  let length t = Hashtbl.length t.tbl
+end
+
+module Receipt = struct
+  type t = {
+    rrl : Pdu.data Repro_util.Fifo.t array;
+    mutable prl : Pdu.data list; (* causality-preserved, earliest first *)
+    mutable prl_len : int;
+    mutable arl : Pdu.data Repro_util.Fifo.t;
+  }
+
+  let create ~n =
+    if n <= 0 then invalid_arg "Logs.Receipt.create: n must be > 0";
+    {
+      rrl = Array.make n Repro_util.Fifo.empty;
+      prl = [];
+      prl_len = 0;
+      arl = Repro_util.Fifo.empty;
+    }
+
+  let rrl_enqueue t ~src p = t.rrl.(src) <- Repro_util.Fifo.enqueue t.rrl.(src) p
+
+  let rrl_top t ~src = Repro_util.Fifo.peek t.rrl.(src)
+
+  let rrl_dequeue t ~src =
+    match Repro_util.Fifo.dequeue t.rrl.(src) with
+    | None -> None
+    | Some (p, rest) ->
+      t.rrl.(src) <- rest;
+      Some p
+
+  let rrl_length t ~src = Repro_util.Fifo.length t.rrl.(src)
+
+  let prl_insert ?precedes t p =
+    t.prl <- Precedence.cpi_insert_lenient ?precedes t.prl p;
+    t.prl_len <- t.prl_len + 1
+
+  let prl_top t = match t.prl with [] -> None | p :: _ -> Some p
+
+  let prl_dequeue t =
+    match t.prl with
+    | [] -> None
+    | p :: rest ->
+      t.prl <- rest;
+      t.prl_len <- t.prl_len - 1;
+      Some p
+
+  let prl_length t = t.prl_len
+
+  let prl_to_list t = t.prl
+
+  let arl_enqueue t p = t.arl <- Repro_util.Fifo.enqueue t.arl p
+
+  let arl_dequeue t =
+    match Repro_util.Fifo.dequeue t.arl with
+    | None -> None
+    | Some (p, rest) ->
+      t.arl <- rest;
+      Some p
+
+  let arl_length t = Repro_util.Fifo.length t.arl
+
+  let arl_to_list t = Repro_util.Fifo.to_list t.arl
+
+  let buffered t =
+    Array.fold_left (fun acc q -> acc + Repro_util.Fifo.length q) t.prl_len t.rrl
+end

@@ -1,0 +1,71 @@
+(** The four logs a CO entity maintains (§2.2, §4).
+
+    - [SL] (sending log): every PDU this entity broadcast, kept for selective
+      retransmission and pruned once every peer is known to have accepted it;
+    - [RRL_j] (receipt sublogs): PDUs accepted from source [j], in sequence
+      order, awaiting pre-acknowledgment;
+    - [PRL]: pre-acknowledged PDUs kept in causality-precedence order by the
+      CPI operation;
+    - [ARL]: acknowledged PDUs, the application delivery queue. *)
+
+module Sending : sig
+  type t
+
+  val create : unit -> t
+
+  val append : t -> Repro_pdu.Pdu.data -> unit
+  (** @raise Invalid_argument if the PDU's seq is not exactly one past the
+      previous append (sending logs are gap-free by construction). *)
+
+  val find : t -> seq:int -> Repro_pdu.Pdu.data option
+
+  val range : t -> lo:int -> hi:int -> Repro_pdu.Pdu.data list
+  (** PDUs with [lo <= seq < hi] still retained, ascending. *)
+
+  val last_seq : t -> int
+  (** Highest appended seq; 0 when nothing was ever appended. *)
+
+  val prune_below : t -> seq:int -> unit
+  (** Forget PDUs with [seq' < seq]; they can no longer be requested. *)
+
+  val length : t -> int
+  (** PDUs currently retained. *)
+end
+
+module Receipt : sig
+  type t
+
+  val create : n:int -> t
+
+  (** RRL operations, per source. *)
+
+  val rrl_enqueue : t -> src:int -> Repro_pdu.Pdu.data -> unit
+  val rrl_top : t -> src:int -> Repro_pdu.Pdu.data option
+  val rrl_dequeue : t -> src:int -> Repro_pdu.Pdu.data option
+  val rrl_length : t -> src:int -> int
+
+  (** PRL operations. *)
+
+  val prl_insert :
+    ?precedes:(Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool) -> t
+    -> Repro_pdu.Pdu.data -> unit
+  (** CPI insertion ({!Precedence.cpi_insert}). *)
+
+  val prl_top : t -> Repro_pdu.Pdu.data option
+  val prl_dequeue : t -> Repro_pdu.Pdu.data option
+  val prl_length : t -> int
+
+  val prl_to_list : t -> Repro_pdu.Pdu.data list
+  (** Earliest (next to acknowledge) first. *)
+
+  (** ARL operations. *)
+
+  val arl_enqueue : t -> Repro_pdu.Pdu.data -> unit
+  val arl_dequeue : t -> Repro_pdu.Pdu.data option
+  val arl_length : t -> int
+  val arl_to_list : t -> Repro_pdu.Pdu.data list
+
+  val buffered : t -> int
+  (** Current RRL + PRL occupancy — the protocol's working buffer, which the
+      paper bounds by O(nW) (experiment E3). *)
+end

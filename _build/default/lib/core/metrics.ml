@@ -1,0 +1,69 @@
+type t = {
+  mutable data_sent : int;
+  mutable confirmations_sent : int;
+  mutable ctl_sent : int;
+  mutable ret_sent : int;
+  mutable retransmitted : int;
+  mutable accepted : int;
+  mutable duplicates : int;
+  mutable out_of_order : int;
+  mutable gaps_detected : int;
+  mutable delivered : int;
+  mutable flow_blocked : int;
+  mutable peak_buffered : int;
+}
+
+let create () =
+  {
+    data_sent = 0;
+    confirmations_sent = 0;
+    ctl_sent = 0;
+    ret_sent = 0;
+    retransmitted = 0;
+    accepted = 0;
+    duplicates = 0;
+    out_of_order = 0;
+    gaps_detected = 0;
+    delivered = 0;
+    flow_blocked = 0;
+    peak_buffered = 0;
+  }
+
+let reset t =
+  t.data_sent <- 0;
+  t.confirmations_sent <- 0;
+  t.ctl_sent <- 0;
+  t.ret_sent <- 0;
+  t.retransmitted <- 0;
+  t.accepted <- 0;
+  t.duplicates <- 0;
+  t.out_of_order <- 0;
+  t.gaps_detected <- 0;
+  t.delivered <- 0;
+  t.flow_blocked <- 0;
+  t.peak_buffered <- 0
+
+let total_pdus_sent t =
+  t.data_sent + t.confirmations_sent + t.ctl_sent + t.ret_sent + t.retransmitted
+
+let add ~into t =
+  into.data_sent <- into.data_sent + t.data_sent;
+  into.confirmations_sent <- into.confirmations_sent + t.confirmations_sent;
+  into.ctl_sent <- into.ctl_sent + t.ctl_sent;
+  into.ret_sent <- into.ret_sent + t.ret_sent;
+  into.retransmitted <- into.retransmitted + t.retransmitted;
+  into.accepted <- into.accepted + t.accepted;
+  into.duplicates <- into.duplicates + t.duplicates;
+  into.out_of_order <- into.out_of_order + t.out_of_order;
+  into.gaps_detected <- into.gaps_detected + t.gaps_detected;
+  into.delivered <- into.delivered + t.delivered;
+  into.flow_blocked <- into.flow_blocked + t.flow_blocked;
+  into.peak_buffered <- max into.peak_buffered t.peak_buffered
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>data_sent=%d confirmations=%d ctl=%d ret=%d rexmit=%d@,\
+     accepted=%d dup=%d ooo=%d gaps=%d delivered=%d blocked=%d peak_buf=%d@]"
+    t.data_sent t.confirmations_sent t.ctl_sent t.ret_sent t.retransmitted
+    t.accepted t.duplicates t.out_of_order t.gaps_detected t.delivered
+    t.flow_blocked t.peak_buffered

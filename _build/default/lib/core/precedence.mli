@@ -1,0 +1,52 @@
+(** Sequence-number characterization of causality-precedence (Theorem 4.1)
+    and the causality-preserved insertion (CPI) operation.
+
+    Theorem 4.1: for DT PDUs [p] (from [E_j]) and [q],
+    - same source: [p ≺ q] iff [p.SEQ < q.SEQ];
+    - different sources: [p ≺ q] iff [p.SEQ < q.ACK_j].
+
+    This lets every entity order received PDUs causally from the fields they
+    already carry, with no synchronized clocks — the paper's key point
+    against ISIS virtual clocks, which additionally cannot reveal loss. *)
+
+val precedes : Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool
+(** [precedes p q] iff [p ≺ q] per Theorem 4.1. Irreflexive. *)
+
+val concurrent : Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool
+(** Neither [p ≺ q] nor [q ≺ p], and [p] and [q] are distinct PDUs. *)
+
+val ack_consistent : Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool
+(** Lemma 4.2 sanity check: when [p ≺ q], [p.ACK] must be pointwise ≤
+    [q.ACK] (strictly at the source component when sources differ). A
+    violation indicates an undetected loss or a corrupted log; the entity
+    asserts this in debug runs. Returns [true] when [not (precedes p q)]. *)
+
+val cpi_insert :
+  ?precedes:(Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool)
+  -> Repro_pdu.Pdu.data list -> Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data list
+(** [cpi_insert log p] inserts [p] into the causality-preserved [log]
+    (earliest first), keeping it causality-preserved: [p] is placed after
+    every [q ≺ p] and after already-present concurrent PDUs, but before the
+    first [q] with [p ≺ q] (the paper's cases (2-1)–(3)). The [precedes]
+    argument overrides the order relation (the entity passes its transitive
+    reach-vector test in [Transitive] mode).
+    @raise Invalid_argument if the required position does not exist (the log
+    was not causality-preserved, or Lemma 4.2 is violated). *)
+
+val cpi_insert_lenient :
+  ?precedes:(Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool)
+  -> Repro_pdu.Pdu.data list -> Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data list
+(** Like {!cpi_insert} but never raises: with a non-transitive relation (the
+    paper's [Direct] mode) a fully consistent position may not exist, and
+    the newcomer is then placed after its last predecessor — reproducing,
+    rather than crashing on, the misordering the Direct test permits. *)
+
+val is_causality_preserved :
+  ?precedes:(Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool)
+  -> Repro_pdu.Pdu.data list -> bool
+(** [is_causality_preserved log] iff no later element precedes an earlier
+    one — the paper's definition of a causality-preserved receipt log. *)
+
+val sort_causal : Repro_pdu.Pdu.data list -> Repro_pdu.Pdu.data list
+(** Rebuild a causality-preserved order by repeated CPI insertion (stable
+    for concurrent PDUs). Used by tests as a reference. *)

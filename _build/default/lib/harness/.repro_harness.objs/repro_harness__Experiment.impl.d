@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Oracle Repro_core Repro_sim Repro_util Workload

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Oracle Repro_core Repro_util Workload

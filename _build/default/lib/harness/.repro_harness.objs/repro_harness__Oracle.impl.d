@@ -1,0 +1,1 @@
+lib/harness/oracle.ml: Array Format Hashtbl List Repro_clock Repro_core String

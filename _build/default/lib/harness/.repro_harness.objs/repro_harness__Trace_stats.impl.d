@@ -1,0 +1,1 @@
+lib/harness/trace_stats.ml: Array Format Hashtbl List Repro_sim

@@ -1,0 +1,1 @@
+lib/harness/trace_stats.mli: Format Repro_sim

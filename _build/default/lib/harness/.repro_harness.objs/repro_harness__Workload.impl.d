@@ -1,0 +1,1 @@
+lib/harness/workload.ml: List Printf Repro_core Repro_sim Repro_util String

@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Repro_core Repro_sim Repro_util

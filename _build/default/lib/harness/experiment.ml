@@ -1,0 +1,53 @@
+module Cluster = Repro_core.Cluster
+module Network = Repro_sim.Network
+module Engine = Repro_sim.Engine
+module Stats = Repro_util.Stats
+
+type outcome = {
+  n : int;
+  submitted : int;
+  delivered_total : int;
+  oracle : Oracle.report;
+  tap_ms : Stats.summary;
+  preack_ms : Stats.summary;
+  ack_ms : Stats.summary;
+  metrics : Repro_core.Metrics.t;
+  transmissions : int;
+  losses : int;
+  sim_end_ms : float;
+  events : int;
+}
+
+let run ?(max_events = 20_000_000) ~config ~workload () =
+  let cluster = Cluster.create config in
+  Workload.apply cluster workload;
+  Cluster.run cluster ~max_events;
+  let oracle = Oracle.check_cluster cluster ~expected_tags:(Cluster.data_tags cluster) in
+  let outcome =
+    {
+      n = Cluster.size cluster;
+      submitted = Workload.total workload;
+      delivered_total =
+        Array.fold_left ( + ) 0 oracle.Oracle.delivered_per_entity;
+      oracle;
+      tap_ms = Stats.summarize (Cluster.delivery_latencies cluster);
+      preack_ms = Stats.summarize (Cluster.preack_latencies cluster);
+      ack_ms = Stats.summarize (Cluster.ack_latencies cluster);
+      metrics = Cluster.aggregate_metrics cluster;
+      transmissions = Network.transmissions (Cluster.network cluster);
+      losses = Network.losses (Cluster.network cluster);
+      sim_end_ms = Repro_sim.Simtime.to_ms (Engine.now (Cluster.engine cluster));
+      events = Engine.processed (Cluster.engine cluster);
+    }
+  in
+  (cluster, outcome)
+
+let pdus_per_message outcome =
+  if outcome.submitted = 0 then 0.
+  else
+    float_of_int (Repro_core.Metrics.total_pdus_sent outcome.metrics)
+    /. float_of_int outcome.submitted
+
+let goodput outcome =
+  if outcome.sim_end_ms <= 0. then 0.
+  else float_of_int outcome.delivered_total /. (outcome.sim_end_ms /. 1000.)

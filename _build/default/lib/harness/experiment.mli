@@ -1,0 +1,30 @@
+(** Experiment runner: drive a CO cluster over a workload, collect the
+    numbers the paper's evaluation reports, and run the oracle. *)
+
+type outcome = {
+  n : int;
+  submitted : int;  (** Data messages the workload produced. *)
+  delivered_total : int;  (** Sum of data deliveries over entities. *)
+  oracle : Oracle.report;
+  tap_ms : Repro_util.Stats.summary;  (** Application-to-application delay. *)
+  preack_ms : Repro_util.Stats.summary;
+  ack_ms : Repro_util.Stats.summary;
+  metrics : Repro_core.Metrics.t;  (** Aggregated over entities. *)
+  transmissions : int;  (** Network copies put on the medium. *)
+  losses : int;  (** Copies lost (all reasons). *)
+  sim_end_ms : float;  (** Virtual time when the run went quiescent. *)
+  events : int;  (** Engine events executed. *)
+}
+
+val run :
+  ?max_events:int -> config:Repro_core.Cluster.config
+  -> workload:Workload.entry list -> unit -> Repro_core.Cluster.t * outcome
+(** Build a cluster, apply the workload, run to quiescence (bounded by
+    [max_events], default 20 million), and summarize. *)
+
+val pdus_per_message : outcome -> float
+(** Fresh protocol transmissions per application message — the paper's O(n)
+    vs O(n²) traffic measure (E2). *)
+
+val goodput : outcome -> float
+(** Delivered data messages per simulated second (all entities combined). *)

@@ -1,0 +1,20 @@
+module Stats = Repro_util.Stats
+
+let shape_line ~xs ~ys =
+  match List.combine xs ys with
+  | pts when List.length pts >= 2 ->
+    let slope, intercept = Stats.linear_fit pts in
+    let r2 = Stats.r_squared pts in
+    Printf.sprintf "linear fit: slope=%.4f intercept=%.4f R^2=%.4f" slope
+      intercept r2
+  | _ -> "linear fit: not enough points"
+  | exception Invalid_argument _ -> "linear fit: unavailable"
+
+let factor a b =
+  if b = 0. then "inf" else Printf.sprintf "%.2fx" (a /. b)
+
+let header s =
+  let bar = String.make (String.length s + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n\n" bar s bar
+
+let para s = Printf.printf "%s\n\n" s

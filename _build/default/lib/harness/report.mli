@@ -1,0 +1,15 @@
+(** Report helpers: render experiment outputs in the layout the paper uses
+    and annotate shape claims (linear growth, win factors). *)
+
+val shape_line : xs:float list -> ys:float list -> string
+(** Least-squares summary ["slope=… intercept=… R²=…"] — quantifies the
+    O(n) claims of Figure 8. Returns a note when fewer than 2 points. *)
+
+val factor : float -> float -> string
+(** [factor a b] renders how many times larger [a] is than [b] ("3.2x"). *)
+
+val header : string -> unit
+(** Print a prominent section header. *)
+
+val para : string -> unit
+(** Print a paragraph followed by a blank line. *)

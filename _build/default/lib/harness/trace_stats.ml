@@ -1,0 +1,85 @@
+module Trace = Repro_sim.Trace
+module Simtime = Repro_sim.Simtime
+
+type per_entity = {
+  entity : int;
+  arrived : int;
+  handled : int;
+  dropped_overrun : int;
+  dropped_injected : int;
+  dropped_filtered : int;
+  delivered : int;
+  mean_sojourn_ms : float;
+}
+
+let per_entity trace ~n =
+  let arrived = Array.make n 0
+  and handled = Array.make n 0
+  and over = Array.make n 0
+  and inj = Array.make n 0
+  and filt = Array.make n 0
+  and delivered = Array.make n 0
+  and sojourn_sum = Array.make n 0.
+  and arrival_time = Hashtbl.create 256 in
+  List.iter
+    (fun event ->
+      match event with
+      | Trace.Arrived { time; dst; uid } ->
+        if dst < n then begin
+          arrived.(dst) <- arrived.(dst) + 1;
+          Hashtbl.replace arrival_time (dst, uid) time
+        end
+      | Trace.Handled { time; dst; uid } ->
+        if dst < n then begin
+          handled.(dst) <- handled.(dst) + 1;
+          match Hashtbl.find_opt arrival_time (dst, uid) with
+          | Some t0 ->
+            sojourn_sum.(dst) <- sojourn_sum.(dst) +. Simtime.to_ms (time - t0);
+            Hashtbl.remove arrival_time (dst, uid)
+          | None -> ()
+        end
+      | Trace.Dropped { dst; reason; _ } when dst < n -> (
+        match reason with
+        | Trace.Overrun -> over.(dst) <- over.(dst) + 1
+        | Trace.Injected -> inj.(dst) <- inj.(dst) + 1
+        | Trace.Filtered -> filt.(dst) <- filt.(dst) + 1)
+      | Trace.Delivered { entity; _ } when entity < n ->
+        delivered.(entity) <- delivered.(entity) + 1
+      | Trace.Sent _ | Trace.Dropped _ | Trace.Delivered _ | Trace.Note _ -> ())
+    (Trace.events trace);
+  Array.init n (fun entity ->
+      {
+        entity;
+        arrived = arrived.(entity);
+        handled = handled.(entity);
+        dropped_overrun = over.(entity);
+        dropped_injected = inj.(entity);
+        dropped_filtered = filt.(entity);
+        delivered = delivered.(entity);
+        mean_sojourn_ms =
+          (if handled.(entity) = 0 then 0.
+           else sojourn_sum.(entity) /. float_of_int handled.(entity));
+      })
+
+let loss_rate p =
+  let dropped = p.dropped_overrun + p.dropped_injected + p.dropped_filtered in
+  let offered = p.arrived + dropped in
+  if offered = 0 then 0. else float_of_int dropped /. float_of_int offered
+
+let total_drops trace = List.length (Trace.drops trace)
+
+let drop_breakdown trace =
+  List.fold_left
+    (fun (o, i, f) reason ->
+      match reason with
+      | Trace.Overrun -> (o + 1, i, f)
+      | Trace.Injected -> (o, i + 1, f)
+      | Trace.Filtered -> (o, i, f + 1))
+    (0, 0, 0) (Trace.drops trace)
+
+let pp_per_entity ppf p =
+  Format.fprintf ppf
+    "entity %d: arrived=%d handled=%d drops(ovr/inj/filt)=%d/%d/%d \
+     delivered=%d sojourn=%.3fms"
+    p.entity p.arrived p.handled p.dropped_overrun p.dropped_injected
+    p.dropped_filtered p.delivered p.mean_sojourn_ms

@@ -1,0 +1,84 @@
+module Simtime = Repro_sim.Simtime
+
+type entry = { at : Simtime.t; src : int; payload : string }
+
+let total entries = List.length entries
+
+let payload ~bytes_per_msg ~src ~index =
+  let stamp = Printf.sprintf "m:%d:%d:" src index in
+  let pad = max 1 (bytes_per_msg - String.length stamp) in
+  stamp ^ String.make pad 'x'
+
+let by_time entries =
+  List.stable_sort (fun a b -> Simtime.compare a.at b.at) entries
+
+let continuous ~n ~per_entity ~interval ?(bytes_per_msg = 64) () =
+  let entries = ref [] in
+  for src = 0 to n - 1 do
+    let stagger = src * interval / n in
+    for index = 0 to per_entity - 1 do
+      entries :=
+        {
+          at = stagger + (index * interval);
+          src;
+          payload = payload ~bytes_per_msg ~src ~index;
+        }
+        :: !entries
+    done
+  done;
+  by_time !entries
+
+let poisson ~n ~rng ~mean_interval_ms ~duration ?(bytes_per_msg = 64) () =
+  let entries = ref [] in
+  for src = 0 to n - 1 do
+    let rec arrivals at index =
+      let gap =
+        Simtime.of_ms_f (Repro_util.Prng.exponential rng ~mean:mean_interval_ms)
+      in
+      let at = at + gap in
+      if Simtime.compare at duration <= 0 then begin
+        entries := { at; src; payload = payload ~bytes_per_msg ~src ~index } :: !entries;
+        arrivals at (index + 1)
+      end
+    in
+    arrivals Simtime.zero 0
+  done;
+  by_time !entries
+
+let bursty ~n ~rng ~burst_size ~burst_gap ~bursts ?(bytes_per_msg = 64) () =
+  let entries = ref [] in
+  let index = ref 0 in
+  for b = 0 to bursts - 1 do
+    let src = Repro_util.Prng.int rng n in
+    let base = b * burst_gap in
+    for k = 0 to burst_size - 1 do
+      entries :=
+        {
+          at = base + Simtime.of_us (k * 5);
+          src;
+          payload = payload ~bytes_per_msg ~src ~index:!index;
+        }
+        :: !entries;
+      incr index
+    done
+  done;
+  by_time !entries
+
+let single_source ~src ~n ~count ~interval ?(bytes_per_msg = 64) () =
+  ignore n;
+  let entries = ref [] in
+  for index = 0 to count - 1 do
+    entries :=
+      { at = index * interval; src; payload = payload ~bytes_per_msg ~src ~index }
+      :: !entries
+  done;
+  by_time !entries
+
+let apply cluster entries =
+  List.iter
+    (fun { at; src; payload } ->
+      Repro_core.Cluster.submit_at cluster ~at ~src payload)
+    entries
+
+let apply_with ~submit entries =
+  List.iter (fun { at; src; payload } -> submit ~at ~src payload) entries

@@ -1,0 +1,47 @@
+(** Workload generators: schedules of data-transmission requests.
+
+    A workload is a static schedule of [(time, source, payload)] entries; the
+    same schedule can drive the CO cluster or any baseline, making traffic
+    comparisons apples-to-apples. *)
+
+type entry = { at : Repro_sim.Simtime.t; src : int; payload : string }
+
+val total : entry list -> int
+
+val payload : bytes_per_msg:int -> src:int -> index:int -> string
+(** Deterministic payload of the requested size, embedding source and index
+    (so tests can recognize messages by content too). *)
+
+val continuous :
+  n:int -> per_entity:int -> interval:Repro_sim.Simtime.t -> ?bytes_per_msg:int
+  -> unit -> entry list
+(** The paper's evaluation workload ("each application entity sends DT
+    requests continuously like the file transfer"): every entity submits
+    [per_entity] messages at a fixed [interval], entities staggered by
+    [interval / n] to avoid fully synchronized rounds. *)
+
+val poisson :
+  n:int -> rng:Repro_util.Prng.t -> mean_interval_ms:float
+  -> duration:Repro_sim.Simtime.t -> ?bytes_per_msg:int -> unit -> entry list
+(** Poisson arrivals per entity over [duration]. *)
+
+val bursty :
+  n:int -> rng:Repro_util.Prng.t -> burst_size:int
+  -> burst_gap:Repro_sim.Simtime.t -> bursts:int -> ?bytes_per_msg:int -> unit
+  -> entry list
+(** Each burst: one random entity emits [burst_size] back-to-back messages;
+    bursts are [burst_gap] apart. Stresses buffer overrun. *)
+
+val single_source :
+  src:int -> n:int -> count:int -> interval:Repro_sim.Simtime.t
+  -> ?bytes_per_msg:int -> unit -> entry list
+(** Only [src] talks; others are pure receivers (worst case for deferred
+    confirmation liveness). *)
+
+val apply : Repro_core.Cluster.t -> entry list -> unit
+(** Schedule every entry on the cluster. *)
+
+val apply_with :
+  submit:(at:Repro_sim.Simtime.t -> src:int -> string -> unit) -> entry list
+  -> unit
+(** Generic driver for baselines. *)

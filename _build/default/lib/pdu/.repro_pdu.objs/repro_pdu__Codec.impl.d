@@ -1,0 +1,1 @@
+lib/pdu/codec.ml: Array Bytes Format Int32 Pdu Printf String

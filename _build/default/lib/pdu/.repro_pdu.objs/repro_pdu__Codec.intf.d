@@ -1,0 +1,1 @@
+lib/pdu/codec.mli: Format Pdu

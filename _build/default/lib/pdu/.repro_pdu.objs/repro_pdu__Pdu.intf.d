@@ -1,0 +1,1 @@
+lib/pdu/pdu.mli: Format

@@ -1,0 +1,156 @@
+type error =
+  | Truncated
+  | Bad_kind of int
+  | Trailing of int
+  | Invalid of string
+
+let pp_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated"
+  | Bad_kind k -> Format.fprintf ppf "bad kind byte %d" k
+  | Trailing n -> Format.fprintf ppf "%d trailing bytes" n
+  | Invalid msg -> Format.fprintf ppf "invalid: %s" msg
+
+let kind_data = 0
+let kind_ret = 1
+let kind_ctl = 2
+
+let header_size ~kind ~n =
+  match kind with
+  | `Data -> 1 + 4 + 2 + 4 + 4 + 2 + (4 * n) + 4
+  | `Ret -> 1 + 4 + 2 + 2 + 4 + 4 + 2 + (4 * n)
+  | `Ctl -> 1 + 4 + 2 + 4 + 2 + (4 * n)
+
+let encoded_size = function
+  | Pdu.Data d ->
+    header_size ~kind:`Data ~n:(Array.length d.ack) + String.length d.payload
+  | Pdu.Ret r -> header_size ~kind:`Ret ~n:(Array.length r.ack)
+  | Pdu.Ctl c -> header_size ~kind:`Ctl ~n:(Array.length c.ack)
+
+(* A little mutable cursor over a Bytes buffer. *)
+type writer = { buf : bytes; mutable w : int }
+
+let w8 wr v =
+  Bytes.set_uint8 wr.buf wr.w v;
+  wr.w <- wr.w + 1
+
+let w16 wr v =
+  Bytes.set_uint16_be wr.buf wr.w v;
+  wr.w <- wr.w + 2
+
+let w32 wr v =
+  Bytes.set_int32_be wr.buf wr.w (Int32.of_int v);
+  wr.w <- wr.w + 4
+
+let w_ack wr ack =
+  w16 wr (Array.length ack);
+  Array.iter (w32 wr) ack
+
+let encode t =
+  let wr = { buf = Bytes.create (encoded_size t); w = 0 } in
+  (match t with
+  | Pdu.Data d ->
+    w8 wr kind_data;
+    w32 wr d.cid;
+    w16 wr d.src;
+    w32 wr d.seq;
+    w32 wr d.buf;
+    w_ack wr d.ack;
+    w32 wr (String.length d.payload);
+    Bytes.blit_string d.payload 0 wr.buf wr.w (String.length d.payload);
+    wr.w <- wr.w + String.length d.payload
+  | Pdu.Ret r ->
+    w8 wr kind_ret;
+    w32 wr r.cid;
+    w16 wr r.src;
+    w16 wr r.lsrc;
+    w32 wr r.lseq;
+    w32 wr r.buf;
+    w_ack wr r.ack
+  | Pdu.Ctl c ->
+    w8 wr kind_ctl;
+    w32 wr c.cid;
+    w16 wr c.src;
+    w32 wr c.buf;
+    w_ack wr c.ack);
+  assert (wr.w = Bytes.length wr.buf);
+  wr.buf
+
+type reader = { rbuf : bytes; mutable r : int }
+
+exception Short
+
+let need rd k = if rd.r + k > Bytes.length rd.rbuf then raise Short
+
+let r8 rd =
+  need rd 1;
+  let v = Bytes.get_uint8 rd.rbuf rd.r in
+  rd.r <- rd.r + 1;
+  v
+
+let r16 rd =
+  need rd 2;
+  let v = Bytes.get_uint16_be rd.rbuf rd.r in
+  rd.r <- rd.r + 2;
+  v
+
+let r32 rd =
+  need rd 4;
+  let v = Int32.to_int (Bytes.get_int32_be rd.rbuf rd.r) in
+  rd.r <- rd.r + 4;
+  v
+
+let r_ack rd =
+  let n = r16 rd in
+  Array.init n (fun _ -> r32 rd)
+
+let r_payload rd =
+  let len = r32 rd in
+  if len < 0 then raise Short;
+  need rd len;
+  let s = Bytes.sub_string rd.rbuf rd.r len in
+  rd.r <- rd.r + len;
+  s
+
+let decode buf =
+  let rd = { rbuf = buf; r = 0 } in
+  match
+    let kind = r8 rd in
+    let pdu =
+      if kind = kind_data then begin
+        let cid = r32 rd in
+        let src = r16 rd in
+        let seq = r32 rd in
+        let b = r32 rd in
+        let ack = r_ack rd in
+        let payload = r_payload rd in
+        Pdu.data ~cid ~src ~seq ~ack ~buf:b ~payload
+      end
+      else if kind = kind_ret then begin
+        let cid = r32 rd in
+        let src = r16 rd in
+        let lsrc = r16 rd in
+        let lseq = r32 rd in
+        let b = r32 rd in
+        let ack = r_ack rd in
+        Pdu.ret ~cid ~src ~lsrc ~lseq ~ack ~buf:b
+      end
+      else if kind = kind_ctl then begin
+        let cid = r32 rd in
+        let src = r16 rd in
+        let b = r32 rd in
+        let ack = r_ack rd in
+        Pdu.ctl ~cid ~src ~ack ~buf:b
+      end
+      else raise (Invalid_argument (Printf.sprintf "kind:%d" kind))
+    in
+    (pdu, rd.r)
+  with
+  | pdu, consumed ->
+    if consumed < Bytes.length buf then Error (Trailing (Bytes.length buf - consumed))
+    else Ok pdu
+  | exception Short -> Error Truncated
+  | exception Invalid_argument msg -> (
+    match String.index_opt msg ':' with
+    | Some _ when String.length msg > 5 && String.sub msg 0 5 = "kind:" ->
+      Error (Bad_kind (int_of_string (String.sub msg 5 (String.length msg - 5))))
+    | Some _ | None -> Error (Invalid msg))

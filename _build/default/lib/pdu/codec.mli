@@ -1,0 +1,31 @@
+(** Binary wire codec for PDUs.
+
+    Big-endian, length-checked. The encoding substantiates the paper's §5
+    claim that PDU length is O(n): the header carries the full n-component
+    ACK vector (4 bytes per component).
+
+    Layout (DT): kind(1) cid(4) src(2) seq(4) buf(4) n(2) ack(4·n)
+    len(4) payload(len).
+    Layout (RET): kind(1) cid(4) src(2) lsrc(2) lseq(4) buf(4) n(2) ack(4·n).
+    Layout (CTL): kind(1) cid(4) src(2) buf(4) n(2) ack(4·n). *)
+
+type error =
+  | Truncated  (** Fewer bytes than the layout requires. *)
+  | Bad_kind of int  (** Unknown kind byte. *)
+  | Trailing of int  (** Extra bytes after a well-formed PDU. *)
+  | Invalid of string  (** Structurally valid but violates PDU invariants. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : Pdu.t -> bytes
+(** Fresh buffer containing exactly the encoded PDU. *)
+
+val decode : bytes -> (Pdu.t, error) result
+(** Inverse of {!encode}; rejects trailing garbage. *)
+
+val encoded_size : Pdu.t -> int
+(** Byte length {!encode} will produce, without encoding. *)
+
+val header_size : kind:[ `Data | `Ret | `Ctl ] -> n:int -> int
+(** Header bytes (everything except DT payload) for cluster size [n] —
+    linear in [n], which experiment E5 tabulates. *)

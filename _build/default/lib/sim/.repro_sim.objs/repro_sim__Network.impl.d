@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Engine Repro_util Simtime Topology Trace

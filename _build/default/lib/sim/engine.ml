@@ -1,0 +1,68 @@
+type ev = { time : Simtime.t; action : unit -> unit }
+
+type t = {
+  queue : ev Repro_util.Pqueue.t;
+  mutable clock : Simtime.t;
+  mutable executed : int;
+}
+
+let create () =
+  {
+    queue = Repro_util.Pqueue.create ~cmp:(fun a b -> Simtime.compare a.time b.time);
+    clock = Simtime.zero;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if Simtime.compare at t.clock < 0 then
+    invalid_arg "Engine.schedule: time is in the past";
+  Repro_util.Pqueue.push t.queue { time = at; action }
+
+let schedule_after t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(Simtime.add t.clock delay) action
+
+let every t ~period ?start ?until action =
+  if period <= 0 then invalid_arg "Engine.every: period must be > 0";
+  let first = match start with Some s -> s | None -> Simtime.add t.clock period in
+  let rec tick at () =
+    match until with
+    | Some stop when Simtime.compare at stop > 0 -> ()
+    | _ ->
+      action ();
+      let next = Simtime.add at period in
+      let continue = match until with
+        | Some stop -> Simtime.compare next stop <= 0
+        | None -> true
+      in
+      if continue then schedule t ~at:next (tick next)
+  in
+  schedule t ~at:first (tick first)
+
+let step t =
+  match Repro_util.Pqueue.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.executed <- t.executed + 1;
+    ev.action ();
+    true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some m -> m | None -> max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Repro_util.Pqueue.peek t.queue with
+    | None -> continue := false
+    | Some ev -> (
+      match until with
+      | Some stop when Simtime.compare ev.time stop > 0 -> continue := false
+      | _ ->
+        ignore (step t);
+        decr budget)
+  done
+
+let pending t = Repro_util.Pqueue.length t.queue
+let processed t = t.executed

@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over virtual {!Simtime.t}. Events scheduled
+    for the same instant fire in scheduling order (FIFO), so runs are fully
+    deterministic. Callbacks may schedule further events. *)
+
+type t
+
+val create : unit -> t
+(** Fresh engine at time {!Simtime.zero}. *)
+
+val now : t -> Simtime.t
+(** Current virtual time. *)
+
+val schedule : t -> at:Simtime.t -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs [f] at virtual time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> delay:Simtime.t -> (unit -> unit) -> unit
+(** [schedule_after t ~delay f] = [schedule t ~at:(now t + delay) f].
+    @raise Invalid_argument if [delay < 0]. *)
+
+val every :
+  t -> period:Simtime.t -> ?start:Simtime.t -> ?until:Simtime.t
+  -> (unit -> unit) -> unit
+(** [every t ~period f] re-schedules [f] each [period], starting at [start]
+    (default [now + period]) while virtual time is <= [until] (default:
+    forever). *)
+
+val step : t -> bool
+(** Execute the single next event. [false] when the queue is empty. *)
+
+val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
+(** Drain the queue. Stops when empty, when virtual time would exceed [until]
+    (events beyond [until] remain queued), or after [max_events] events — a
+    safety net against protocol livelock in tests. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val processed : t -> int
+(** Total events executed so far. *)

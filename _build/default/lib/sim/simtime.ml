@@ -1,0 +1,14 @@
+type t = int
+
+let zero = 0
+let of_us us = us
+let of_ms ms = ms * 1000
+let of_ms_f ms = int_of_float (ms *. 1000.)
+let to_ms t = float_of_int t /. 1000.
+let add = Stdlib.( + )
+let compare = Stdlib.compare
+let ( + ) = Stdlib.( + )
+let ( - ) = Stdlib.( - )
+
+let pp ppf t = Format.fprintf ppf "%.3fms" (to_ms t)
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,28 @@
+(** Simulated time.
+
+    Time is an integer count of microseconds since the start of the run.
+    Integers keep the event queue total order exact (no float rounding), and
+    a microsecond is fine-grained enough for the paper's millisecond-scale
+    measurements. *)
+
+type t = int
+(** Microseconds. Exposed as [int] so arithmetic stays ordinary; use the
+    constructors below at API boundaries for clarity. *)
+
+val zero : t
+val of_us : int -> t
+val of_ms : int -> t
+val of_ms_f : float -> t
+
+val to_ms : t -> float
+(** Milliseconds as a float, for reporting (the paper's Figure 8 axis). *)
+
+val add : t -> t -> t
+val compare : t -> t -> int
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["12.345ms"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,53 @@
+type t = { n : int; delays : Simtime.t array array }
+
+let n t = t.n
+
+let delay t ~src ~dst = t.delays.(src).(dst)
+
+let max_delay t =
+  let acc = ref Simtime.zero in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      if i <> j && t.delays.(i).(j) > !acc then acc := t.delays.(i).(j)
+    done
+  done;
+  !acc
+
+let uniform ~n ~delay =
+  if n <= 0 then invalid_arg "Topology.uniform: n must be > 0";
+  if delay < 0 then invalid_arg "Topology.uniform: negative delay";
+  {
+    n;
+    delays = Array.init n (fun i -> Array.init n (fun j -> if i = j then 0 else delay));
+  }
+
+let of_matrix m =
+  let size = Array.length m in
+  if size = 0 then invalid_arg "Topology.of_matrix: empty";
+  Array.iter
+    (fun row ->
+      if Array.length row <> size then invalid_arg "Topology.of_matrix: not square";
+      Array.iter (fun d -> if d < 0 then invalid_arg "Topology.of_matrix: negative delay") row)
+    m;
+  { n = size; delays = Array.map Array.copy m }
+
+let random ~n ~rng ~lo ~hi =
+  if n <= 0 then invalid_arg "Topology.random: n must be > 0";
+  if lo < 0 || hi < lo then invalid_arg "Topology.random: bad range";
+  let delays = Array.init n (fun _ -> Array.make n 0) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = lo + Repro_util.Prng.int rng (hi - lo + 1) in
+      delays.(i).(j) <- d;
+      delays.(j).(i) <- d
+    done
+  done;
+  { n; delays }
+
+let line ~n ~hop =
+  if n <= 0 then invalid_arg "Topology.line: n must be > 0";
+  if hop < 0 then invalid_arg "Topology.line: negative hop";
+  {
+    n;
+    delays = Array.init n (fun i -> Array.init n (fun j -> abs (i - j) * hop));
+  }

@@ -1,0 +1,30 @@
+(** Propagation-delay topology of the cluster.
+
+    An n×n matrix of one-way propagation delays. The paper's parameter [R] —
+    the maximum propagation delay between any two entities — is
+    {!max_delay}. Diagonal entries model loopback (usually 0). *)
+
+type t
+
+val n : t -> int
+
+val delay : t -> src:int -> dst:int -> Simtime.t
+
+val max_delay : t -> Simtime.t
+(** The paper's [R]: maximum off-diagonal delay. *)
+
+val uniform : n:int -> delay:Simtime.t -> t
+(** Every distinct pair at the same delay; loopback 0. This matches the
+    single-segment Ethernet of the paper's evaluation. *)
+
+val of_matrix : Simtime.t array array -> t
+(** @raise Invalid_argument if not square, or any delay negative. *)
+
+val random :
+  n:int -> rng:Repro_util.Prng.t -> lo:Simtime.t -> hi:Simtime.t -> t
+(** Symmetric random delays uniform in [\[lo, hi\]]; loopback 0. *)
+
+val line : n:int -> hop:Simtime.t -> t
+(** Entities on a line; delay proportional to index distance. Exercises
+    strongly non-uniform delays (worst case for the 2R acknowledgment
+    bound). *)

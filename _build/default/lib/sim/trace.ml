@@ -1,0 +1,62 @@
+type drop_reason = Overrun | Injected | Filtered
+
+type event =
+  | Sent of { time : Simtime.t; src : int; uid : int }
+  | Arrived of { time : Simtime.t; dst : int; uid : int }
+  | Dropped of { time : Simtime.t; dst : int; uid : int; reason : drop_reason }
+  | Handled of { time : Simtime.t; dst : int; uid : int }
+  | Delivered of { time : Simtime.t; entity : int; tag : int }
+  | Note of { time : Simtime.t; entity : int; label : string }
+
+type t = { mutable rev_events : event list; mutable len : int }
+
+let create () = { rev_events = []; len = 0 }
+
+let record t e =
+  t.rev_events <- e :: t.rev_events;
+  t.len <- t.len + 1
+
+let events t = List.rev t.rev_events
+
+let length t = t.len
+
+let count t ~f = List.fold_left (fun acc e -> if f e then acc + 1 else acc) 0 t.rev_events
+
+let filter t ~f = List.filter f (events t)
+
+let deliveries t ~entity =
+  List.filter_map
+    (function
+      | Delivered d when d.entity = entity -> Some (d.time, d.tag)
+      | Sent _ | Arrived _ | Dropped _ | Handled _ | Delivered _ | Note _ -> None)
+    (events t)
+
+let drops t =
+  List.filter_map
+    (function
+      | Dropped d -> Some d.reason
+      | Sent _ | Arrived _ | Handled _ | Delivered _ | Note _ -> None)
+    (events t)
+
+let pp_reason ppf = function
+  | Overrun -> Format.pp_print_string ppf "overrun"
+  | Injected -> Format.pp_print_string ppf "injected"
+  | Filtered -> Format.pp_print_string ppf "filtered"
+
+let pp_event ppf = function
+  | Sent e -> Format.fprintf ppf "%a SENT src=%d uid=%d" Simtime.pp e.time e.src e.uid
+  | Arrived e ->
+    Format.fprintf ppf "%a ARRIVED dst=%d uid=%d" Simtime.pp e.time e.dst e.uid
+  | Dropped e ->
+    Format.fprintf ppf "%a DROPPED dst=%d uid=%d (%a)" Simtime.pp e.time e.dst
+      e.uid pp_reason e.reason
+  | Handled e ->
+    Format.fprintf ppf "%a HANDLED dst=%d uid=%d" Simtime.pp e.time e.dst e.uid
+  | Delivered e ->
+    Format.fprintf ppf "%a DELIVERED entity=%d tag=%d" Simtime.pp e.time
+      e.entity e.tag
+  | Note e ->
+    Format.fprintf ppf "%a NOTE entity=%d %s" Simtime.pp e.time e.entity e.label
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,0 +1,1 @@
+lib/transport/udp_cluster.ml: Array Bytes Lazy List Option Repro_core Repro_pdu Repro_sim Repro_util Unix

@@ -1,0 +1,1 @@
+lib/transport/udp_cluster.mli: Repro_core Repro_pdu

@@ -1,0 +1,230 @@
+module Entity = Repro_core.Entity
+module Config = Repro_core.Config
+module Pdu = Repro_pdu.Pdu
+module Codec = Repro_pdu.Codec
+module Simtime = Repro_sim.Simtime
+
+type timer = { at : Simtime.t; fn : unit -> unit }
+
+type node = {
+  id : int;
+  socket : Unix.file_descr;
+  addr : Unix.sockaddr;
+  entity : Entity.t;
+  mutable rev_delivered : Pdu.data list;
+}
+
+type t = {
+  n : int;
+  nodes : node array;
+  timers : timer Repro_util.Pqueue.t;
+  rng : Repro_util.Prng.t;
+  loss : float;
+  started_at : float; (* Unix.gettimeofday at creation *)
+  buf : Bytes.t;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable decode_errors : int;
+  mutable closed : bool;
+}
+
+(* Wall-clock microseconds since cluster creation, as the entities'
+   Simtime. *)
+let now_us t = int_of_float ((Unix.gettimeofday () -. t.started_at) *. 1e6)
+
+let create ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n () =
+  if n < 2 then invalid_arg "Udp_cluster.create: n must be >= 2";
+  if loss < 0. || loss > 1. then invalid_arg "Udp_cluster.create: loss";
+  Config.validate config;
+  let sockets =
+    Array.init n (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.set_nonblock fd;
+        fd)
+  in
+  let addrs = Array.map Unix.getsockname sockets in
+  let timers =
+    Repro_util.Pqueue.create ~cmp:(fun a b -> Simtime.compare a.at b.at)
+  in
+  let t_ref = ref None in
+  let nodes =
+    Array.init n (fun id ->
+        let rec node =
+          lazy
+            (let actions =
+               {
+                 Entity.broadcast =
+                   (fun pdu ->
+                     let t = Option.get !t_ref in
+                     let bytes = Codec.encode pdu in
+                     (* Loopback copy in-process (lossless), peers via UDP. *)
+                     for dst = 0 to t.n - 1 do
+                       if dst = id then
+                         Entity.receive (Lazy.force node).entity pdu
+                       else begin
+                         t.sent <- t.sent + 1;
+                         ignore
+                           (Unix.sendto t.nodes.(id).socket bytes 0
+                              (Bytes.length bytes) [] addrs.(dst))
+                       end
+                     done);
+                 unicast =
+                   (fun ~dst pdu ->
+                     let t = Option.get !t_ref in
+                     if dst = id then Entity.receive (Lazy.force node).entity pdu
+                     else begin
+                       let bytes = Codec.encode pdu in
+                       t.sent <- t.sent + 1;
+                       ignore
+                         (Unix.sendto t.nodes.(id).socket bytes 0
+                            (Bytes.length bytes) [] addrs.(dst))
+                     end);
+                 deliver =
+                   (fun d ->
+                     let node = Lazy.force node in
+                     node.rev_delivered <- d :: node.rev_delivered);
+                 now = (fun () -> now_us (Option.get !t_ref));
+                 set_timer =
+                   (fun ~delay fn ->
+                     let t = Option.get !t_ref in
+                     Repro_util.Pqueue.push t.timers
+                       { at = now_us t + delay; fn });
+                 available_buffer = (fun () -> config.Config.initial_buf);
+               }
+             in
+             {
+               id;
+               socket = sockets.(id);
+               addr = addrs.(id);
+               entity = Entity.create ~config ~id ~n ~actions;
+               rev_delivered = [];
+             })
+        in
+        Lazy.force node)
+  in
+  let t =
+    {
+      n;
+      nodes;
+      timers;
+      rng = Repro_util.Prng.create ~seed;
+      loss;
+      started_at = Unix.gettimeofday ();
+      buf = Bytes.create 65536;
+      sent = 0;
+      dropped = 0;
+      decode_errors = 0;
+      closed = false;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let size t = t.n
+
+let submit t ~src payload = ignore (Entity.submit t.nodes.(src).entity payload)
+
+let fire_due_timers t =
+  let fired = ref false in
+  let continue = ref true in
+  while !continue do
+    match Repro_util.Pqueue.peek t.timers with
+    | Some timer when Simtime.compare timer.at (now_us t) <= 0 ->
+      ignore (Repro_util.Pqueue.pop t.timers);
+      fired := true;
+      timer.fn ()
+    | Some _ | None -> continue := false
+  done;
+  !fired
+
+let drain_socket t node =
+  let got = ref false in
+  let continue = ref true in
+  while !continue do
+    match Unix.recvfrom node.socket t.buf 0 (Bytes.length t.buf) [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | len, _from ->
+      got := true;
+      if t.loss > 0. && Repro_util.Prng.bernoulli t.rng ~p:t.loss then
+        t.dropped <- t.dropped + 1
+      else begin
+        match Codec.decode (Bytes.sub t.buf 0 len) with
+        | Ok pdu -> Entity.receive node.entity pdu
+        | Error _ -> t.decode_errors <- t.decode_errors + 1
+      end
+  done;
+  !got
+
+let step t ~timeout_s =
+  if t.closed then invalid_arg "Udp_cluster.step: closed";
+  let fired = fire_due_timers t in
+  (* Wait no longer than the next timer deadline. *)
+  let timeout_s =
+    match Repro_util.Pqueue.peek t.timers with
+    | Some timer ->
+      let until = float_of_int (timer.at - now_us t) /. 1e6 in
+      max 0. (min timeout_s until)
+    | None -> timeout_s
+  in
+  let fds = Array.to_list (Array.map (fun node -> node.socket) t.nodes) in
+  match Unix.select fds [] [] timeout_s with
+  | [], _, _ -> fired
+  | ready, _, _ ->
+    let got = ref fired in
+    Array.iter
+      (fun node ->
+        if List.mem node.socket ready then
+          if drain_socket t node then got := true)
+      t.nodes;
+    !got
+
+let run_for t ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  while Unix.gettimeofday () < deadline do
+    ignore (step t ~timeout_s:(min 0.01 (deadline -. Unix.gettimeofday ())))
+  done
+
+let quiescent t =
+  Array.for_all
+    (fun node ->
+      Entity.undelivered_data node.entity = 0
+      && Entity.pending_count node.entity = 0
+      && Entity.queued_requests node.entity = 0)
+    t.nodes
+
+let run_until_quiescent t ~max_seconds =
+  let deadline = Unix.gettimeofday () +. max_seconds in
+  let rec loop () =
+    if Unix.gettimeofday () >= deadline then quiescent t
+    else if quiescent t then begin
+      (* Drain stragglers briefly; state may regress if something arrives. *)
+      run_for t ~seconds:0.05;
+      if quiescent t then true else loop ()
+    end
+    else begin
+      ignore (step t ~timeout_s:0.01);
+      loop ()
+    end
+  in
+  loop ()
+
+let deliveries t ~entity = List.rev t.nodes.(entity).rev_delivered
+
+let entity t i = t.nodes.(i).entity
+
+let port t i =
+  match t.nodes.(i).addr with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> invalid_arg "Udp_cluster.port: not an inet socket"
+
+let datagrams_sent t = t.sent
+let datagrams_dropped t = t.dropped
+let decode_errors t = t.decode_errors
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter (fun node -> try Unix.close node.socket with Unix.Unix_error _ -> ()) t.nodes
+  end

@@ -1,0 +1,55 @@
+(** The CO protocol over real UDP sockets.
+
+    The {!Repro_core.Entity} state machine is transport-agnostic; this module
+    runs a whole cluster of them over loopback UDP datagrams in real time —
+    one socket per entity, PDUs serialized with {!Repro_pdu.Codec}, timers
+    against the wall clock, a single-threaded [select] event loop. UDP
+    supplies genuine reordering-free-but-lossy per-channel semantics close to
+    the paper's MC service; an optional iid drop filter adds deterministic
+    loss for tests.
+
+    This is the "production" face of the library: what a deployment on a real
+    LAN segment would look like, minus multicast group management. *)
+
+type t
+
+val create :
+  ?loss:float -> ?seed:int -> ?config:Repro_core.Config.t -> n:int -> unit -> t
+(** Bind [n] UDP sockets on ephemeral loopback ports and attach one CO entity
+    to each. [loss] drops incoming datagrams iid (after decode, never for an
+    entity's own loopback, which is delivered in-process). @raise
+    Unix.Unix_error if sockets cannot be created. *)
+
+val size : t -> int
+
+val submit : t -> src:int -> string -> unit
+(** Issue a DT request at entity [src] immediately. *)
+
+val step : t -> timeout_s:float -> bool
+(** Run one event-loop iteration: fire due timers, then wait up to
+    [timeout_s] for datagrams and process them. Returns [false] when nothing
+    happened (no timer fired, no datagram arrived). *)
+
+val run_for : t -> seconds:float -> unit
+(** Drive the loop for a wall-clock duration. *)
+
+val run_until_quiescent : t -> max_seconds:float -> bool
+(** Drive the loop until every entity has no undelivered data, no pending
+    out-of-sequence PDUs and no queued requests (then drain briefly), or the
+    deadline passes. Returns whether quiescence was reached. *)
+
+val deliveries : t -> entity:int -> Repro_pdu.Pdu.data list
+(** Application deliveries at [entity], in causal delivery order. *)
+
+val entity : t -> int -> Repro_core.Entity.t
+
+val port : t -> int -> int
+(** UDP port entity [i] is bound to on 127.0.0.1 (e.g. to point an external
+    packet source, or a test injecting hostile datagrams, at it). *)
+
+val datagrams_sent : t -> int
+val datagrams_dropped : t -> int
+val decode_errors : t -> int
+
+val close : t -> unit
+(** Close all sockets. The [t] must not be used afterwards. *)

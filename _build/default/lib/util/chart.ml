@@ -1,0 +1,85 @@
+let finite x = match Float.classify_float x with
+  | Float.FP_nan | Float.FP_infinite -> false
+  | Float.FP_normal | Float.FP_subnormal | Float.FP_zero -> true
+
+let bar ~title ?(width = 48) ?(unit_label = "") rows =
+  let vmax =
+    List.fold_left (fun acc (_, v) -> if finite v then max acc v else acc) 0. rows
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("-- " ^ title ^ " --\n");
+  List.iter
+    (fun (label, v) ->
+      let cells =
+        if vmax <= 0. || (not (finite v)) || v <= 0. then 0
+        else int_of_float (Float.round (v /. vmax *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s%s %.3g%s\n" label_width label
+           (String.concat "" (List.init cells (fun _ -> "#")))
+           (String.make (width - cells) ' ')
+           v unit_label))
+    rows;
+  Buffer.contents buf
+
+let scatter ~title ?(rows = 12) ?(width = 56) ~x_label ~y_label pts =
+  let pts = List.filter (fun (x, y) -> finite x && finite y) pts in
+  if List.length pts < 2 then title ^ ": not enough points\n"
+  else begin
+    let xs = List.map fst pts and ys = List.map snd pts in
+    let xmin = List.fold_left min infinity xs
+    and xmax = List.fold_left max neg_infinity xs
+    and ymin = List.fold_left min infinity ys
+    and ymax = List.fold_left max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.
+    and yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let grid = Array.make_matrix rows width ' ' in
+    List.iter
+      (fun (x, y) ->
+        let col =
+          min (width - 1)
+            (int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+        in
+        let row =
+          min (rows - 1)
+            (int_of_float ((y -. ymin) /. yspan *. float_of_int (rows - 1)))
+        in
+        grid.(rows - 1 - row).(col) <- '*')
+      pts;
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "-- %s (%s vs %s) --\n" title y_label x_label);
+    Array.iteri
+      (fun i line ->
+        let marker =
+          if i = 0 then Printf.sprintf " %.3g" ymax
+          else if i = rows - 1 then Printf.sprintf " %.3g" ymin
+          else ""
+        in
+        Buffer.add_string buf ("|" ^ String.init width (Array.get line) ^ marker ^ "\n"))
+      grid;
+    Buffer.add_string buf ("+" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf (Printf.sprintf " %.3g%s%.3g\n" xmin
+      (String.make (max 1 (width - 8)) ' ') xmax);
+    Buffer.contents buf
+  end
+
+let sparkline values =
+  let glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                  "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+  in
+  match List.filter finite values with
+  | [] -> ""
+  | vs ->
+    let vmin = List.fold_left min infinity vs
+    and vmax = List.fold_left max neg_infinity vs in
+    let span = if vmax > vmin then vmax -. vmin else 1. in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let idx = int_of_float ((v -. vmin) /. span *. 7.) in
+           glyphs.(max 0 (min 7 idx)))
+         vs)

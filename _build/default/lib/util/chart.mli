@@ -1,0 +1,21 @@
+(** Minimal ASCII charts for experiment reports.
+
+    The bench harness is a terminal program; these render the paper's
+    figure-style series as text so EXPERIMENTS.md can quote them directly. *)
+
+val bar :
+  title:string -> ?width:int -> ?unit_label:string -> (string * float) list
+  -> string
+(** Horizontal bar chart, one row per (label, value); bars scaled to the
+    maximum value across [width] columns (default 48). Non-positive and NaN
+    values render as empty bars. *)
+
+val scatter :
+  title:string -> ?rows:int -> ?width:int -> x_label:string -> y_label:string
+  -> (float * float) list -> string
+(** A crude x/y dot plot on an [rows] × [width] character grid (defaults
+    12 × 56), with min/max annotations — enough to eyeball a linear trend.
+    Returns a note for fewer than 2 points. *)
+
+val sparkline : float list -> string
+(** One-line trend using the 8 block glyphs (▁▂▃▄▅▆▇█). Empty for []. *)

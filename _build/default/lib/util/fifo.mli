@@ -1,0 +1,29 @@
+(** Persistent FIFO queue (two-list Okasaki queue).
+
+    Used for the protocol's receipt sublogs where a functional structure makes
+    the state-machine transitions easy to reason about and snapshot. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val enqueue : 'a t -> 'a -> 'a t
+(** [enqueue q x] appends [x] at the tail. O(1). *)
+
+val dequeue : 'a t -> ('a * 'a t) option
+(** [dequeue q] is the head and the remaining queue. Amortized O(1). *)
+
+val peek : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** Head (oldest) first. *)
+
+val of_list : 'a list -> 'a t
+(** [of_list xs]: head of [xs] becomes the queue head. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest-first fold. *)
+
+val exists : ('a -> bool) -> 'a t -> bool

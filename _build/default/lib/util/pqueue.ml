@@ -1,0 +1,99 @@
+type 'a entry = { prio : 'a; stamp : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_stamp : int;
+}
+
+let initial_capacity = 16
+
+let create ~cmp =
+  { cmp; heap = [||]; size = 0; next_stamp = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+(* Order by priority, then by insertion stamp: stable FIFO among equals. *)
+let entry_lt q a b =
+  let c = q.cmp a.prio b.prio in
+  if c <> 0 then c < 0 else a.stamp < b.stamp
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt q q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < q.size && entry_lt q q.heap.(left) q.heap.(!smallest) then
+    smallest := left;
+  if right < q.size && entry_lt q q.heap.(right) q.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let grow q =
+  let capacity = Array.length q.heap in
+  let new_capacity = if capacity = 0 then initial_capacity else capacity * 2 in
+  (* The dummy cell is never read: [size] guards all accesses. *)
+  let dummy = q.heap.(0) in
+  let heap = Array.make new_capacity dummy in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let push q x =
+  let e = { prio = x; stamp = q.next_stamp } in
+  q.next_stamp <- q.next_stamp + 1;
+  if q.size = Array.length q.heap then
+    if q.size = 0 then q.heap <- Array.make initial_capacity e else grow q;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some top.prio
+  end
+
+let peek q = if q.size = 0 then None else Some q.heap.(0).prio
+
+let clear q =
+  q.size <- 0;
+  q.heap <- [||]
+
+let to_list q =
+  let copy =
+    {
+      cmp = q.cmp;
+      heap = Array.sub q.heap 0 (max q.size 0);
+      size = q.size;
+      next_stamp = q.next_stamp;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

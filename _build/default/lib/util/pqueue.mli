@@ -1,0 +1,34 @@
+(** Imperative binary-heap priority queue with stable ordering.
+
+    Elements are ordered by a user-supplied priority comparison; elements with
+    equal priority are returned in insertion order (FIFO tie-breaking), which
+    the discrete-event engine relies on for determinism. *)
+
+type 'a t
+(** A mutable priority queue holding elements of type ['a]. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty queue ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+(** [length q] is the number of elements currently in [q]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [length q = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** [push q x] inserts [x]. O(log n). *)
+
+val pop : 'a t -> 'a option
+(** [pop q] removes and returns the smallest element, FIFO among equals.
+    O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek q] is the element [pop] would return, without removing it. *)
+
+val clear : 'a t -> unit
+(** [clear q] removes every element. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list q] is all elements in pop order; [q] is left unchanged.
+    O(n log n). *)

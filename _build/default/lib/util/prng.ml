@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step (Steele, Lea & Flood 2014). *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed64 = bits64 t in
+  { state = seed64 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be > 0";
+  let mask = Int64.sub (Int64.shift_left 1L 62) 1L in
+  let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+  v mod bound
+
+let float t bound =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  let unit = Int64.to_float bits /. 9007199254740992.0 in
+  unit *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: mean must be > 0";
+  let u = float t 1.0 in
+  (* u = 0 would give infinity; nudge it. *)
+  let u = if u <= 0.0 then 1e-300 else u in
+  -.mean *. log u
+
+let uniform_in t ~lo ~hi = lo +. float t (hi -. lo)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

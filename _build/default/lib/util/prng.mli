@@ -1,0 +1,42 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Self-contained so simulation runs are reproducible bit-for-bit from a
+    seed, independent of the stdlib [Random] implementation or OCaml version.
+    Not cryptographic. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] is a fresh generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator and advances [t].
+    Used to give each simulated entity its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean (for Poisson
+    arrivals). @raise Invalid_argument if [mean <= 0]. *)
+
+val uniform_in : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

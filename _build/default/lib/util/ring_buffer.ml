@@ -1,0 +1,54 @@
+type 'a t = {
+  capacity : int;
+  mutable slots : 'a option array;
+  mutable head : int; (* index of oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring_buffer.create: capacity must be > 0";
+  { capacity; slots = Array.make capacity None; head = 0; len = 0 }
+
+let capacity b = b.capacity
+let length b = b.len
+let is_empty b = b.len = 0
+let is_full b = b.len = b.capacity
+let available b = b.capacity - b.len
+
+let push b x =
+  if is_full b then false
+  else begin
+    let tail = (b.head + b.len) mod b.capacity in
+    b.slots.(tail) <- Some x;
+    b.len <- b.len + 1;
+    true
+  end
+
+let pop b =
+  if b.len = 0 then None
+  else begin
+    let x = b.slots.(b.head) in
+    b.slots.(b.head) <- None;
+    b.head <- (b.head + 1) mod b.capacity;
+    b.len <- b.len - 1;
+    x
+  end
+
+let peek b = if b.len = 0 then None else b.slots.(b.head)
+
+let clear b =
+  Array.fill b.slots 0 b.capacity None;
+  b.head <- 0;
+  b.len <- 0
+
+let iter f b =
+  for i = 0 to b.len - 1 do
+    match b.slots.((b.head + i) mod b.capacity) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list b =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) b;
+  List.rev !acc

@@ -1,0 +1,37 @@
+(** Bounded FIFO ring buffer.
+
+    Models a receiver inbox of fixed capacity: pushing into a full buffer
+    fails, which is exactly the "buffer overrun" loss mechanism of the paper's
+    MC network (transmission faster than processing). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] is an empty buffer that holds at most [capacity]
+    elements. @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val available : 'a t -> int
+(** [available b] is [capacity b - length b]: free buffer units, the quantity
+    advertised in the protocol's BUF field. *)
+
+val push : 'a t -> 'a -> bool
+(** [push b x] appends [x] and returns [true], or returns [false] (overrun)
+    when [b] is full. *)
+
+val pop : 'a t -> 'a option
+(** [pop b] removes and returns the oldest element. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Oldest first; the buffer is unchanged. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)

@@ -1,0 +1,104 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summary_empty =
+  { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let percentile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (q /. 100. *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    sorted.(idx)
+  end
+
+let percentile xs q =
+  let sorted = Array.of_list xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted q
+
+let summarize = function
+  | [] -> summary_empty
+  | xs ->
+    let sorted = Array.of_list xs in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    {
+      count = n;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      p50 = percentile_sorted sorted 50.;
+      p90 = percentile_sorted sorted 90.;
+      p99 = percentile_sorted sorted 99.;
+    }
+
+let linear_fit pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least 2 points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then
+    invalid_arg "Stats.linear_fit: zero variance in x";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (slope, intercept)
+
+let r_squared pts =
+  let slope, intercept = linear_fit pts in
+  let ym = mean (List.map snd pts) in
+  let ss_tot =
+    List.fold_left (fun a (_, y) -> a +. ((y -. ym) *. (y -. ym))) 0. pts
+  in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let fy = (slope *. x) +. intercept in
+        a +. ((y -. fy) *. (y -. fy)))
+      0. pts
+  in
+  if ss_tot < 1e-12 then 1. else 1. -. (ss_res /. ss_tot)
+
+module Acc = struct
+  type t = { mutable rev_samples : float list; mutable n : int; mutable sum : float }
+
+  let create () = { rev_samples = []; n = 0; sum = 0. }
+
+  let add t x =
+    t.rev_samples <- x :: t.rev_samples;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x
+
+  let count t = t.n
+  let total t = t.sum
+  let samples t = List.rev t.rev_samples
+  let summarize t = summarize (samples t)
+end

@@ -1,0 +1,52 @@
+(** Descriptive statistics over float samples.
+
+    Used by the benchmark harness to summarize latency and throughput series
+    (mean, stddev, percentiles) and to fit the linear trends the paper's
+    Figure 8 claims (O(n) growth). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summary_empty : summary
+(** All-zero summary, used when a series has no samples. *)
+
+val summarize : float list -> summary
+(** [summarize xs] computes all fields in one pass plus a sort. Percentiles
+    use nearest-rank on the sorted sample. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs q] with [q] in [\[0,100\]]; nearest-rank. Returns [0.] on
+    the empty list. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [linear_fit pts] is the least-squares [(slope, intercept)] of [y] on [x].
+    @raise Invalid_argument on fewer than 2 points or zero x-variance. *)
+
+val r_squared : (float * float) list -> float
+(** Coefficient of determination of the least-squares fit — used to check the
+    "grows linearly in n" shape claims. *)
+
+(** Mutable accumulator for streaming samples. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val samples : t -> float list
+  (** In insertion order. *)
+
+  val summarize : t -> summary
+end

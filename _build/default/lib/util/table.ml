@@ -1,0 +1,80 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rev_rows : row list;
+}
+
+let create ~title ~columns = { title; columns; rev_rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rev_rows <- Cells cells :: t.rev_rows
+
+let add_rule t = t.rev_rows <- Rule :: t.rev_rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rev_rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Rule -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let line cells aligns =
+    let padded =
+      List.map2
+        (fun (cell, align) width -> " " ^ pad align width cell ^ " ")
+        (List.combine cells aligns)
+        widths
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let aligns = List.map snd t.columns in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line headers (List.map (fun _ -> Left) headers) ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter
+    (fun row ->
+      match row with
+      | Rule -> Buffer.add_string buf (rule ^ "\n")
+      | Cells cells -> Buffer.add_string buf (line cells aligns ^ "\n"))
+    rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  print_newline ()
+
+let fmt_float ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+
+let fmt_int = string_of_int
+
+let series ~title ~x_label ~y_label pts =
+  let t = create ~title ~columns:[ (x_label, Right); (y_label, Right) ] in
+  List.iter (fun (x, y) -> add_row t [ fmt_float ~digits:2 x; fmt_float ~digits:4 y ]) pts;
+  render t

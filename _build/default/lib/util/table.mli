@@ -1,0 +1,36 @@
+(** ASCII table and series rendering for experiment reports.
+
+    The benchmark harness prints one table per experiment in the same
+    row/column layout the paper reports, so EXPERIMENTS.md can quote the
+    output verbatim. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** [create ~title ~columns] is an empty table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. @raise Invalid_argument if the number of
+    cells differs from the number of columns. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator at the current position. *)
+
+val render : t -> string
+(** Render with box-drawing in plain ASCII. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a blank line. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Fixed-point formatting helper, default 2 digits. *)
+
+val fmt_int : int -> string
+
+val series :
+  title:string -> x_label:string -> y_label:string -> (float * float) list
+  -> string
+(** [series ~title ~x_label ~y_label pts] renders a small two-column series
+    table (one row per point) — the textual equivalent of a paper figure. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Repro_baselines Repro_clock Repro_harness Repro_sim

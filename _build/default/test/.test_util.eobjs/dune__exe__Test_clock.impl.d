@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Array List QCheck QCheck_alcotest Repro_clock

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest List Repro_clock Repro_core Repro_pdu Repro_sim Repro_util

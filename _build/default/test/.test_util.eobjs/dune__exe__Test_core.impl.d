@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format List Repro_core Repro_pdu Repro_sim String

@@ -1,0 +1,1 @@
+test/test_entity.ml: Alcotest Array List Printf QCheck QCheck_alcotest Repro_clock Repro_core Repro_pdu Repro_sim

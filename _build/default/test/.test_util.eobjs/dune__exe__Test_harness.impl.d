@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Format List Repro_core Repro_harness Repro_sim Repro_util String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List QCheck QCheck_alcotest Repro_core Repro_harness Repro_pdu Repro_sim Repro_util

@@ -1,0 +1,1 @@
+test/test_pdu.ml: Alcotest Array Bytes Format List Printf QCheck QCheck_alcotest Repro_pdu String

@@ -1,0 +1,1 @@
+test/test_precedence.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Repro_clock Repro_core Repro_pdu Repro_util

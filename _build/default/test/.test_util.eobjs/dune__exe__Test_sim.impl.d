@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format List Printf Repro_sim Repro_util String

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Bytes Fun List Printf Repro_core Repro_pdu Repro_sim Repro_transport Unix

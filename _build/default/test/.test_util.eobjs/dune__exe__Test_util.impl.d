@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Chart Fifo Fun Gen List Option Pqueue Prng QCheck QCheck_alcotest Queue Repro_util Ring_buffer Stats String Table

@@ -1,0 +1,275 @@
+module Lamport = Repro_clock.Lamport
+module VC = Repro_clock.Vector_clock
+module MC = Repro_clock.Matrix_clock
+module Causality = Repro_clock.Causality
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* --- Lamport --- *)
+
+let test_lamport_tick () =
+  let c = Lamport.create () in
+  check int_t "start" 0 (Lamport.now c);
+  check int_t "tick" 1 (Lamport.tick c);
+  check int_t "tick again" 2 (Lamport.tick c)
+
+let test_lamport_observe () =
+  let c = Lamport.create () in
+  ignore (Lamport.tick c);
+  check int_t "observe ahead" 11 (Lamport.observe c 10);
+  check int_t "observe behind" 12 (Lamport.observe c 3)
+
+let test_lamport_send_receive_order () =
+  (* Receiving a timestamp always lands strictly after it. *)
+  let a = Lamport.create () and b = Lamport.create () in
+  let ts = Lamport.tick a in
+  let rcv = Lamport.observe b ts in
+  check bool_t "receive after send" true (rcv > ts)
+
+(* --- Vector_clock --- *)
+
+let vc a = VC.of_array a
+
+let test_vc_zero () =
+  let v = VC.zero ~n:3 in
+  check int_t "size" 3 (VC.size v);
+  check int_t "component" 0 (VC.get v 1)
+
+let test_vc_of_array_validates () =
+  Alcotest.check_raises "empty" (Invalid_argument "Vector_clock.of_array: empty")
+    (fun () -> ignore (VC.of_array [||]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Vector_clock.of_array: negative") (fun () ->
+      ignore (VC.of_array [| 1; -1 |]))
+
+let test_vc_of_array_copies () =
+  let arr = [| 1; 2 |] in
+  let v = VC.of_array arr in
+  arr.(0) <- 99;
+  check int_t "copied in" 1 (VC.get v 0);
+  let out = VC.to_array v in
+  out.(1) <- 99;
+  check int_t "copied out" 2 (VC.get v 1)
+
+let test_vc_incr () =
+  let v = vc [| 0; 0 |] in
+  let w = VC.incr v 1 in
+  check int_t "incremented" 1 (VC.get w 1);
+  check int_t "original intact" 0 (VC.get v 1)
+
+let test_vc_merge () =
+  let m = VC.merge (vc [| 1; 5; 0 |]) (vc [| 2; 3; 4 |]) in
+  check bool_t "pointwise max" true (VC.equal m (vc [| 2; 5; 4 |]))
+
+let test_vc_orders () =
+  check bool_t "before" true
+    (VC.compare_partial (vc [| 1; 0 |]) (vc [| 1; 1 |]) = VC.Before);
+  check bool_t "after" true
+    (VC.compare_partial (vc [| 2; 1 |]) (vc [| 1; 1 |]) = VC.After);
+  check bool_t "equal" true
+    (VC.compare_partial (vc [| 1; 1 |]) (vc [| 1; 1 |]) = VC.Equal);
+  check bool_t "concurrent" true
+    (VC.compare_partial (vc [| 1; 0 |]) (vc [| 0; 1 |]) = VC.Concurrent)
+
+let test_vc_mismatch () =
+  Alcotest.check_raises "merge mismatch"
+    (Invalid_argument "Vector_clock.merge: size mismatch") (fun () ->
+      ignore (VC.merge (vc [| 1 |]) (vc [| 1; 2 |])))
+
+let test_vc_causally_ready () =
+  (* Receiver local = [1;0;0]; message from 1 with vt [1;1;0] is ready. *)
+  check bool_t "ready" true
+    (VC.causally_ready ~sender:1 ~msg:(vc [| 1; 1; 0 |]) ~local:(vc [| 1; 0; 0 |]));
+  (* Missing a message from sender (vt jumps to 2). *)
+  check bool_t "gap from sender" false
+    (VC.causally_ready ~sender:1 ~msg:(vc [| 1; 2; 0 |]) ~local:(vc [| 1; 0; 0 |]));
+  (* Depends on an unseen message from entity 0. *)
+  check bool_t "missing dependency" false
+    (VC.causally_ready ~sender:1 ~msg:(vc [| 2; 1; 0 |]) ~local:(vc [| 1; 0; 0 |]))
+
+let arb_vc n =
+  QCheck.make
+    ~print:(fun a -> VC.to_string (VC.of_array a))
+    QCheck.Gen.(array_size (return n) (int_bound 5))
+
+let prop_merge_upper_bound =
+  QCheck.Test.make ~name:"merge is least upper bound" ~count:200
+    (QCheck.pair (arb_vc 4) (arb_vc 4))
+    (fun (a, b) ->
+      let va = VC.of_array a and vb = VC.of_array b in
+      let m = VC.merge va vb in
+      VC.leq va m && VC.leq vb m
+      && Array.for_all2 (fun x y -> max x y >= min x y) a b
+      && VC.leq m (VC.merge m m))
+
+let prop_partial_order_antisym =
+  QCheck.Test.make ~name:"compare_partial is consistent with leq" ~count:200
+    (QCheck.pair (arb_vc 3) (arb_vc 3))
+    (fun (a, b) ->
+      let va = VC.of_array a and vb = VC.of_array b in
+      match VC.compare_partial va vb with
+      | VC.Before -> VC.leq va vb && not (VC.leq vb va)
+      | VC.After -> VC.leq vb va && not (VC.leq va vb)
+      | VC.Equal -> VC.equal va vb
+      | VC.Concurrent -> (not (VC.leq va vb)) && not (VC.leq vb va))
+
+(* --- Matrix_clock --- *)
+
+let test_mc_init () =
+  let m = MC.create ~n:3 ~init:1 in
+  check int_t "size" 3 (MC.size m);
+  check int_t "cell" 1 (MC.get m ~row:2 ~col:1);
+  check int_t "col_min" 1 (MC.col_min m 0)
+
+let test_mc_set_row_monotone () =
+  let m = MC.create ~n:3 ~init:1 in
+  MC.set_row m ~row:0 [| 5; 2; 3 |];
+  MC.set_row m ~row:0 [| 4; 9; 1 |];
+  check int_t "kept higher" 5 (MC.get m ~row:0 ~col:0);
+  check int_t "raised" 9 (MC.get m ~row:0 ~col:1);
+  check int_t "not lowered" 3 (MC.get m ~row:0 ~col:2)
+
+let test_mc_col_min () =
+  let m = MC.create ~n:3 ~init:1 in
+  MC.set_row m ~row:0 [| 4; 2; 2 |];
+  MC.set_row m ~row:1 [| 4; 2; 2 |];
+  MC.set_row m ~row:2 [| 5; 3; 2 |];
+  check int_t "minAL_0" 4 (MC.col_min m 0);
+  check int_t "minAL_1" 2 (MC.col_min m 1);
+  check int_t "minAL_2" 2 (MC.col_min m 2);
+  check bool_t "all mins" true (MC.col_min_all m = [| 4; 2; 2 |])
+
+let test_mc_raise_to () =
+  let m = MC.create ~n:2 ~init:0 in
+  MC.raise_to m ~row:0 ~col:0 5;
+  MC.raise_to m ~row:0 ~col:0 3;
+  check int_t "monotone" 5 (MC.get m ~row:0 ~col:0)
+
+let test_mc_copy_independent () =
+  let m = MC.create ~n:2 ~init:0 in
+  let c = MC.copy m in
+  MC.set m ~row:0 ~col:0 9;
+  check int_t "copy unaffected" 0 (MC.get c ~row:0 ~col:0)
+
+let test_mc_set_row_mismatch () =
+  let m = MC.create ~n:2 ~init:0 in
+  Alcotest.check_raises "length"
+    (Invalid_argument "Matrix_clock.set_row: length mismatch") (fun () ->
+      MC.set_row m ~row:0 [| 1 |])
+
+(* --- Causality --- *)
+
+let test_causality_chain () =
+  (* E0 sends m0; E1 receives it then sends m1: m0 ≺ m1. *)
+  let c = Causality.create ~n:3 in
+  Causality.send c ~entity:0 ~msg:100;
+  Causality.receive c ~entity:1 ~msg:100;
+  Causality.send c ~entity:1 ~msg:200;
+  check bool_t "m0 precedes m1" true (Causality.msg_precedes c 100 200);
+  check bool_t "not reverse" false (Causality.msg_precedes c 200 100)
+
+let test_causality_concurrent () =
+  let c = Causality.create ~n:2 in
+  Causality.send c ~entity:0 ~msg:1;
+  Causality.send c ~entity:1 ~msg:2;
+  check bool_t "concurrent" true (Causality.msg_concurrent c 1 2)
+
+let test_causality_same_entity () =
+  let c = Causality.create ~n:2 in
+  Causality.send c ~entity:0 ~msg:1;
+  Causality.send c ~entity:0 ~msg:2;
+  check bool_t "program order" true (Causality.msg_precedes c 1 2)
+
+let test_causality_transitive () =
+  (* m1 at E0 -> E1 sends m2 -> E2 sends m3: m1 ≺ m3 without direct link. *)
+  let c = Causality.create ~n:3 in
+  Causality.send c ~entity:0 ~msg:1;
+  Causality.receive c ~entity:1 ~msg:1;
+  Causality.send c ~entity:1 ~msg:2;
+  Causality.receive c ~entity:2 ~msg:2;
+  Causality.send c ~entity:2 ~msg:3;
+  check bool_t "transitive" true (Causality.msg_precedes c 1 3)
+
+let test_causality_figure2 () =
+  (* The paper's Figure 2: E_g sends g then p; E_h receives p then sends q.
+     Expect g ≺ p ≺ q. (Using entity ids g=0, h=1, k=2.) *)
+  let c = Causality.create ~n:3 in
+  Causality.send c ~entity:0 ~msg:10;
+  (* g *)
+  Causality.send c ~entity:0 ~msg:11;
+  (* p *)
+  Causality.receive c ~entity:1 ~msg:11;
+  Causality.send c ~entity:1 ~msg:12;
+  (* q *)
+  check bool_t "g ≺ p" true (Causality.msg_precedes c 10 11);
+  check bool_t "p ≺ q" true (Causality.msg_precedes c 11 12);
+  check bool_t "g ≺ q" true (Causality.msg_precedes c 10 12)
+
+let test_causality_double_send_rejected () =
+  let c = Causality.create ~n:2 in
+  Causality.send c ~entity:0 ~msg:1;
+  Alcotest.check_raises "double send"
+    (Invalid_argument "Causality.send: message already sent") (fun () ->
+      Causality.send c ~entity:0 ~msg:1)
+
+let test_causality_unknown_receive () =
+  let c = Causality.create ~n:2 in
+  check bool_t "raises Not_found" true
+    (try
+       Causality.receive c ~entity:0 ~msg:99;
+       false
+     with Not_found -> true)
+
+let test_causality_send_stamp () =
+  let c = Causality.create ~n:2 in
+  Causality.send c ~entity:0 ~msg:1;
+  check bool_t "stamp exists" true (Causality.send_stamp c 1 <> None);
+  check bool_t "unknown stamp" true (Causality.send_stamp c 2 = None)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "clock"
+    [
+      ( "lamport",
+        [
+          Alcotest.test_case "tick" `Quick test_lamport_tick;
+          Alcotest.test_case "observe" `Quick test_lamport_observe;
+          Alcotest.test_case "send/receive order" `Quick
+            test_lamport_send_receive_order;
+        ] );
+      ( "vector_clock",
+        [
+          Alcotest.test_case "zero" `Quick test_vc_zero;
+          Alcotest.test_case "of_array validates" `Quick test_vc_of_array_validates;
+          Alcotest.test_case "of_array copies" `Quick test_vc_of_array_copies;
+          Alcotest.test_case "incr" `Quick test_vc_incr;
+          Alcotest.test_case "merge" `Quick test_vc_merge;
+          Alcotest.test_case "orders" `Quick test_vc_orders;
+          Alcotest.test_case "size mismatch" `Quick test_vc_mismatch;
+          Alcotest.test_case "causally_ready" `Quick test_vc_causally_ready;
+        ]
+        @ qsuite [ prop_merge_upper_bound; prop_partial_order_antisym ] );
+      ( "matrix_clock",
+        [
+          Alcotest.test_case "init" `Quick test_mc_init;
+          Alcotest.test_case "set_row monotone" `Quick test_mc_set_row_monotone;
+          Alcotest.test_case "col_min" `Quick test_mc_col_min;
+          Alcotest.test_case "raise_to" `Quick test_mc_raise_to;
+          Alcotest.test_case "copy" `Quick test_mc_copy_independent;
+          Alcotest.test_case "set_row mismatch" `Quick test_mc_set_row_mismatch;
+        ] );
+      ( "causality",
+        [
+          Alcotest.test_case "chain" `Quick test_causality_chain;
+          Alcotest.test_case "concurrent" `Quick test_causality_concurrent;
+          Alcotest.test_case "same entity" `Quick test_causality_same_entity;
+          Alcotest.test_case "transitive" `Quick test_causality_transitive;
+          Alcotest.test_case "figure 2" `Quick test_causality_figure2;
+          Alcotest.test_case "double send" `Quick test_causality_double_send_rejected;
+          Alcotest.test_case "unknown receive" `Quick test_causality_unknown_receive;
+          Alcotest.test_case "send stamp" `Quick test_causality_send_stamp;
+        ] );
+    ]

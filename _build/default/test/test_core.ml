@@ -1,0 +1,288 @@
+module Config = Repro_core.Config
+module Flow = Repro_core.Flow
+module Failure = Repro_core.Failure
+module Logs = Repro_core.Logs
+module Metrics = Repro_core.Metrics
+module Pdu = Repro_pdu.Pdu
+module Simtime = Repro_sim.Simtime
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let d ~src ~seq ?(ack = [| 1; 1; 1 |]) () =
+  match Pdu.data ~cid:0 ~src ~seq ~ack ~buf:8 ~payload:"x" with
+  | Pdu.Data d -> d
+  | Pdu.Ret _ | Pdu.Ctl _ -> assert false
+
+(* --- Config --- *)
+
+let test_config_default_valid () = Config.validate Config.default
+
+let test_config_rejects_bad () =
+  Alcotest.check_raises "window" (Invalid_argument "Config: window must be >= 1")
+    (fun () -> Config.validate { Config.default with Config.window = 0 });
+  Alcotest.check_raises "H" (Invalid_argument "Config: H must be >= 1") (fun () ->
+      Config.validate { Config.default with Config.buf_units_per_pdu = 0 });
+  Alcotest.check_raises "timeout"
+    (Invalid_argument "Config: defer timeout must be > 0") (fun () ->
+      Config.validate
+        { Config.default with Config.defer = Config.Deferred { timeout = 0 } })
+
+(* --- Flow --- *)
+
+let cfg ?(window = 8) ?(h = 1) () =
+  { Config.default with Config.window; buf_units_per_pdu = h }
+
+let test_flow_window_capped_by_w () =
+  (* Huge buffer: the window is W. *)
+  check int_t "W" 8 (Flow.effective_window ~config:(cfg ()) ~n:4 ~minbuf:10_000)
+
+let test_flow_window_capped_by_buffer () =
+  (* minbuf / (H·2n) = 64 / (1·8) = 8... use smaller: 16/(1·8)=2. *)
+  check int_t "buffer bound" 2 (Flow.effective_window ~config:(cfg ()) ~n:4 ~minbuf:16)
+
+let test_flow_window_h_scales () =
+  check int_t "H=2 halves" 1
+    (Flow.effective_window ~config:(cfg ~h:2 ()) ~n:4 ~minbuf:16)
+
+let test_flow_window_zero_when_starved () =
+  check int_t "starved" 0 (Flow.effective_window ~config:(cfg ()) ~n:4 ~minbuf:3)
+
+let test_flow_may_send () =
+  let config = cfg ~window:2 () in
+  check bool_t "within" true
+    (Flow.may_send ~config ~n:3 ~seq:1 ~minal_self:1 ~minbuf:10_000);
+  check bool_t "at edge" true
+    (Flow.may_send ~config ~n:3 ~seq:2 ~minal_self:1 ~minbuf:10_000);
+  check bool_t "beyond" false
+    (Flow.may_send ~config ~n:3 ~seq:3 ~minal_self:1 ~minbuf:10_000);
+  (* Window slides with minAL. *)
+  check bool_t "slid" true
+    (Flow.may_send ~config ~n:3 ~seq:3 ~minal_self:2 ~minbuf:10_000)
+
+(* --- Failure --- *)
+
+let test_failure_no_gap () =
+  let f = Failure.create ~n:3 in
+  check bool_t "bound <= req" true
+    (Failure.observe f ~now:0 ~retry_after:100 ~lsrc:1 ~req:5 ~bound:5
+     = Failure.No_gap)
+
+let test_failure_requests_range () =
+  let f = Failure.create ~n:3 in
+  match Failure.observe f ~now:0 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:7 with
+  | Failure.Request { lo; hi } ->
+    check int_t "lo" 3 lo;
+    check int_t "hi" 7 hi
+  | Failure.No_gap | Failure.Already_requested -> Alcotest.fail "expected request"
+
+let test_failure_dedups () =
+  let f = Failure.create ~n:3 in
+  ignore (Failure.observe f ~now:0 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:7);
+  check bool_t "same bound suppressed" true
+    (Failure.observe f ~now:10 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:7
+     = Failure.Already_requested);
+  check bool_t "smaller bound suppressed" true
+    (Failure.observe f ~now:10 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:5
+     = Failure.Already_requested)
+
+let test_failure_extends_bound () =
+  let f = Failure.create ~n:3 in
+  ignore (Failure.observe f ~now:0 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:7);
+  match Failure.observe f ~now:10 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:9 with
+  | Failure.Request { lo = 3; hi = 9 } -> ()
+  | _ -> Alcotest.fail "expected extended request"
+
+let test_failure_retry_after_timeout () =
+  let f = Failure.create ~n:3 in
+  ignore (Failure.observe f ~now:0 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:7);
+  check bool_t "stale re-request" true
+    (match Failure.observe f ~now:150 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:7 with
+    | Failure.Request _ -> true
+    | _ -> false)
+
+let test_failure_satisfied () =
+  let f = Failure.create ~n:3 in
+  ignore (Failure.observe f ~now:0 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:7);
+  Failure.satisfied_up_to f ~lsrc:1 ~req:7;
+  check bool_t "cleared" true (Failure.outstanding f ~lsrc:1 = None)
+
+let test_failure_partial_not_satisfied () =
+  let f = Failure.create ~n:3 in
+  ignore (Failure.observe f ~now:0 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:7);
+  Failure.satisfied_up_to f ~lsrc:1 ~req:5;
+  check bool_t "still outstanding" true (Failure.outstanding f ~lsrc:1 <> None)
+
+let test_failure_retry_due () =
+  let f = Failure.create ~n:3 in
+  ignore (Failure.observe f ~now:0 ~retry_after:100 ~lsrc:1 ~req:3 ~bound:7);
+  check bool_t "not due yet" true
+    (Failure.retry_due f ~now:50 ~retry_after:100 ~lsrc:1 ~req:4 = None);
+  check bool_t "due after timeout" true
+    (Failure.retry_due f ~now:150 ~retry_after:100 ~lsrc:1 ~req:4 = Some (4, 7));
+  (* Satisfied in the meantime: no retry, request cleared. *)
+  check bool_t "cleared when satisfied" true
+    (Failure.retry_due f ~now:400 ~retry_after:100 ~lsrc:1 ~req:9 = None)
+
+(* --- Logs.Sending --- *)
+
+let test_sending_append_find () =
+  let sl = Logs.Sending.create () in
+  Logs.Sending.append sl (d ~src:0 ~seq:1 ());
+  Logs.Sending.append sl (d ~src:0 ~seq:2 ());
+  check int_t "last" 2 (Logs.Sending.last_seq sl);
+  check bool_t "find hit" true (Logs.Sending.find sl ~seq:1 <> None);
+  check bool_t "find miss" true (Logs.Sending.find sl ~seq:3 = None)
+
+let test_sending_rejects_gap () =
+  let sl = Logs.Sending.create () in
+  Logs.Sending.append sl (d ~src:0 ~seq:1 ());
+  Alcotest.check_raises "gap"
+    (Invalid_argument "Logs.Sending.append: non-consecutive seq") (fun () ->
+      Logs.Sending.append sl (d ~src:0 ~seq:3 ()))
+
+let test_sending_range () =
+  let sl = Logs.Sending.create () in
+  for seq = 1 to 5 do
+    Logs.Sending.append sl (d ~src:0 ~seq ())
+  done;
+  let range = Logs.Sending.range sl ~lo:2 ~hi:4 in
+  check (Alcotest.list int_t) "range [2,4)" [ 2; 3 ]
+    (List.map (fun (p : Pdu.data) -> p.seq) range)
+
+let test_sending_prune () =
+  let sl = Logs.Sending.create () in
+  for seq = 1 to 5 do
+    Logs.Sending.append sl (d ~src:0 ~seq ())
+  done;
+  Logs.Sending.prune_below sl ~seq:4;
+  check int_t "retained" 2 (Logs.Sending.length sl);
+  check bool_t "pruned gone" true (Logs.Sending.find sl ~seq:2 = None);
+  check (Alcotest.list int_t) "range respects prune" [ 4 ]
+    (List.map (fun (p : Pdu.data) -> p.seq) (Logs.Sending.range sl ~lo:1 ~hi:5))
+
+(* --- Logs.Receipt --- *)
+
+let test_receipt_rrl_fifo () =
+  let logs = Logs.Receipt.create ~n:3 in
+  Logs.Receipt.rrl_enqueue logs ~src:1 (d ~src:1 ~seq:1 ());
+  Logs.Receipt.rrl_enqueue logs ~src:1 (d ~src:1 ~seq:2 ());
+  check int_t "len" 2 (Logs.Receipt.rrl_length logs ~src:1);
+  (match Logs.Receipt.rrl_top logs ~src:1 with
+  | Some p -> check int_t "top is first" 1 p.seq
+  | None -> Alcotest.fail "expected top");
+  (match Logs.Receipt.rrl_dequeue logs ~src:1 with
+  | Some p -> check int_t "dequeued" 1 p.seq
+  | None -> Alcotest.fail "expected dequeue");
+  check int_t "other src untouched" 0 (Logs.Receipt.rrl_length logs ~src:0)
+
+let test_receipt_prl_causal_order () =
+  let logs = Logs.Receipt.create ~n:3 in
+  let a = d ~src:0 ~seq:1 ~ack:[| 1; 1; 1 |] () in
+  let b = d ~src:1 ~seq:1 ~ack:[| 2; 1; 1 |] () in
+  Logs.Receipt.prl_insert logs b;
+  Logs.Receipt.prl_insert logs a;
+  (* a ≺ b so a must surface first despite insertion order. *)
+  match Logs.Receipt.prl_dequeue logs with
+  | Some p -> check int_t "a first" 0 p.src
+  | None -> Alcotest.fail "expected"
+
+let test_receipt_arl_fifo () =
+  let logs = Logs.Receipt.create ~n:2 in
+  Logs.Receipt.arl_enqueue logs (d ~src:0 ~seq:1 ~ack:[| 1; 1 |] ());
+  Logs.Receipt.arl_enqueue logs (d ~src:0 ~seq:2 ~ack:[| 2; 1 |] ());
+  check int_t "len" 2 (Logs.Receipt.arl_length logs);
+  check (Alcotest.list int_t) "order" [ 1; 2 ]
+    (List.map (fun (p : Pdu.data) -> p.seq) (Logs.Receipt.arl_to_list logs))
+
+let test_receipt_buffered () =
+  let logs = Logs.Receipt.create ~n:3 in
+  Logs.Receipt.rrl_enqueue logs ~src:0 (d ~src:0 ~seq:1 ());
+  Logs.Receipt.rrl_enqueue logs ~src:2 (d ~src:2 ~seq:1 ());
+  Logs.Receipt.prl_insert logs (d ~src:1 ~seq:1 ());
+  check int_t "rrl+prl" 3 (Logs.Receipt.buffered logs);
+  Logs.Receipt.arl_enqueue logs (d ~src:1 ~seq:2 ());
+  check int_t "arl not counted" 3 (Logs.Receipt.buffered logs)
+
+(* --- Metrics --- *)
+
+let test_metrics_totals () =
+  let m = Metrics.create () in
+  m.Metrics.data_sent <- 2;
+  m.Metrics.confirmations_sent <- 3;
+  m.Metrics.ret_sent <- 1;
+  m.Metrics.retransmitted <- 4;
+  m.Metrics.ctl_sent <- 5;
+  check int_t "total" 15 (Metrics.total_pdus_sent m)
+
+let test_metrics_add () =
+  let a = Metrics.create () and b = Metrics.create () in
+  a.Metrics.data_sent <- 1;
+  a.Metrics.peak_buffered <- 10;
+  b.Metrics.data_sent <- 2;
+  b.Metrics.peak_buffered <- 7;
+  Metrics.add ~into:a b;
+  check int_t "summed" 3 a.Metrics.data_sent;
+  check int_t "peak is max" 10 a.Metrics.peak_buffered
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  m.Metrics.delivered <- 9;
+  Metrics.reset m;
+  check int_t "reset" 0 m.Metrics.delivered
+
+let test_metrics_pp () =
+  let s = Format.asprintf "%a" Metrics.pp (Metrics.create ()) in
+  check bool_t "nonempty" true (String.length s > 10)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "default valid" `Quick test_config_default_valid;
+          Alcotest.test_case "rejects bad" `Quick test_config_rejects_bad;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "capped by W" `Quick test_flow_window_capped_by_w;
+          Alcotest.test_case "capped by buffer" `Quick test_flow_window_capped_by_buffer;
+          Alcotest.test_case "H scales" `Quick test_flow_window_h_scales;
+          Alcotest.test_case "starved" `Quick test_flow_window_zero_when_starved;
+          Alcotest.test_case "may_send" `Quick test_flow_may_send;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "no gap" `Quick test_failure_no_gap;
+          Alcotest.test_case "requests range" `Quick test_failure_requests_range;
+          Alcotest.test_case "dedups" `Quick test_failure_dedups;
+          Alcotest.test_case "extends bound" `Quick test_failure_extends_bound;
+          Alcotest.test_case "retry after timeout" `Quick
+            test_failure_retry_after_timeout;
+          Alcotest.test_case "satisfied" `Quick test_failure_satisfied;
+          Alcotest.test_case "partial" `Quick test_failure_partial_not_satisfied;
+          Alcotest.test_case "retry_due" `Quick test_failure_retry_due;
+        ] );
+      ( "sending log",
+        [
+          Alcotest.test_case "append/find" `Quick test_sending_append_find;
+          Alcotest.test_case "rejects gap" `Quick test_sending_rejects_gap;
+          Alcotest.test_case "range" `Quick test_sending_range;
+          Alcotest.test_case "prune" `Quick test_sending_prune;
+        ] );
+      ( "receipt logs",
+        [
+          Alcotest.test_case "rrl fifo" `Quick test_receipt_rrl_fifo;
+          Alcotest.test_case "prl causal order" `Quick test_receipt_prl_causal_order;
+          Alcotest.test_case "arl fifo" `Quick test_receipt_arl_fifo;
+          Alcotest.test_case "buffered" `Quick test_receipt_buffered;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "totals" `Quick test_metrics_totals;
+          Alcotest.test_case "add" `Quick test_metrics_add;
+          Alcotest.test_case "reset" `Quick test_metrics_reset;
+          Alcotest.test_case "pp" `Quick test_metrics_pp;
+        ] );
+    ]

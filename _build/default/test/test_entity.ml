@@ -1,0 +1,638 @@
+module Config = Repro_core.Config
+module Entity = Repro_core.Entity
+module Metrics = Repro_core.Metrics
+module Pdu = Repro_pdu.Pdu
+module Simtime = Repro_sim.Simtime
+module MC = Repro_clock.Matrix_clock
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* Manual harness: an entity wired to capture buffers instead of a network,
+   with hand-cranked time and timers. *)
+type harness = {
+  mutable sent : Pdu.t list; (* broadcasts, oldest first *)
+  mutable unicasts : (int * Pdu.t) list;
+  mutable delivered : Pdu.data list; (* oldest first *)
+  mutable timers : (unit -> unit) list;
+  mutable clock : Simtime.t;
+  mutable events : Entity.event list;
+}
+
+let base_config =
+  { Config.default with Config.defer = Config.Never; anti_entropy = false }
+
+let make ?(config = base_config) ?(id = 0) ?(n = 3) () =
+  let h =
+    { sent = []; unicasts = []; delivered = []; timers = []; clock = 0; events = [] }
+  in
+  let actions =
+    {
+      Entity.broadcast = (fun p -> h.sent <- h.sent @ [ p ]);
+      unicast = (fun ~dst p -> h.unicasts <- h.unicasts @ [ (dst, p) ]);
+      deliver = (fun d -> h.delivered <- h.delivered @ [ d ]);
+      now = (fun () -> h.clock);
+      set_timer = (fun ~delay:_ f -> h.timers <- h.timers @ [ f ]);
+      available_buffer = (fun () -> 64);
+    }
+  in
+  let e = Entity.create ~config ~id ~n ~actions in
+  Entity.add_observer e (fun ev -> h.events <- h.events @ [ ev ]);
+  (h, e)
+
+let dt ~src ~seq ~ack ?(payload = "x") () =
+  Pdu.data ~cid:0 ~src ~seq ~ack ~buf:64 ~payload
+
+let data_of = function
+  | Pdu.Data d -> d
+  | Pdu.Ret _ | Pdu.Ctl _ -> Alcotest.fail "expected DT"
+
+let last_sent h = List.nth h.sent (List.length h.sent - 1)
+
+let rets h =
+  List.filter_map (function Pdu.Ret r -> Some r | Pdu.Data _ | Pdu.Ctl _ -> None) h.sent
+
+let fire_timers h =
+  let fs = h.timers in
+  h.timers <- [];
+  List.iter (fun f -> f ()) fs
+
+(* Simulate the MC loopback: feed the entity's own last broadcast back. *)
+let loopback e h =
+  match last_sent h with Pdu.Data _ as p -> Entity.receive e p | _ -> ()
+
+(* --- Transmission action (§4.2) --- *)
+
+let test_transmit_fields () =
+  let h, e = make ~id:1 () in
+  check bool_t "sent immediately" true (Entity.submit e "payload");
+  let d = data_of (last_sent h) in
+  check int_t "seq starts at 1" 1 d.seq;
+  check int_t "src" 1 d.src;
+  (* Self component of ACK equals the PDU's own seq (Table 1 convention). *)
+  check int_t "ack self" 1 d.ack.(1);
+  check int_t "ack others" 1 d.ack.(0);
+  check Alcotest.string "payload" "payload" d.payload;
+  check int_t "next seq" 2 (Entity.seq_next e)
+
+let test_transmit_seq_increments () =
+  let h, e = make () in
+  ignore (Entity.submit e "a");
+  ignore (Entity.submit e "b");
+  let d2 = data_of (last_sent h) in
+  check int_t "second seq" 2 d2.seq;
+  check int_t "self ack follows" 2 d2.ack.(0)
+
+let test_transmit_ack_reflects_receipts () =
+  let h, e = make ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ());
+  ignore (Entity.submit e "a");
+  let d = data_of (last_sent h) in
+  check int_t "confirms E1's pdu" 2 d.ack.(1);
+  check int_t "E2 untouched" 1 d.ack.(2)
+
+(* --- Acceptance (§4.2) --- *)
+
+let test_accept_in_order () =
+  let _, e = make ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ());
+  check (Alcotest.list int_t) "req" [ 1; 2; 1 ] (Array.to_list (Entity.req e));
+  check int_t "rrl" 1 (Entity.rrl_length e ~src:1);
+  check int_t "accepted" 1 (Entity.metrics e).Metrics.accepted
+
+let test_accept_updates_al () =
+  let _, e = make ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 3; 1; 2 |] ());
+  let al = Entity.al_matrix e in
+  check int_t "informant row" 3 (MC.get al ~row:1 ~col:0);
+  check int_t "informant row c2" 2 (MC.get al ~row:1 ~col:2)
+
+let test_duplicate_discarded () =
+  let _, e = make ~id:0 () in
+  let p = dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] () in
+  Entity.receive e p;
+  Entity.receive e p;
+  check int_t "dup counted" 1 (Entity.metrics e).Metrics.duplicates;
+  check int_t "accepted once" 1 (Entity.metrics e).Metrics.accepted
+
+let test_cid_mismatch_ignored () =
+  let _, e = make ~id:0 () in
+  Entity.receive e (Pdu.data ~cid:9 ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ~buf:1 ~payload:"x");
+  check int_t "nothing accepted" 0 (Entity.metrics e).Metrics.accepted
+
+(* --- Failure detection and recovery (§4.3) --- *)
+
+let test_f1_detects_gap () =
+  (* Figure 6(a): REQ_j = 1, receive seq 2 -> RET with LSEQ 2. *)
+  let h, e = make ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 1; 2; 1 |] ());
+  check int_t "out of order" 1 (Entity.metrics e).Metrics.out_of_order;
+  check int_t "gap detected" 1 (Entity.metrics e).Metrics.gaps_detected;
+  match rets h with
+  | [ r ] ->
+    check int_t "lsrc" 1 r.lsrc;
+    check int_t "lseq" 2 r.lseq;
+    check int_t "ack lower bound" 1 r.ack.(1);
+    check int_t "pending" 1 (Entity.pending_count e)
+  | _ -> Alcotest.fail "expected exactly one RET"
+
+let test_f2_detects_gap () =
+  (* Figure 6(b): E2's PDU confirms having E1's seq<2 while we expect 1. *)
+  let h, e = make ~id:0 () in
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 1; 2; 1 |] ());
+  match rets h with
+  | [ r ] ->
+    check int_t "lsrc is E1" 1 r.lsrc;
+    check int_t "lseq from ack" 2 r.lseq
+  | _ -> Alcotest.fail "expected one RET from F(2)"
+
+let test_gap_fill_drains_pending () =
+  let _, e = make ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 1; 2; 1 |] ());
+  Entity.receive e (dt ~src:1 ~seq:3 ~ack:[| 1; 3; 1 |] ());
+  check int_t "two pending" 2 (Entity.pending_count e);
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ());
+  check int_t "all accepted" 3 (Entity.metrics e).Metrics.accepted;
+  check int_t "pending drained" 0 (Entity.pending_count e);
+  check int_t "req advanced" 4 (Entity.req e).(1)
+
+let test_no_duplicate_ret_for_same_gap () =
+  let h, e = make ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 1; 2; 1 |] ());
+  Entity.receive e (dt ~src:1 ~seq:3 ~ack:[| 1; 3; 1 |] ());
+  (* Second arrival extends the known bound, so a second RET (3) is fine,
+     but a third arrival inside the bound must not re-request. *)
+  let before = List.length (rets h) in
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 1; 2; 1 |] ());
+  check int_t "no new RET inside requested bound" before (List.length (rets h))
+
+let test_ret_answered_with_retransmission () =
+  let h, e = make ~id:0 () in
+  ignore (Entity.submit e "a");
+  ignore (Entity.submit e "b");
+  ignore (Entity.submit e "c");
+  let sent_before = List.length h.sent in
+  Entity.receive e (Pdu.ret ~cid:0 ~src:1 ~lsrc:0 ~lseq:3 ~ack:[| 1; 1; 1 |] ~buf:4);
+  let rebroadcast = List.filteri (fun i _ -> i >= sent_before) h.sent in
+  check int_t "rebroadcast [1,3)" 2 (List.length rebroadcast);
+  check int_t "metric" 2 (Entity.metrics e).Metrics.retransmitted;
+  match List.map data_of rebroadcast with
+  | [ g1; g2 ] ->
+    check int_t "first" 1 g1.seq;
+    check int_t "second" 2 g2.seq
+  | _ -> Alcotest.fail "expected data PDUs"
+
+let test_ret_for_other_entity_ignored () =
+  let h, e = make ~id:0 () in
+  ignore (Entity.submit e "a");
+  let before = List.length h.sent in
+  Entity.receive e (Pdu.ret ~cid:0 ~src:1 ~lsrc:2 ~lseq:3 ~ack:[| 1; 1; 1 |] ~buf:4);
+  check int_t "no rebroadcast" before (List.length h.sent)
+
+let test_ret_timer_reissues () =
+  let h, e = make ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 1; 2; 1 |] ());
+  check int_t "one RET" 1 (List.length (rets h));
+  (* The gap persists; the retry timer must re-request. *)
+  h.clock <- Simtime.of_ms 100;
+  fire_timers h;
+  check int_t "re-requested" 2 (List.length (rets h))
+
+let test_ret_timer_stops_when_recovered () =
+  let h, e = make ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 1; 2; 1 |] ());
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ());
+  h.clock <- Simtime.of_ms 100;
+  fire_timers h;
+  check int_t "no further RET" 1 (List.length (rets h))
+
+(* --- Pre-acknowledgment and acknowledgment (§4.4, §4.5) --- *)
+
+(* Drive a 3-cluster from the viewpoint of entity 0 to a full acknowledgment
+   of its own PDU p: everyone confirms p (pre-ack), then everyone confirms
+   the confirmations (ack). *)
+let test_own_pdu_lifecycle () =
+  let h, e = make ~id:0 () in
+  ignore (Entity.submit e "p");
+  loopback e h;
+  check int_t "own accepted via loopback" 1 (Entity.metrics e).Metrics.accepted;
+  check int_t "undelivered" 1 (Entity.undelivered_data e);
+  (* Round 1: confirmations of p from E1, E2 (empty PDUs, ack_0 = 2). *)
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 2; 1; 1 |] ~payload:"" ());
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 2; 1; 1 |] ~payload:"" ());
+  (* p's own AL row still says 1 (from p itself): p not yet pre-acked. *)
+  check int_t "minal blocked by own row" 1 (Entity.minal e 0);
+  check bool_t "not delivered yet" true (h.delivered = []);
+  (* Entity 0 must confirm the confirmations with its own next PDU. *)
+  ignore (Entity.submit e "");
+  loopback e h;
+  check int_t "minal now 2" 2 (Entity.minal e 0);
+  (* p is pre-acknowledged at entity 0 now. *)
+  check bool_t "preack event seen" true
+    (List.exists
+       (function
+         | Entity.Preacknowledged d -> Pdu.key d = (0, 1)
+         | _ -> false)
+       h.events);
+  (* Round 2: E1/E2 confirm each other's round-1 empties (ack = <3,2,2>);
+     their ack_0 = 3 also confirms entity 0's second PDU. *)
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 3; 2; 2 |] ~payload:"" ());
+  Entity.receive e (dt ~src:2 ~seq:2 ~ack:[| 3; 2; 2 |] ~payload:"" ());
+  (* p's PAL row 0 still shows p's own ACK: entity 0 must confirm once more
+     (in a live cluster the heartbeat does this) before p is acknowledged. *)
+  check int_t "not delivered before own 3rd round" 0 (List.length h.delivered);
+  ignore (Entity.submit e "");
+  loopback e h;
+  check int_t "p delivered" 1 (List.length h.delivered);
+  check int_t "undelivered back to 0" 0 (Entity.undelivered_data e);
+  check (Alcotest.pair int_t int_t) "delivered p" (0, 1) (Pdu.key (List.hd h.delivered))
+
+let test_preack_requires_all_entities () =
+  let h, e = make ~id:0 () in
+  ignore (Entity.submit e "p");
+  loopback e h;
+  ignore (Entity.submit e "");
+  loopback e h;
+  (* Only E1 confirms; E2 silent: p must stay un-pre-acknowledged. *)
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 2; 1; 1 |] ~payload:"" ());
+  check bool_t "no preack yet" true
+    (not
+       (List.exists
+          (function Entity.Preacknowledged _ -> true | _ -> false)
+          h.events));
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 2; 1; 1 |] ~payload:"" ());
+  check bool_t "preack after everyone" true
+    (List.exists
+       (function
+         | Entity.Preacknowledged d -> Pdu.key d = (0, 1)
+         | _ -> false)
+       h.events)
+
+(* --- Example 4.1 / 4.2, replayed literally ---
+
+   Entity 0 plays E1; PDUs b,d,g,h,j,k from E2/E3 are fed with exactly the
+   Table 1 headers; E1's own a,c,e,f,i are produced by submit at the right
+   causal moments and must reproduce Table 1's ACK vectors. *)
+let test_example_4_1_and_4_2 () =
+  let h, e = make ~id:0 () in
+  let submit_and_check name expected_seq expected_ack =
+    ignore (Entity.submit e name);
+    let d = data_of (last_sent h) in
+    check int_t (name ^ ".seq") expected_seq d.seq;
+    check (Alcotest.list int_t) (name ^ ".ack") expected_ack (Array.to_list d.ack);
+    loopback e h
+  in
+  (* a: first PDU of E1. *)
+  submit_and_check "a" 1 [ 1; 1; 1 ];
+  (* c: sent after a, before accepting anything foreign. *)
+  submit_and_check "c" 2 [ 2; 1; 1 ];
+  (* b from E3 and d from E2 arrive (Table 1 headers). *)
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 2; 1; 1 |] ~payload:"b" ());
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 3; 1; 2 |] ~payload:"d" ());
+  (* e, f follow; Table 1 says e.ACK = <3,2,2>, f.ACK = <4,2,2>. *)
+  submit_and_check "e" 3 [ 3; 2; 2 ];
+  submit_and_check "f" 4 [ 4; 2; 2 ];
+  (* g from E2, h from E3. *)
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 4; 2; 2 |] ~payload:"g" ());
+  Entity.receive e (dt ~src:2 ~seq:2 ~ack:[| 5; 3; 2 |] ~payload:"h" ());
+  (* Example 4.1: REQ = <5,3,3> (paper's 1-indexed <5,3,3>). *)
+  check (Alcotest.list int_t) "REQ after h" [ 5; 3; 3 ] (Array.to_list (Entity.req e));
+  (* minAL_1 = 4: a,c,e pre-acknowledged but f not; minAL_2 = minAL_3 = 2. *)
+  check int_t "minAL_1" 4 (Entity.minal e 0);
+  check int_t "minAL_2" 2 (Entity.minal e 1);
+  check int_t "minAL_3" 2 (Entity.minal e 2);
+  (* Figure 7(b) shows PRL = <a c b d e>. Our entity applies the ACK action
+     eagerly, and [a] already satisfies it here (minPAL_1 = 2 once b, d and
+     e are pre-acknowledged), so [a] has moved on to delivery — the paper's
+     snapshot simply defers the ACK action in the narration. The causal
+     order <a c b d e> is preserved across delivered ++ PRL. *)
+  check
+    (Alcotest.list (Alcotest.pair int_t int_t))
+    "a delivered first" [ (0, 1) ]
+    (List.map Pdu.key h.delivered);
+  let prl_keys = List.map Pdu.key (Entity.prl_list e) in
+  check
+    (Alcotest.list (Alcotest.pair int_t int_t))
+    "PRL = <c b d e>"
+    [ (0, 2); (2, 1); (1, 1); (0, 3) ]
+    prl_keys;
+  (* Example 4.2 continues: i from E1 (ours), j from E2, k from E3 confirm
+     everything; then minPAL = <4,2,2> and a,b,c,d,e are acknowledged. *)
+  submit_and_check "i" 5 [ 5; 3; 3 ];
+  Entity.receive e (dt ~src:1 ~seq:3 ~ack:[| 5; 3; 3 |] ~payload:"j" ());
+  Entity.receive e (dt ~src:2 ~seq:3 ~ack:[| 5; 3; 3 |] ~payload:"k" ());
+  check int_t "minPAL_1" 4 (Entity.minpal e 0);
+  check int_t "minPAL_2" 2 (Entity.minpal e 1);
+  check int_t "minPAL_3" 2 (Entity.minpal e 2);
+  (* Delivered (acknowledged data) in the paper's order a c b d e. *)
+  check
+    (Alcotest.list (Alcotest.pair int_t int_t))
+    "delivered order"
+    [ (0, 1); (0, 2); (2, 1); (1, 1); (0, 3) ]
+    (List.map Pdu.key h.delivered)
+
+(* --- Flow condition (§4.2) --- *)
+
+let test_flow_blocks_beyond_window () =
+  let config = { base_config with Config.window = 2 } in
+  let h, e = make ~config ~id:0 () in
+  check bool_t "1 ok" true (Entity.submit e "1");
+  loopback e h;
+  check bool_t "2 ok" true (Entity.submit e "2");
+  loopback e h;
+  check bool_t "3 blocked" false (Entity.submit e "3");
+  check int_t "queued" 1 (Entity.queued_requests e);
+  check int_t "metric" 1 (Entity.metrics e).Metrics.flow_blocked;
+  (* Confirmations from both peers slide minAL to 3 -> pump sends it. *)
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 3; 1; 1 |] ~payload:"" ());
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 3; 1; 1 |] ~payload:"" ());
+  check int_t "pumped" 0 (Entity.queued_requests e);
+  check int_t "three data sent" 3 (Entity.metrics e).Metrics.data_sent
+
+let test_flow_respects_peer_buffer () =
+  (* minBUF/(H·2n) = 6/6 = 1 with n=3: window collapses to 1. *)
+  let h, e = make ~id:0 () in
+  Entity.receive e (Pdu.data ~cid:0 ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ~buf:6 ~payload:"");
+  ignore h;
+  check bool_t "first ok" true (Entity.submit e "1");
+  check bool_t "second blocked" false (Entity.submit e "2")
+
+let test_submit_queue_fifo () =
+  let config = { base_config with Config.window = 1 } in
+  let h, e = make ~config ~id:0 () in
+  ignore (Entity.submit e "first");
+  loopback e h;
+  ignore (Entity.submit e "second");
+  ignore (Entity.submit e "third");
+  (* Window 1: each round of confirmations releases one queued request. *)
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 2; 1; 1 |] ~payload:"" ());
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 2; 1; 1 |] ~payload:"" ());
+  check int_t "one released" 1 (Entity.queued_requests e);
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 3; 2; 2 |] ~payload:"" ());
+  Entity.receive e (dt ~src:2 ~seq:2 ~ack:[| 3; 2; 2 |] ~payload:"" ());
+  let payloads =
+    List.filter_map
+      (function
+        | Pdu.Data d when not (Pdu.is_confirmation d) -> Some d.payload
+        | Pdu.Data _ | Pdu.Ret _ | Pdu.Ctl _ -> None)
+      h.sent
+  in
+  check (Alcotest.list Alcotest.string) "fifo" [ "first"; "second"; "third" ] payloads
+
+(* --- Deferred confirmation --- *)
+
+let test_immediate_confirms_data () =
+  let config = { base_config with Config.defer = Config.Immediate } in
+  let h, e = make ~config ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ~payload:"data" ());
+  let confirmations =
+    List.filter_map
+      (function
+        | Pdu.Data d when Pdu.is_confirmation d -> Some d
+        | Pdu.Data _ | Pdu.Ret _ | Pdu.Ctl _ -> None)
+      h.sent
+  in
+  check int_t "one confirmation" 1 (List.length confirmations);
+  check int_t "confirms receipt" 2 (List.hd confirmations).ack.(1)
+
+let test_deferred_waits_for_all () =
+  let config =
+    { base_config with Config.defer = Config.Deferred { timeout = Simtime.of_ms 5 } }
+  in
+  let h, e = make ~config ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ~payload:"d1" ());
+  check int_t "no confirmation yet" 0 (Entity.metrics e).Metrics.confirmations_sent;
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 1; 1; 1 |] ~payload:"d2" ());
+  check int_t "one deferred confirmation" 1
+    (Entity.metrics e).Metrics.confirmations_sent;
+  let d = data_of (last_sent h) in
+  check (Alcotest.list int_t) "confirms both" [ 1; 2; 2 ] (Array.to_list d.ack)
+
+let test_deferred_timeout_confirms () =
+  let config =
+    { base_config with Config.defer = Config.Deferred { timeout = Simtime.of_ms 5 } }
+  in
+  let h, e = make ~config ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ~payload:"d1" ());
+  check int_t "nothing yet" 0 (Entity.metrics e).Metrics.confirmations_sent;
+  h.clock <- Simtime.of_ms 5;
+  fire_timers h;
+  check int_t "timeout confirmation" 1 (Entity.metrics e).Metrics.confirmations_sent
+
+let test_quiescent_entity_stays_silent () =
+  let config =
+    { base_config with Config.defer = Config.Deferred { timeout = Simtime.of_ms 5 } }
+  in
+  let h, e = make ~config ~id:0 () in
+  (* A pure confirmation arrives; we hold no undelivered data, so we must
+     not answer (no infinite empty ping-pong). *)
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ~payload:"" ());
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 1; 1; 1 |] ~payload:"" ());
+  h.clock <- Simtime.of_ms 50;
+  fire_timers h;
+  check int_t "silent" 0 (Entity.metrics e).Metrics.confirmations_sent;
+  check int_t "no data sent" 0 (Entity.metrics e).Metrics.data_sent;
+  ignore h.sent
+
+(* --- Anti-entropy --- *)
+
+let test_anti_entropy_helps_stale_peer () =
+  let config = { base_config with Config.anti_entropy = true } in
+  let h, e = make ~config ~id:0 () in
+  (* We have E2's pdu 1. *)
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 1; 1; 1 |] ());
+  (* E1's pdu still claims to expect E2's pdu 1: E1 is behind. *)
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ());
+  match h.unicasts with
+  | [ (dst, Pdu.Ctl c) ] ->
+    check int_t "sent to stale peer" 1 dst;
+    check int_t "carries our req for E2" 2 c.ack.(2)
+  | _ -> Alcotest.fail "expected one CTL unicast"
+
+let test_anti_entropy_rate_limited () =
+  let config = { base_config with Config.anti_entropy = true } in
+  let h, e = make ~config ~id:0 () in
+  Entity.receive e (dt ~src:2 ~seq:1 ~ack:[| 1; 1; 1 |] ());
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |] ());
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 1; 2; 1 |] ());
+  check int_t "one ctl despite two stale PDUs" 1 (List.length h.unicasts)
+
+let test_ctl_triggers_gap_detection () =
+  let h, e = make ~id:0 () in
+  Entity.receive e (Pdu.ctl ~cid:0 ~src:1 ~ack:[| 1; 1; 3 |] ~buf:4);
+  match rets h with
+  | [ r ] ->
+    check int_t "gap at E2" 2 r.lsrc;
+    check int_t "bound" 3 r.lseq
+  | _ -> Alcotest.fail "expected RET from CTL"
+
+let test_ctl_does_not_raise_al () =
+  let _, e = make ~id:0 () in
+  let before = Entity.minal e 1 in
+  Entity.receive e (Pdu.ctl ~cid:0 ~src:2 ~ack:[| 5; 5; 5 |] ~buf:4);
+  check int_t "AL untouched by CTL" before (Entity.minal e 1)
+
+(* --- Transitive vs Direct causality (DESIGN.md §7) --- *)
+
+let transitive_scenario mode =
+  (* n=4: E0 sends p; E1 (having p) sends x; E2 (having x but NOT p) sends q.
+     Observer is entity 3. Real order: p ≺ x ≺ q. *)
+  let config = { base_config with Config.causality_mode = mode } in
+  let _, e = make ~config ~id:3 ~n:4 () in
+  let p = dt ~src:0 ~seq:1 ~ack:[| 1; 1; 1; 1 |] ~payload:"p" () in
+  let x = dt ~src:1 ~seq:1 ~ack:[| 2; 1; 1; 1 |] ~payload:"x" () in
+  let q = dt ~src:2 ~seq:1 ~ack:[| 1; 2; 1; 1 |] ~payload:"q" () in
+  Entity.receive e x;
+  Entity.receive e q;
+  Entity.receive e p;
+  let dp = data_of p and dq = data_of q in
+  Entity.causally_precedes e dp dq
+
+(* --- Fuzzing: arbitrary (even inconsistent) PDU streams must never crash
+   the entity or break its structural invariants. --- *)
+
+let fuzz_ops_gen =
+  let open QCheck.Gen in
+  let n = 4 in
+  let pdu_gen =
+    int_range 1 (n - 1) >>= fun src ->
+    int_range 1 20 >>= fun seq ->
+    array_size (return n) (int_range 1 25) >>= fun ack ->
+    int_range 0 64 >>= fun buf ->
+    oneofl [ "x"; "" ] >>= fun payload ->
+    return (`Data (src, seq, ack, buf, payload))
+  in
+  let ret_gen =
+    int_range 1 (n - 1) >>= fun src ->
+    int_range 0 (n - 1) >>= fun lsrc ->
+    int_range 1 25 >>= fun lseq ->
+    array_size (return n) (int_range 1 25) >>= fun ack ->
+    return (`Ret (src, lsrc, lseq, ack))
+  in
+  let ctl_gen =
+    int_range 1 (n - 1) >>= fun src ->
+    array_size (return n) (int_range 1 25) >>= fun ack ->
+    return (`Ctl (src, ack))
+  in
+  list_size (1 -- 60)
+    (frequency
+       [ (5, pdu_gen); (2, ret_gen); (2, ctl_gen); (2, return `Submit);
+         (1, return `Fire_timers) ])
+
+let arb_fuzz_ops = QCheck.make fuzz_ops_gen
+
+let prop_entity_survives_hostile_streams mode =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "entity invariants hold under hostile PDUs (%s)"
+         (match mode with Config.Direct -> "direct" | _ -> "transitive"))
+    ~count:120 arb_fuzz_ops
+    (fun ops ->
+      let config =
+        { Config.default with Config.anti_entropy = true; causality_mode = mode }
+      in
+      let h, e = make ~config ~id:0 ~n:4 () in
+      let prev_req = ref (Entity.req e) in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Data (src, seq, ack, buf, payload) ->
+            Entity.receive e (Pdu.data ~cid:0 ~src ~seq ~ack ~buf ~payload)
+          | `Ret (src, lsrc, lseq, ack) ->
+            Entity.receive e (Pdu.ret ~cid:0 ~src ~lsrc ~lseq ~ack ~buf:8)
+          | `Ctl (src, ack) -> Entity.receive e (Pdu.ctl ~cid:0 ~src ~ack ~buf:8)
+          | `Submit -> ignore (Entity.submit e "payload")
+          | `Fire_timers ->
+            h.clock <- Simtime.add h.clock (Simtime.of_ms 25);
+            fire_timers h);
+          let req = Entity.req e in
+          let monotone =
+            Array.for_all2 (fun before after -> after >= before) !prev_req req
+          in
+          prev_req := req;
+          let m = Entity.metrics e in
+          monotone
+          && m.Metrics.delivered <= m.Metrics.accepted
+          && Entity.buffered e >= List.length (Entity.prl_list e)
+          && Repro_core.Precedence.is_causality_preserved
+               ~precedes:(Entity.causally_precedes e)
+               (Entity.prl_list e))
+        ops)
+
+let test_direct_misses_transitive_chain () =
+  check bool_t "paper's rule says concurrent" false
+    (transitive_scenario Config.Direct)
+
+let test_transitive_detects_chain () =
+  check bool_t "closure finds p ≺ q" true (transitive_scenario Config.Transitive)
+
+let () =
+  Alcotest.run "entity"
+    [
+      ( "transmission",
+        [
+          Alcotest.test_case "fields" `Quick test_transmit_fields;
+          Alcotest.test_case "seq increments" `Quick test_transmit_seq_increments;
+          Alcotest.test_case "ack reflects receipts" `Quick
+            test_transmit_ack_reflects_receipts;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "in order" `Quick test_accept_in_order;
+          Alcotest.test_case "updates AL" `Quick test_accept_updates_al;
+          Alcotest.test_case "duplicate" `Quick test_duplicate_discarded;
+          Alcotest.test_case "cid mismatch" `Quick test_cid_mismatch_ignored;
+        ] );
+      ( "failure recovery",
+        [
+          Alcotest.test_case "F(1)" `Quick test_f1_detects_gap;
+          Alcotest.test_case "F(2)" `Quick test_f2_detects_gap;
+          Alcotest.test_case "gap fill" `Quick test_gap_fill_drains_pending;
+          Alcotest.test_case "RET dedup" `Quick test_no_duplicate_ret_for_same_gap;
+          Alcotest.test_case "RET answered" `Quick test_ret_answered_with_retransmission;
+          Alcotest.test_case "RET other entity" `Quick test_ret_for_other_entity_ignored;
+          Alcotest.test_case "RET retry" `Quick test_ret_timer_reissues;
+          Alcotest.test_case "RET retry stops" `Quick test_ret_timer_stops_when_recovered;
+        ] );
+      ( "atomicity",
+        [
+          Alcotest.test_case "own pdu lifecycle" `Quick test_own_pdu_lifecycle;
+          Alcotest.test_case "preack needs all" `Quick test_preack_requires_all_entities;
+          Alcotest.test_case "examples 4.1/4.2" `Quick test_example_4_1_and_4_2;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "blocks beyond window" `Quick test_flow_blocks_beyond_window;
+          Alcotest.test_case "respects peer buffer" `Quick test_flow_respects_peer_buffer;
+          Alcotest.test_case "queue fifo" `Quick test_submit_queue_fifo;
+        ] );
+      ( "confirmation",
+        [
+          Alcotest.test_case "immediate" `Quick test_immediate_confirms_data;
+          Alcotest.test_case "deferred waits for all" `Quick test_deferred_waits_for_all;
+          Alcotest.test_case "deferred timeout" `Quick test_deferred_timeout_confirms;
+          Alcotest.test_case "quiescent silence" `Quick test_quiescent_entity_stays_silent;
+        ] );
+      ( "anti-entropy & ctl",
+        [
+          Alcotest.test_case "helps stale peer" `Quick test_anti_entropy_helps_stale_peer;
+          Alcotest.test_case "rate limited" `Quick test_anti_entropy_rate_limited;
+          Alcotest.test_case "ctl gap detection" `Quick test_ctl_triggers_gap_detection;
+          Alcotest.test_case "ctl does not raise AL" `Quick test_ctl_does_not_raise_al;
+        ] );
+      ( "causality modes",
+        [
+          Alcotest.test_case "direct misses chain" `Quick
+            test_direct_misses_transitive_chain;
+          Alcotest.test_case "transitive detects chain" `Quick
+            test_transitive_detects_chain;
+        ] );
+      ( "fuzz",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            prop_entity_survives_hostile_streams Config.Direct;
+            prop_entity_survives_hostile_streams Config.Transitive;
+          ] );
+    ]

@@ -1,0 +1,227 @@
+module Pdu = Repro_pdu.Pdu
+module Codec = Repro_pdu.Codec
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let mk_data ?(cid = 0) ?(src = 0) ?(seq = 1) ?(ack = [| 1; 1; 1 |]) ?(buf = 8)
+    ?(payload = "hello") () =
+  Pdu.data ~cid ~src ~seq ~ack ~buf ~payload
+
+(* --- Constructors --- *)
+
+let test_data_fields () =
+  match mk_data ~src:1 ~seq:3 ~payload:"xy" () with
+  | Pdu.Data d ->
+    check int_t "src" 1 d.src;
+    check int_t "seq" 3 d.seq;
+    check Alcotest.string "payload" "xy" d.payload;
+    check (Alcotest.pair int_t int_t) "key" (1, 3) (Pdu.key d);
+    check bool_t "not confirmation" false (Pdu.is_confirmation d)
+  | Pdu.Ret _ | Pdu.Ctl _ -> Alcotest.fail "wrong kind"
+
+let test_data_confirmation () =
+  match mk_data ~payload:"" () with
+  | Pdu.Data d -> check bool_t "confirmation" true (Pdu.is_confirmation d)
+  | Pdu.Ret _ | Pdu.Ctl _ -> Alcotest.fail "wrong kind"
+
+let test_data_validation () =
+  Alcotest.check_raises "seq 0" (Invalid_argument "Pdu.data: seq must be >= 1")
+    (fun () -> ignore (mk_data ~seq:0 ()));
+  Alcotest.check_raises "src range" (Invalid_argument "Pdu.data: src out of range")
+    (fun () -> ignore (mk_data ~src:3 ()));
+  Alcotest.check_raises "empty ack" (Invalid_argument "Pdu.data: empty ack vector")
+    (fun () -> ignore (mk_data ~ack:[||] ()));
+  Alcotest.check_raises "ack below 1" (Invalid_argument "Pdu.data: ack below 1")
+    (fun () -> ignore (mk_data ~ack:[| 1; 0; 1 |] ()))
+
+let test_data_ack_copied () =
+  let ack = [| 1; 1; 1 |] in
+  match mk_data ~ack () with
+  | Pdu.Data d ->
+    ack.(0) <- 99;
+    check int_t "insulated" 1 d.ack.(0)
+  | Pdu.Ret _ | Pdu.Ctl _ -> Alcotest.fail "wrong kind"
+
+let test_ret_fields () =
+  match Pdu.ret ~cid:1 ~src:2 ~lsrc:0 ~lseq:5 ~ack:[| 4; 1; 3 |] ~buf:7 with
+  | Pdu.Ret r ->
+    check int_t "lsrc" 0 r.lsrc;
+    check int_t "lseq" 5 r.lseq;
+    check int_t "lower bound from ack" 4 r.ack.(r.lsrc)
+  | Pdu.Data _ | Pdu.Ctl _ -> Alcotest.fail "wrong kind"
+
+let test_ret_validation () =
+  Alcotest.check_raises "lsrc range" (Invalid_argument "Pdu.ret: lsrc out of range")
+    (fun () -> ignore (Pdu.ret ~cid:0 ~src:0 ~lsrc:5 ~lseq:1 ~ack:[| 1; 1 |] ~buf:0))
+
+let test_ctl_fields () =
+  match Pdu.ctl ~cid:0 ~src:1 ~ack:[| 2; 3 |] ~buf:4 with
+  | Pdu.Ctl c ->
+    check int_t "src" 1 c.src;
+    check int_t "buf" 4 c.buf
+  | Pdu.Data _ | Pdu.Ret _ -> Alcotest.fail "wrong kind"
+
+let test_accessors () =
+  let d = mk_data ~src:2 () in
+  check int_t "cluster size" 3 (Pdu.cluster_size d);
+  check int_t "src" 2 (Pdu.src d)
+
+let test_equal () =
+  let a = mk_data () and b = mk_data () in
+  check bool_t "equal" true (Pdu.equal a b);
+  check bool_t "differs payload" false (Pdu.equal a (mk_data ~payload:"z" ()));
+  check bool_t "kind differs" false
+    (Pdu.equal a (Pdu.ctl ~cid:0 ~src:0 ~ack:[| 1; 1; 1 |] ~buf:8))
+
+let test_pp () =
+  let s = Pdu.to_string (mk_data ()) in
+  check bool_t "pp nonempty" true (String.length s > 5)
+
+(* --- Codec --- *)
+
+let roundtrip pdu =
+  match Codec.decode (Codec.encode pdu) with
+  | Ok decoded -> Pdu.equal pdu decoded
+  | Error _ -> false
+
+let test_codec_roundtrip_data () =
+  check bool_t "data" true (roundtrip (mk_data ()));
+  check bool_t "empty payload" true (roundtrip (mk_data ~payload:"" ()));
+  check bool_t "big fields" true
+    (roundtrip (mk_data ~cid:77 ~seq:100000 ~ack:[| 99999; 1; 12 |] ~buf:500 ()))
+
+let test_codec_roundtrip_ret () =
+  check bool_t "ret" true
+    (roundtrip (Pdu.ret ~cid:3 ~src:1 ~lsrc:2 ~lseq:44 ~ack:[| 7; 8; 9 |] ~buf:2))
+
+let test_codec_roundtrip_ctl () =
+  check bool_t "ctl" true (roundtrip (Pdu.ctl ~cid:9 ~src:0 ~ack:[| 5; 6 |] ~buf:1))
+
+let test_codec_encoded_size_matches () =
+  List.iter
+    (fun pdu ->
+      check int_t "size" (Bytes.length (Codec.encode pdu)) (Codec.encoded_size pdu))
+    [
+      mk_data ();
+      mk_data ~payload:"" ();
+      Pdu.ret ~cid:0 ~src:0 ~lsrc:1 ~lseq:2 ~ack:[| 1; 1 |] ~buf:0;
+      Pdu.ctl ~cid:0 ~src:0 ~ack:[| 1 |] ~buf:0;
+    ]
+
+let test_codec_header_linear_in_n () =
+  (* The paper's §5 claim: PDU length is O(n). *)
+  let h n = Codec.header_size ~kind:`Data ~n in
+  check int_t "delta is 4 bytes per entity" 4 (h 6 - h 5);
+  check int_t "delta is uniform" (h 10 - h 9) (h 3 - h 2)
+
+let test_codec_truncated () =
+  let b = Codec.encode (mk_data ()) in
+  let short = Bytes.sub b 0 (Bytes.length b - 3) in
+  check bool_t "truncated" true (Codec.decode short = Error Codec.Truncated)
+
+let test_codec_bad_kind () =
+  let b = Codec.encode (mk_data ()) in
+  Bytes.set_uint8 b 0 9;
+  check bool_t "bad kind" true (Codec.decode b = Error (Codec.Bad_kind 9))
+
+let test_codec_trailing () =
+  let b = Codec.encode (mk_data ()) in
+  let padded = Bytes.cat b (Bytes.of_string "xx") in
+  check bool_t "trailing" true (Codec.decode padded = Error (Codec.Trailing 2))
+
+let test_codec_empty_buffer () =
+  check bool_t "empty" true (Codec.decode Bytes.empty = Error Codec.Truncated)
+
+let test_codec_golden_bytes () =
+  (* Byte-exact layout: changing the wire format must be a conscious act. *)
+  let pdu = Pdu.data ~cid:1 ~src:2 ~seq:3 ~ack:[| 4; 5; 6 |] ~buf:7 ~payload:"hi" in
+  let hex b =
+    String.concat "" (List.map (Printf.sprintf "%02x") (List.init (Bytes.length b)
+      (fun i -> Bytes.get_uint8 b i)))
+  in
+  check Alcotest.string "DT golden"
+    "000000000100020000000300000007000300000004000000050000000600000002hi6869"
+    (let b = Codec.encode pdu in
+     (* kind cid src seq buf n ack*3 len payload; compare prefix + suffix *)
+     hex (Bytes.sub b 0 (Bytes.length b - 2)) ^ "hi" ^ hex (Bytes.sub b (Bytes.length b - 2) 2))
+
+let test_codec_pp_error () =
+  let s = Format.asprintf "%a" Codec.pp_error (Codec.Bad_kind 3) in
+  check bool_t "nonempty" true (String.length s > 0)
+
+let gen_pdu =
+  let open QCheck.Gen in
+  let gen_ack n = array_size (return n) (int_range 1 1000) in
+  let gen_n = int_range 1 8 in
+  let gen_data =
+    gen_n >>= fun n ->
+    gen_ack n >>= fun ack ->
+    int_range 0 (n - 1) >>= fun src ->
+    int_range 1 100000 >>= fun seq ->
+    int_range 0 100 >>= fun buf ->
+    string_size (int_range 0 64) >>= fun payload ->
+    return (Pdu.data ~cid:0 ~src ~seq ~ack ~buf ~payload)
+  in
+  let gen_ret =
+    gen_n >>= fun n ->
+    gen_ack n >>= fun ack ->
+    int_range 0 (n - 1) >>= fun src ->
+    int_range 0 (n - 1) >>= fun lsrc ->
+    int_range 1 100000 >>= fun lseq ->
+    int_range 0 100 >>= fun buf ->
+    return (Pdu.ret ~cid:0 ~src ~lsrc ~lseq ~ack ~buf)
+  in
+  let gen_ctl =
+    gen_n >>= fun n ->
+    gen_ack n >>= fun ack ->
+    int_range 0 (n - 1) >>= fun src ->
+    int_range 0 100 >>= fun buf ->
+    return (Pdu.ctl ~cid:0 ~src ~ack ~buf)
+  in
+  oneof [ gen_data; gen_ret; gen_ctl ]
+
+let arb_pdu = QCheck.make ~print:Pdu.to_string gen_pdu
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrips all PDUs" ~count:500 arb_pdu roundtrip
+
+let prop_codec_size =
+  QCheck.Test.make ~name:"encoded_size is exact" ~count:200 arb_pdu (fun pdu ->
+      Bytes.length (Codec.encode pdu) = Codec.encoded_size pdu)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "pdu"
+    [
+      ( "constructors",
+        [
+          Alcotest.test_case "data fields" `Quick test_data_fields;
+          Alcotest.test_case "confirmation" `Quick test_data_confirmation;
+          Alcotest.test_case "validation" `Quick test_data_validation;
+          Alcotest.test_case "ack copied" `Quick test_data_ack_copied;
+          Alcotest.test_case "ret fields" `Quick test_ret_fields;
+          Alcotest.test_case "ret validation" `Quick test_ret_validation;
+          Alcotest.test_case "ctl fields" `Quick test_ctl_fields;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip data" `Quick test_codec_roundtrip_data;
+          Alcotest.test_case "roundtrip ret" `Quick test_codec_roundtrip_ret;
+          Alcotest.test_case "roundtrip ctl" `Quick test_codec_roundtrip_ctl;
+          Alcotest.test_case "encoded size" `Quick test_codec_encoded_size_matches;
+          Alcotest.test_case "header O(n)" `Quick test_codec_header_linear_in_n;
+          Alcotest.test_case "truncated" `Quick test_codec_truncated;
+          Alcotest.test_case "bad kind" `Quick test_codec_bad_kind;
+          Alcotest.test_case "trailing" `Quick test_codec_trailing;
+          Alcotest.test_case "empty" `Quick test_codec_empty_buffer;
+          Alcotest.test_case "golden bytes" `Quick test_codec_golden_bytes;
+          Alcotest.test_case "pp error" `Quick test_codec_pp_error;
+        ]
+        @ qsuite [ prop_codec_roundtrip; prop_codec_size ] );
+    ]

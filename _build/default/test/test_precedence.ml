@@ -1,0 +1,282 @@
+module Pdu = Repro_pdu.Pdu
+module Precedence = Repro_core.Precedence
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let d ~src ~seq ~ack ?(payload = "x") () =
+  match Pdu.data ~cid:0 ~src ~seq ~ack ~buf:8 ~payload with
+  | Pdu.Data d -> d
+  | Pdu.Ret _ | Pdu.Ctl _ -> assert false
+
+(* The eight PDUs of the paper's Example 4.1, Table 1 (entities E1,E2,E3
+   mapped to ids 0,1,2). *)
+let a = d ~src:0 ~seq:1 ~ack:[| 1; 1; 1 |] ()
+let b = d ~src:2 ~seq:1 ~ack:[| 2; 1; 1 |] ()
+let c = d ~src:0 ~seq:2 ~ack:[| 2; 1; 1 |] ()
+let dd = d ~src:1 ~seq:1 ~ack:[| 3; 1; 2 |] ()
+let e = d ~src:0 ~seq:3 ~ack:[| 3; 2; 2 |] ()
+let f = d ~src:0 ~seq:4 ~ack:[| 4; 2; 2 |] ()
+let g = d ~src:1 ~seq:2 ~ack:[| 4; 2; 2 |] ()
+let h = d ~src:2 ~seq:2 ~ack:[| 5; 3; 2 |] ()
+
+let name_of p =
+  let table =
+    [ (a, "a"); (b, "b"); (c, "c"); (dd, "d"); (e, "e"); (f, "f"); (g, "g"); (h, "h") ]
+  in
+  match List.find_opt (fun (q, _) -> Pdu.key q = Pdu.key p) table with
+  | Some (_, s) -> s
+  | None -> "?"
+
+(* --- Theorem 4.1 --- *)
+
+let test_same_source_order () =
+  check bool_t "a ≺ c" true (Precedence.precedes a c);
+  check bool_t "c ≺ e" true (Precedence.precedes c e);
+  check bool_t "e ≺ f" true (Precedence.precedes e f);
+  check bool_t "a ≺ f (transitive, same src)" true (Precedence.precedes a f);
+  check bool_t "not c ≺ a" false (Precedence.precedes c a)
+
+let test_cross_source_order () =
+  (* From the paper: c ≺ d because c.SEQ (2) < d.ACK_1 (3). *)
+  check bool_t "c ≺ d" true (Precedence.precedes c dd);
+  (* d ≺ e because d.SEQ (1) < e.ACK_2 (2). *)
+  check bool_t "d ≺ e" true (Precedence.precedes dd e);
+  check bool_t "a ≺ b" true (Precedence.precedes a b);
+  check bool_t "b ≺ d" true (Precedence.precedes b dd);
+  check bool_t "not d ≺ c" false (Precedence.precedes dd c)
+
+let test_concurrent_pair () =
+  (* The paper notes b ∥ c (causality-coincident). *)
+  check bool_t "b ∥ c" true (Precedence.concurrent b c);
+  check bool_t "not b ≺ c" false (Precedence.precedes b c);
+  check bool_t "not c ≺ b" false (Precedence.precedes c b)
+
+let test_irreflexive () =
+  List.iter
+    (fun p ->
+      check bool_t ("not " ^ name_of p ^ " ≺ itself") false (Precedence.precedes p p))
+    [ a; b; c; dd; e; f; g; h ]
+
+let test_concurrent_not_self () =
+  check bool_t "p not concurrent with itself" false (Precedence.concurrent a a)
+
+(* --- Lemma 4.2 --- *)
+
+let test_ack_consistent_table1 () =
+  (* For every ≺ pair of Table 1 the ACK vectors must be consistent. *)
+  let all = [ a; b; c; dd; e; f; g; h ] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if Precedence.precedes p q then
+            check bool_t
+              (Printf.sprintf "Lemma 4.2 for %s ≺ %s" (name_of p) (name_of q))
+              true
+              (Precedence.ack_consistent p q))
+        all)
+    all
+
+let test_ack_consistent_detects_violation () =
+  (* p ≺ q but q's ACK is behind p's somewhere: inconsistency. *)
+  let p = d ~src:0 ~seq:1 ~ack:[| 1; 5; 1 |] () in
+  let q = d ~src:1 ~seq:1 ~ack:[| 2; 1; 1 |] () in
+  check bool_t "p ≺ q" true (Precedence.precedes p q);
+  check bool_t "violation detected" false (Precedence.ack_consistent p q)
+
+let test_ack_consistent_trivial_when_unordered () =
+  check bool_t "unordered pairs are vacuously consistent" true
+    (Precedence.ack_consistent c b)
+
+(* --- CPI --- *)
+
+let keys l = List.map Pdu.key l
+
+let test_cpi_example_4_1 () =
+  (* The paper's insertion sequence: PRL grows a; then c,e; then d between c
+     and e; then b between c and d — final order ⟨a c b d e⟩. *)
+  let prl = [ a ] in
+  let prl = Precedence.cpi_insert prl c in
+  let prl = Precedence.cpi_insert prl e in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "after c,e" (keys [ a; c; e ]) (keys prl);
+  let prl = Precedence.cpi_insert prl dd in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "d between c and e" (keys [ a; c; dd; e ]) (keys prl);
+  let prl = Precedence.cpi_insert prl b in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "b between c and d" (keys [ a; c; b; dd; e ]) (keys prl)
+
+let test_cpi_empty () =
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "singleton" (keys [ a ]) (keys (Precedence.cpi_insert [] a))
+
+let test_cpi_prepends_predecessor () =
+  (* Inserting a after c must place a first. *)
+  let prl = Precedence.cpi_insert [ c ] a in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "a first" (keys [ a; c ]) (keys prl)
+
+let test_cpi_concurrent_goes_after () =
+  (* b ∥ c: the paper's rule (2-3) appends the newcomer after. *)
+  let prl = Precedence.cpi_insert [ c ] b in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "tail bias" (keys [ c; b ]) (keys prl)
+
+let test_cpi_rejects_corrupt_log () =
+  (* A log with e before a is not causality-preserved; inserting c (a ≺ c ≺ e)
+     has no valid position. *)
+  Alcotest.check_raises "corrupt"
+    (Invalid_argument "Precedence.cpi_insert: log not causality-preserved")
+    (fun () -> ignore (Precedence.cpi_insert [ e; a ] c))
+
+let test_is_causality_preserved () =
+  check bool_t "good log" true (Precedence.is_causality_preserved [ a; c; b; dd; e ]);
+  check bool_t "bad log" false (Precedence.is_causality_preserved [ dd; c ]);
+  check bool_t "empty" true (Precedence.is_causality_preserved [])
+
+let test_sort_causal () =
+  let sorted = Precedence.sort_causal [ e; dd; a; c; b ] in
+  check bool_t "sorted is causality-preserved" true
+    (Precedence.is_causality_preserved sorted);
+  check Alcotest.int "same length" 5 (List.length sorted)
+
+let test_custom_precedes () =
+  (* CPI honours a caller-supplied order: force b ≺ c. *)
+  let custom p q = Pdu.key p = Pdu.key b && Pdu.key q = Pdu.key c in
+  let prl = Precedence.cpi_insert ~precedes:custom [ c ] b in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "custom order" (keys [ b; c ]) (keys prl)
+
+(* --- Random-trace property: Theorem 4.1 agrees with ground truth for
+   one-hop relations, and the generated CPI logs stay causality-preserved. ---
+
+   We simulate a small cluster of "mini entities" that send PDUs with
+   correctly maintained REQ vectors (acceptance in per-source order), build
+   the real happened-before with the Causality tracker, and compare. *)
+
+type mini = { req : int array; mutable next : int }
+
+let gen_trace n steps seed =
+  let rng = Repro_util.Prng.create ~seed in
+  let minis = Array.init n (fun _ -> { req = Array.make n 1; next = 1 }) in
+  let pdus = Hashtbl.create 64 in
+  (* (src,seq) -> Pdu.data *)
+  let causality = Repro_clock.Causality.create ~n in
+  let tag (src, seq) = (src * 1000) + seq in
+  let all = ref [] in
+  for _ = 1 to steps do
+    let actor = Repro_util.Prng.int rng n in
+    let m = minis.(actor) in
+    if Repro_util.Prng.bool rng then begin
+      (* send *)
+      let ack = Array.copy m.req in
+      ack.(actor) <- m.next;
+      let p = d ~src:actor ~seq:m.next ~ack () in
+      Hashtbl.replace pdus (actor, m.next) p;
+      Repro_clock.Causality.send causality ~entity:actor ~msg:(tag (actor, m.next));
+      all := p :: !all;
+      m.next <- m.next + 1;
+      (* sender accepts its own pdu *)
+      m.req.(actor) <- m.next
+    end
+    else begin
+      (* accept the next in-order pdu from a random source, if it exists *)
+      let src = Repro_util.Prng.int rng n in
+      if src <> actor then begin
+        let seq = m.req.(src) in
+        match Hashtbl.find_opt pdus (src, seq) with
+        | Some _ ->
+          m.req.(src) <- seq + 1;
+          Repro_clock.Causality.receive causality ~entity:actor ~msg:(tag (src, seq))
+        | None -> ()
+      end
+    end
+  done;
+  (!all, causality, tag)
+
+let prop_theorem41_sound =
+  QCheck.Test.make ~name:"Theorem 4.1 order implies real happened-before"
+    ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let pdus, causality, tag = gen_trace 4 60 seed in
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun q ->
+              (not (Precedence.precedes p q))
+              || Repro_clock.Causality.msg_precedes causality (tag (Pdu.key p))
+                   (tag (Pdu.key q)))
+            pdus)
+        pdus)
+
+let prop_cpi_preserves =
+  QCheck.Test.make
+    ~name:"CPI with the true (transitive) relation keeps the log preserved"
+    ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let pdus, causality, tag = gen_trace 4 60 seed in
+      let precedes p q =
+        Repro_clock.Causality.msg_precedes causality (tag (Pdu.key p))
+          (tag (Pdu.key q))
+      in
+      let log =
+        List.fold_left (fun acc p -> Precedence.cpi_insert ~precedes acc p) [] pdus
+      in
+      Precedence.is_causality_preserved ~precedes log)
+
+let prop_cpi_lenient_never_raises =
+  QCheck.Test.make
+    ~name:"lenient CPI never raises, even with the Direct relation" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let pdus, _, _ = gen_trace 4 60 seed in
+      let log =
+        List.fold_left (fun acc p -> Precedence.cpi_insert_lenient acc p) [] pdus
+      in
+      List.length log = List.length pdus)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "precedence"
+    [
+      ( "theorem 4.1",
+        [
+          Alcotest.test_case "same source" `Quick test_same_source_order;
+          Alcotest.test_case "cross source" `Quick test_cross_source_order;
+          Alcotest.test_case "concurrent b/c" `Quick test_concurrent_pair;
+          Alcotest.test_case "irreflexive" `Quick test_irreflexive;
+          Alcotest.test_case "concurrent not self" `Quick test_concurrent_not_self;
+        ] );
+      ( "lemma 4.2",
+        [
+          Alcotest.test_case "table 1 consistent" `Quick test_ack_consistent_table1;
+          Alcotest.test_case "detects violation" `Quick
+            test_ack_consistent_detects_violation;
+          Alcotest.test_case "vacuous when unordered" `Quick
+            test_ack_consistent_trivial_when_unordered;
+        ] );
+      ( "cpi",
+        [
+          Alcotest.test_case "example 4.1 order" `Quick test_cpi_example_4_1;
+          Alcotest.test_case "empty log" `Quick test_cpi_empty;
+          Alcotest.test_case "prepends predecessor" `Quick test_cpi_prepends_predecessor;
+          Alcotest.test_case "concurrent tail bias" `Quick
+            test_cpi_concurrent_goes_after;
+          Alcotest.test_case "rejects corrupt log" `Quick test_cpi_rejects_corrupt_log;
+          Alcotest.test_case "is_causality_preserved" `Quick
+            test_is_causality_preserved;
+          Alcotest.test_case "sort_causal" `Quick test_sort_causal;
+          Alcotest.test_case "custom precedes" `Quick test_custom_precedes;
+        ]
+        @ qsuite
+            [
+              prop_theorem41_sound;
+              prop_cpi_preserves;
+              prop_cpi_lenient_never_raises;
+            ] );
+    ]

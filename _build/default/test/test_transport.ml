@@ -1,0 +1,132 @@
+(* The CO protocol over real UDP sockets (lib/transport). These tests run in
+   real time; timeouts are generous enough for loaded CI machines but the
+   happy paths complete in tens of milliseconds. *)
+
+module Udp = Repro_transport.Udp_cluster
+module Config = Repro_core.Config
+module Entity = Repro_core.Entity
+module Pdu = Repro_pdu.Pdu
+module Simtime = Repro_sim.Simtime
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let fast_config =
+  {
+    Config.default with
+    Config.defer = Config.Deferred { timeout = Simtime.of_ms 5 };
+    ret_retry_timeout = Simtime.of_ms 15;
+  }
+
+let payloads t ~entity =
+  List.map (fun (d : Pdu.data) -> d.payload) (Udp.deliveries t ~entity)
+
+let test_clean_broadcast () =
+  let t = Udp.create ~config:fast_config ~n:3 () in
+  Fun.protect ~finally:(fun () -> Udp.close t) @@ fun () ->
+  Udp.submit t ~src:0 "hello";
+  Udp.submit t ~src:1 "world";
+  check bool_t "quiescent" true (Udp.run_until_quiescent t ~max_seconds:5.);
+  for e = 0 to 2 do
+    check int_t (Printf.sprintf "entity %d delivered 2" e) 2
+      (List.length (Udp.deliveries t ~entity:e))
+  done;
+  check bool_t "datagrams flowed" true (Udp.datagrams_sent t > 0);
+  check int_t "no decode errors" 0 (Udp.decode_errors t)
+
+let test_causal_order_over_udp () =
+  let t = Udp.create ~config:fast_config ~n:3 () in
+  Fun.protect ~finally:(fun () -> Udp.close t) @@ fun () ->
+  Udp.submit t ~src:0 "question";
+  (* Let the question propagate before the answer is issued: the reply is
+     then causally dependent and must never be delivered first. *)
+  Udp.run_for t ~seconds:0.05;
+  Udp.submit t ~src:1 "answer";
+  check bool_t "quiescent" true (Udp.run_until_quiescent t ~max_seconds:5.);
+  for e = 0 to 2 do
+    check
+      (Alcotest.list Alcotest.string)
+      (Printf.sprintf "order at %d" e)
+      [ "question"; "answer" ] (payloads t ~entity:e)
+  done
+
+let test_recovery_under_loss () =
+  let t = Udp.create ~config:fast_config ~loss:0.2 ~seed:7 ~n:3 () in
+  Fun.protect ~finally:(fun () -> Udp.close t) @@ fun () ->
+  for i = 1 to 10 do
+    Udp.submit t ~src:(i mod 3) (Printf.sprintf "m%d" i);
+    Udp.run_for t ~seconds:0.004
+  done;
+  check bool_t "quiescent despite loss" true
+    (Udp.run_until_quiescent t ~max_seconds:20.);
+  for e = 0 to 2 do
+    check int_t
+      (Printf.sprintf "entity %d complete" e)
+      10
+      (List.length (Udp.deliveries t ~entity:e))
+  done;
+  check bool_t "losses actually happened" true (Udp.datagrams_dropped t > 0)
+
+let test_larger_cluster () =
+  let t = Udp.create ~config:fast_config ~n:5 () in
+  Fun.protect ~finally:(fun () -> Udp.close t) @@ fun () ->
+  for src = 0 to 4 do
+    Udp.submit t ~src (Printf.sprintf "from-%d" src)
+  done;
+  check bool_t "quiescent" true (Udp.run_until_quiescent t ~max_seconds:10.);
+  for e = 0 to 4 do
+    check int_t "all five" 5 (List.length (Udp.deliveries t ~entity:e))
+  done
+
+let test_validation () =
+  Alcotest.check_raises "n" (Invalid_argument
+    "Udp_cluster.create: n must be >= 2") (fun () ->
+      ignore (Udp.create ~n:1 ()));
+  Alcotest.check_raises "loss" (Invalid_argument "Udp_cluster.create: loss")
+    (fun () -> ignore (Udp.create ~loss:2.0 ~n:2 ()))
+
+let test_garbage_datagrams_ignored () =
+  (* Hostile/foreign datagrams must be counted and discarded, never crash
+     the event loop or corrupt protocol state. *)
+  let t = Udp.create ~config:fast_config ~n:2 () in
+  Fun.protect ~finally:(fun () -> Udp.close t) @@ fun () ->
+  let scratch = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Fun.protect ~finally:(fun () -> Unix.close scratch) @@ fun () ->
+  let target =
+    Unix.ADDR_INET (Unix.inet_addr_loopback, Udp.port t 1)
+  in
+  let inject s =
+    let b = Bytes.of_string s in
+    ignore (Unix.sendto scratch b 0 (Bytes.length b) [] target)
+  in
+  inject "not a pdu at all";
+  inject "\x09\x00\x00\x00\x00";
+  (* truncated DT header *)
+  inject "\x00\x00\x00";
+  Udp.submit t ~src:0 "real";
+  check bool_t "quiescent despite junk" true
+    (Udp.run_until_quiescent t ~max_seconds:5.);
+  check int_t "junk counted" 3 (Udp.decode_errors t);
+  check int_t "real message still delivered" 1
+    (List.length (Udp.deliveries t ~entity:1))
+
+let test_close_is_idempotent () =
+  let t = Udp.create ~n:2 () in
+  Udp.close t;
+  Udp.close t
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "udp",
+        [
+          Alcotest.test_case "clean broadcast" `Quick test_clean_broadcast;
+          Alcotest.test_case "causal order" `Quick test_causal_order_over_udp;
+          Alcotest.test_case "recovery under loss" `Slow test_recovery_under_loss;
+          Alcotest.test_case "larger cluster" `Quick test_larger_cluster;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "garbage datagrams" `Quick test_garbage_datagrams_ignored;
+          Alcotest.test_case "close idempotent" `Quick test_close_is_idempotent;
+        ] );
+    ]

@@ -1,0 +1,461 @@
+open Repro_util
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* --- Pqueue --- *)
+
+let test_pqueue_empty () =
+  let q = Pqueue.create ~cmp:compare in
+  check bool_t "empty" true (Pqueue.is_empty q);
+  check (Alcotest.option int_t) "pop empty" None (Pqueue.pop q);
+  check (Alcotest.option int_t) "peek empty" None (Pqueue.peek q)
+
+let test_pqueue_orders () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) [ 5; 1; 4; 1; 3 ];
+  check int_t "length" 5 (Pqueue.length q);
+  let drained = List.init 5 (fun _ -> Option.get (Pqueue.pop q)) in
+  check (Alcotest.list int_t) "sorted" [ 1; 1; 3; 4; 5 ] drained
+
+let test_pqueue_peek_is_min () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) [ 9; 2; 7 ];
+  check (Alcotest.option int_t) "peek" (Some 2) (Pqueue.peek q);
+  check int_t "peek does not remove" 3 (Pqueue.length q)
+
+let test_pqueue_fifo_ties () =
+  (* Equal priorities must come out in insertion order. *)
+  let q = Pqueue.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  List.iter (Pqueue.push q) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let labels = List.init 4 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  check (Alcotest.list Alcotest.string) "fifo ties" [ "z"; "a"; "b"; "c" ] labels
+
+let test_pqueue_clear () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) [ 1; 2 ];
+  Pqueue.clear q;
+  check bool_t "cleared" true (Pqueue.is_empty q);
+  Pqueue.push q 7;
+  check (Alcotest.option int_t) "usable after clear" (Some 7) (Pqueue.pop q)
+
+let test_pqueue_to_list_preserves () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) [ 3; 1; 2 ];
+  check (Alcotest.list int_t) "to_list" [ 1; 2; 3 ] (Pqueue.to_list q);
+  check int_t "unchanged" 3 (Pqueue.length q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let q = Pqueue.create ~cmp:compare in
+      List.iter (Pqueue.push q) xs;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_pqueue_interleaved =
+  QCheck.Test.make ~name:"pqueue pop is always current min" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let q = Pqueue.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          if is_push then begin
+            Pqueue.push q x;
+            model := x :: !model;
+            true
+          end
+          else
+            match (Pqueue.pop q, !model) with
+            | None, [] -> true
+            | Some v, m when m <> [] ->
+              let mn = List.fold_left min max_int m in
+              let rec remove_one = function
+                | [] -> []
+                | y :: ys -> if y = mn then ys else y :: remove_one ys
+              in
+              model := remove_one m;
+              v = mn
+            | _ -> false)
+        ops)
+
+(* --- Ring_buffer --- *)
+
+let test_ring_basic () =
+  let b = Ring_buffer.create ~capacity:3 in
+  check bool_t "push1" true (Ring_buffer.push b 1);
+  check bool_t "push2" true (Ring_buffer.push b 2);
+  check int_t "len" 2 (Ring_buffer.length b);
+  check int_t "available" 1 (Ring_buffer.available b);
+  check (Alcotest.option int_t) "pop fifo" (Some 1) (Ring_buffer.pop b)
+
+let test_ring_overrun () =
+  let b = Ring_buffer.create ~capacity:2 in
+  ignore (Ring_buffer.push b 1);
+  ignore (Ring_buffer.push b 2);
+  check bool_t "full" true (Ring_buffer.is_full b);
+  check bool_t "overrun rejected" false (Ring_buffer.push b 3);
+  check (Alcotest.list int_t) "contents intact" [ 1; 2 ] (Ring_buffer.to_list b)
+
+let test_ring_wraparound () =
+  let b = Ring_buffer.create ~capacity:3 in
+  ignore (Ring_buffer.push b 1);
+  ignore (Ring_buffer.push b 2);
+  ignore (Ring_buffer.push b 3);
+  ignore (Ring_buffer.pop b);
+  ignore (Ring_buffer.pop b);
+  ignore (Ring_buffer.push b 4);
+  ignore (Ring_buffer.push b 5);
+  check (Alcotest.list int_t) "wrapped order" [ 3; 4; 5 ] (Ring_buffer.to_list b)
+
+let test_ring_clear () =
+  let b = Ring_buffer.create ~capacity:2 in
+  ignore (Ring_buffer.push b 1);
+  Ring_buffer.clear b;
+  check bool_t "empty" true (Ring_buffer.is_empty b);
+  check int_t "capacity preserved" 2 (Ring_buffer.capacity b)
+
+let test_ring_invalid_capacity () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument
+    "Ring_buffer.create: capacity must be > 0") (fun () ->
+      ignore (Ring_buffer.create ~capacity:0))
+
+let prop_ring_fifo =
+  QCheck.Test.make ~name:"ring buffer is a bounded fifo" ~count:200
+    QCheck.(pair (int_range 1 8) (list small_int))
+    (fun (cap, xs) ->
+      let b = Ring_buffer.create ~capacity:cap in
+      let model = Queue.create () in
+      List.for_all
+        (fun x ->
+          let accepted = Ring_buffer.push b x in
+          let model_accepts = Queue.length model < cap in
+          if model_accepts then Queue.push x model;
+          accepted = model_accepts
+          &&
+          if Queue.length model > 0 && x mod 3 = 0 then
+            Ring_buffer.pop b = Some (Queue.pop model)
+          else true)
+        xs)
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  let xs = List.init 10 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Prng.bits64 b) in
+  check bool_t "same stream" true (xs = ys)
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  check bool_t "different streams" false
+    (List.init 4 (fun _ -> Prng.bits64 a) = List.init 4 (fun _ -> Prng.bits64 b))
+
+let test_prng_int_range () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of range"
+  done
+
+let test_prng_float_range () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.fail "out of range"
+  done
+
+let test_prng_bernoulli_extremes () =
+  let t = Prng.create ~seed:3 in
+  check bool_t "p=0 never" false (Prng.bernoulli t ~p:0.);
+  check bool_t "p=1 always" true (Prng.bernoulli t ~p:1.)
+
+let test_prng_bernoulli_rate () =
+  let t = Prng.create ~seed:11 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bernoulli t ~p:0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000. in
+  check bool_t "rate near 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_prng_exponential_mean () =
+  let t = Prng.create ~seed:13 in
+  let sum = ref 0. in
+  for _ = 1 to 20_000 do
+    sum := !sum +. Prng.exponential t ~mean:5.0
+  done;
+  let mean = !sum /. 20_000. in
+  check bool_t "mean near 5" true (mean > 4.7 && mean < 5.3)
+
+let test_prng_split_independent () =
+  let t = Prng.create ~seed:1 in
+  let u = Prng.split t in
+  check bool_t "split differs" false (Prng.bits64 t = Prng.bits64 u)
+
+let test_prng_copy () =
+  let t = Prng.create ~seed:1 in
+  ignore (Prng.bits64 t);
+  let u = Prng.copy t in
+  check bool_t "copy continues identically" true (Prng.bits64 t = Prng.bits64 u)
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create ~seed:5 in
+  let arr = Array.init 20 Fun.id in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check bool_t "permutation" true (sorted = Array.init 20 Fun.id)
+
+(* --- Stats --- *)
+
+let float_close ?(eps = 1e-9) name a b =
+  if abs_float (a -. b) > eps then
+    Alcotest.failf "%s: expected %f got %f" name a b
+
+let test_stats_mean_stddev () =
+  float_close "mean" 3. (Stats.mean [ 1.; 2.; 3.; 4.; 5. ]);
+  float_close "stddev" (sqrt 2.5) (Stats.stddev [ 1.; 2.; 3.; 4.; 5. ]);
+  float_close "mean empty" 0. (Stats.mean []);
+  float_close "stddev singleton" 0. (Stats.stddev [ 7. ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  float_close "p50" 50. (Stats.percentile xs 50.);
+  float_close "p90" 90. (Stats.percentile xs 90.);
+  float_close "p99" 99. (Stats.percentile xs 99.);
+  float_close "p100" 100. (Stats.percentile xs 100.)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 4.; 1.; 3.; 2. ] in
+  check int_t "count" 4 s.Stats.count;
+  float_close "min" 1. s.Stats.min;
+  float_close "max" 4. s.Stats.max;
+  float_close "mean" 2.5 s.Stats.mean
+
+let test_stats_summary_empty () =
+  let s = Stats.summarize [] in
+  check int_t "count" 0 s.Stats.count
+
+let test_stats_linear_fit () =
+  let slope, intercept = Stats.linear_fit [ (1., 3.); (2., 5.); (3., 7.) ] in
+  float_close "slope" 2. slope;
+  float_close "intercept" 1. intercept;
+  float_close "r2 perfect" 1. (Stats.r_squared [ (1., 3.); (2., 5.); (3., 7.) ])
+
+let test_stats_linear_fit_errors () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Stats.linear_fit: need at least 2 points") (fun () ->
+      ignore (Stats.linear_fit [ (1., 1.) ]));
+  Alcotest.check_raises "zero x variance"
+    (Invalid_argument "Stats.linear_fit: zero variance in x") (fun () ->
+      ignore (Stats.linear_fit [ (1., 1.); (1., 2.) ]))
+
+let test_stats_acc () =
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) [ 1.; 2.; 3. ];
+  check int_t "count" 3 (Stats.Acc.count acc);
+  float_close "total" 6. (Stats.Acc.total acc);
+  check bool_t "samples in order" true (Stats.Acc.samples acc = [ 1.; 2.; 3. ])
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.))
+              (float_bound_inclusive 100.))
+    (fun (xs, q) ->
+      let p = Stats.percentile xs q in
+      let mn = List.fold_left min infinity xs in
+      let mx = List.fold_left max neg_infinity xs in
+      p >= mn && p <= mx)
+
+(* --- Fifo --- *)
+
+let test_fifo_basics () =
+  let q = Fifo.(enqueue (enqueue empty 1) 2) in
+  check int_t "length" 2 (Fifo.length q);
+  (match Fifo.dequeue q with
+  | Some (1, q') -> check (Alcotest.option int_t) "peek rest" (Some 2) (Fifo.peek q')
+  | Some _ | None -> Alcotest.fail "wrong head")
+
+let test_fifo_empty () =
+  check bool_t "empty" true (Fifo.is_empty Fifo.empty);
+  check bool_t "dequeue none" true (Fifo.dequeue Fifo.empty = None);
+  check bool_t "peek none" true (Fifo.peek Fifo.empty = None)
+
+let test_fifo_of_to_list () =
+  let q = Fifo.of_list [ 1; 2; 3 ] in
+  check (Alcotest.list int_t) "roundtrip" [ 1; 2; 3 ] (Fifo.to_list q)
+
+let test_fifo_persistence () =
+  let q = Fifo.of_list [ 1; 2 ] in
+  let _ = Fifo.dequeue q in
+  check (Alcotest.list int_t) "original untouched" [ 1; 2 ] (Fifo.to_list q)
+
+let test_fifo_fold_exists () =
+  let q = Fifo.of_list [ 1; 2; 3 ] in
+  check int_t "fold sum" 6 (Fifo.fold ( + ) 0 q);
+  check bool_t "exists" true (Fifo.exists (fun x -> x = 2) q);
+  check bool_t "not exists" false (Fifo.exists (fun x -> x = 9) q)
+
+let prop_fifo_model =
+  QCheck.Test.make ~name:"fifo behaves like a list" ~count:200
+    QCheck.(list (option small_int))
+    (fun ops ->
+      (* Some x = enqueue x, None = dequeue. *)
+      let rec go q model = function
+        | [] -> Fifo.to_list q = model
+        | Some x :: rest -> go (Fifo.enqueue q x) (model @ [ x ]) rest
+        | None :: rest -> (
+          match (Fifo.dequeue q, model) with
+          | None, [] -> go q model rest
+          | Some (v, q'), m :: ms -> v = m && go q' ms rest
+          | _ -> false)
+      in
+      go Fifo.empty [] ops)
+
+(* --- Table --- *)
+
+let test_table_renders () =
+  let t = Table.create ~title:"T" ~columns:[ ("a", Table.Left); ("bb", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.render t in
+  check bool_t "has title" true (String.length s > 0 && String.sub s 0 4 = "== T");
+  check bool_t "mentions cell" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0))
+
+let test_table_mismatch () =
+  let t = Table.create ~title:"T" ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "cell count"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_table_fmt () =
+  check Alcotest.string "float" "1.50" (Table.fmt_float 1.5);
+  check Alcotest.string "float digits" "1.5000" (Table.fmt_float ~digits:4 1.5);
+  check Alcotest.string "int" "42" (Table.fmt_int 42)
+
+let test_table_series () =
+  let s = Table.series ~title:"S" ~x_label:"x" ~y_label:"y" [ (1., 2.); (3., 4.) ] in
+  check bool_t "nonempty" true (String.length s > 10)
+
+(* --- Chart --- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let test_chart_bar () =
+  let s = Chart.bar ~title:"T" [ ("a", 10.); ("bb", 5.) ] in
+  check bool_t "title" true (contains ~needle:"-- T --" s);
+  check bool_t "labels aligned" true (contains ~needle:"a  |" s);
+  (* The max value fills the default width. *)
+  check bool_t "full bar" true (contains ~needle:(String.make 48 '#') s)
+
+let test_chart_bar_handles_bad_values () =
+  let s = Chart.bar ~title:"T" [ ("nan", nan); ("neg", -3.); ("ok", 1.) ] in
+  check bool_t "renders" true (String.length s > 0)
+
+let test_chart_scatter () =
+  let s =
+    Chart.scatter ~title:"trend" ~x_label:"n" ~y_label:"ms"
+      [ (1., 1.); (2., 2.); (3., 3.) ]
+  in
+  check bool_t "has dots" true (contains ~needle:"*" s);
+  check bool_t "axis" true (contains ~needle:"+---" s)
+
+let test_chart_scatter_degenerate () =
+  let s = Chart.scatter ~title:"t" ~x_label:"x" ~y_label:"y" [ (1., 1.) ] in
+  check bool_t "notes insufficiency" true (contains ~needle:"not enough" s)
+
+let test_chart_sparkline () =
+  check Alcotest.string "empty" "" (Chart.sparkline []);
+  let s = Chart.sparkline [ 0.; 1.; 2.; 3. ] in
+  check bool_t "four glyphs (3 bytes each)" true (String.length s = 12);
+  check bool_t "starts low" true (String.sub s 0 3 = "\xe2\x96\x81");
+  check bool_t "ends high" true (String.sub s 9 3 = "\xe2\x96\x88")
+
+let test_chart_sparkline_flat () =
+  let s = Chart.sparkline [ 5.; 5.; 5. ] in
+  check bool_t "constant series renders uniformly" true (String.length s = 9)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "orders" `Quick test_pqueue_orders;
+          Alcotest.test_case "peek" `Quick test_pqueue_peek_is_min;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "to_list" `Quick test_pqueue_to_list_preserves;
+        ]
+        @ qsuite [ prop_pqueue_sorts; prop_pqueue_interleaved ] );
+      ( "ring_buffer",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "overrun" `Quick test_ring_overrun;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "clear" `Quick test_ring_clear;
+          Alcotest.test_case "invalid capacity" `Quick test_ring_invalid_capacity;
+        ]
+        @ qsuite [ prop_ring_fifo ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_prng_bernoulli_rate;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "summary empty" `Quick test_stats_summary_empty;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "linear fit errors" `Quick test_stats_linear_fit_errors;
+          Alcotest.test_case "acc" `Quick test_stats_acc;
+        ]
+        @ qsuite [ prop_percentile_bounds ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "basics" `Quick test_fifo_basics;
+          Alcotest.test_case "empty" `Quick test_fifo_empty;
+          Alcotest.test_case "of/to list" `Quick test_fifo_of_to_list;
+          Alcotest.test_case "persistence" `Quick test_fifo_persistence;
+          Alcotest.test_case "fold/exists" `Quick test_fifo_fold_exists;
+        ]
+        @ qsuite [ prop_fifo_model ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "mismatch" `Quick test_table_mismatch;
+          Alcotest.test_case "fmt" `Quick test_table_fmt;
+          Alcotest.test_case "series" `Quick test_table_series;
+        ] );
+      ( "chart",
+        [
+          Alcotest.test_case "bar" `Quick test_chart_bar;
+          Alcotest.test_case "bar bad values" `Quick test_chart_bar_handles_bad_values;
+          Alcotest.test_case "scatter" `Quick test_chart_scatter;
+          Alcotest.test_case "scatter degenerate" `Quick test_chart_scatter_degenerate;
+          Alcotest.test_case "sparkline" `Quick test_chart_sparkline;
+          Alcotest.test_case "sparkline flat" `Quick test_chart_sparkline_flat;
+        ] );
+    ]
