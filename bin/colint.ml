@@ -1,0 +1,187 @@
+(* colint — the CO protocol invariant checker.
+
+   Two modes:
+     colint trace FILE [--complete] [-n N]
+       Replay a recorded trace (cosim run --trace-out FILE) through the
+       service-property linter; report the first violating prefix.
+     colint explore [-n N] [--broadcasts K] [--drops D] [--fault F] ...
+       Exhaustive small-scope model checking of the real entity code over
+       all event interleavings, with the full invariant catalog.
+
+   Exit codes: 0 clean, 1 violation found, 2 unusable input or truncated
+   (incomplete) exploration. *)
+
+module Explorer = Repro_check.Explorer
+module Trace_lint = Repro_check.Trace_lint
+module Trace = Repro_sim.Trace
+module Config = Repro_core.Config
+open Cmdliner
+
+let trace_cmd file complete n =
+  match Trace.load ~file with
+  | Error msg ->
+    Printf.eprintf "colint: %s\n" msg;
+    2
+  | Ok trace -> (
+    let n = if n = 0 then None else Some n in
+    match Trace_lint.lint_trace ~complete ?n trace with
+    | [] ->
+      Printf.printf "colint: %d events, no issues\n" (Trace.length trace);
+      0
+    | first :: _ as issues ->
+      List.iter (fun i -> Format.printf "%a@." Trace_lint.pp_issue i) issues;
+      Printf.printf
+        "colint: %d issue(s); first violating prefix ends at event %d of %d\n"
+        (List.length issues) first.Trace_lint.index (Trace.length trace);
+      1)
+
+let explore_cmd n broadcasts drops fires max_states max_depth fault defer
+    no_por =
+  match
+    match (fault, defer) with
+    | "none", _ -> Ok None
+    | "skip-minpal", _ -> Ok (Some Config.Skip_minpal_gate)
+    | "skip-cpi", _ -> Ok (Some Config.Skip_cpi_order)
+    | other, _ -> Error other
+  with
+  | Error other ->
+    Printf.eprintf "colint: unknown fault %S (none | skip-minpal | skip-cpi)\n"
+      other;
+    2
+  | Ok _ when defer <> "immediate" && defer <> "never" ->
+    Printf.eprintf "colint: unknown defer mode %S (immediate | never)\n" defer;
+    2
+  | Ok _ when n < 2 || n > 4 ->
+    Printf.eprintf "colint: -n must be between 2 and 4\n";
+    2
+  | Ok fault ->
+    let base = Explorer.default_config ~n in
+    let cfg =
+      {
+        base with
+        Explorer.script =
+          List.init broadcasts (fun i -> (i mod n, Printf.sprintf "m%d" i));
+        max_drops = drops;
+        max_fires = fires;
+        max_states;
+        max_depth;
+        por = not no_por;
+        protocol =
+          {
+            base.Explorer.protocol with
+            Config.fault;
+            defer =
+              (if defer = "never" then Config.Never else Config.Immediate);
+          };
+      }
+    in
+    let t0 = Sys.time () in
+    let o = Explorer.run cfg in
+    Format.printf "%a@." Explorer.pp_outcome o;
+    Printf.printf
+      "(n=%d broadcasts=%d drops<=%d fires<=%d defer=%s por=%b fault=%s, \
+       %.1fs cpu)\n"
+      n broadcasts drops fires defer (not no_por)
+      (match fault with
+      | None -> "none"
+      | Some Config.Skip_minpal_gate -> "skip-minpal"
+      | Some Config.Skip_cpi_order -> "skip-cpi")
+      (Sys.time () -. t0);
+    if o.Explorer.violation <> None then 1 else if o.Explorer.truncated then 2
+    else 0
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Trace file written by cosim run --trace-out.")
+
+let complete_arg =
+  Arg.(
+    value & flag
+    & info [ "complete" ]
+        ~doc:
+          "Also require every submitted message delivered at every entity \
+           (for runs recorded to quiescence).")
+
+let lint_n_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "n"; "entities" ]
+        ~doc:
+          "Cluster size for --complete (default: inferred from the trace).")
+
+let n_arg =
+  Arg.(value & opt int 2 & info [ "n"; "entities" ] ~doc:"Cluster size (2-3).")
+
+let broadcasts_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "broadcasts" ] ~doc:"Scripted data broadcasts (round-robin).")
+
+let drops_arg =
+  Arg.(value & opt int 0 & info [ "drops" ] ~doc:"Loss budget per schedule.")
+
+let fires_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fires" ]
+        ~doc:
+          "Timer-fire budget per schedule (each fire costs roughly 10x \
+           states).")
+
+let max_states_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "max-states" ] ~doc:"Distinct-state budget.")
+
+let max_depth_arg =
+  Arg.(value & opt int 200 & info [ "max-depth" ] ~doc:"Schedule-length budget.")
+
+let fault_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "fault" ]
+        ~doc:
+          "Seed a protocol bug: none | skip-minpal (deliver without the \
+           minPAL gate) | skip-cpi (append to PRL out of causal order).")
+
+let defer_arg =
+  Arg.(
+    value & opt string "immediate"
+    & info [ "defer" ]
+        ~doc:
+          "Confirmation policy: immediate (explicit confirmation PDUs, more \
+           traffic and a larger space) | never (acks piggyback on data only \
+           — the paper's base protocol; roughly halves the event alphabet, \
+           so deeper scripts stay tractable).")
+
+let no_por_arg =
+  Arg.(
+    value & flag
+    & info [ "no-por" ] ~doc:"Disable the sleep-set partial-order reduction.")
+
+let trace_term = Term.(const trace_cmd $ file_arg $ complete_arg $ lint_n_arg)
+
+let explore_term =
+  Term.(
+    const explore_cmd $ n_arg $ broadcasts_arg $ drops_arg $ fires_arg
+    $ max_states_arg $ max_depth_arg $ fault_arg $ defer_arg $ no_por_arg)
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "trace" ~doc:"Lint a recorded trace for service violations.")
+      trace_term;
+    Cmd.v
+      (Cmd.info "explore"
+         ~doc:"Model-check the entity over all small-scope interleavings.")
+      explore_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "colint" ~version:"1.0"
+      ~doc:"CO protocol invariant checker: trace linting and model checking"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

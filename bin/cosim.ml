@@ -44,13 +44,14 @@ let pp_summary label (s : Stats.summary) =
       label s.Stats.mean s.Stats.p50 s.Stats.p99 s.Stats.count
 
 let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
-    workload_kind mode show_trace quiet =
+    workload_kind mode show_trace trace_out paranoid quiet =
   let protocol =
     {
       Config.default with
       Config.window;
       defer = Config.Deferred { timeout = Simtime.of_ms defer_ms };
       causality_mode = (if mode = "direct" then Config.Direct else Config.Transitive);
+      check_level = (if paranoid then Config.Paranoid else Config.Off);
     }
   in
   let config =
@@ -63,6 +64,12 @@ let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
   let cluster, o = Experiment.run ~config ~workload () in
   if show_trace then
     Format.printf "%a@." Trace.dump (Cluster.trace cluster);
+  (match trace_out with
+  | Some file ->
+    Trace.save (Cluster.trace cluster) ~file;
+    Printf.printf "trace written to %s (%d events)\n" file
+      (Trace.length (Cluster.trace cluster))
+  | None -> ());
   Printf.printf "cluster: n=%d  workload=%s (%d messages)  loss=%.1f%%  seed=%d\n"
     n workload_kind o.Experiment.submitted (loss *. 100.) seed;
   Printf.printf "virtual time to quiescence: %.3fms (%d events)\n"
@@ -226,13 +233,28 @@ let mode_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Dump the full network trace.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:"Write the trace to $(docv) for offline linting (colint trace).")
+
+let paranoid_arg =
+  Arg.(
+    value & flag
+    & info [ "paranoid" ]
+        ~doc:
+          "Run with the full invariant catalog asserted after every protocol \
+           step (slow; aborts on the first violation).")
+
 let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Less output.")
 
 let run_term =
   Term.(
     const run_cmd $ n_arg $ per_entity_arg $ interval_arg $ duration_arg
     $ loss_arg $ seed_arg $ window_arg $ defer_arg $ workload_arg $ mode_arg
-    $ trace_arg $ quiet_arg)
+    $ trace_arg $ trace_out_arg $ paranoid_arg $ quiet_arg)
 
 let compare_term =
   Term.(const compare_cmd $ n_arg $ per_entity_arg $ interval_arg $ loss_arg $ seed_arg)

@@ -34,6 +34,7 @@ type t = {
   mutable rexmit : int;
   mutable nacks : int;
   mutable discarded : int;
+  mutable protocol_errors : int;
 }
 
 let sequencer_id = 0
@@ -91,10 +92,16 @@ and arm_nack_timer t node =
         if node.expected <= node.max_seen then send_nack t node)
   end
 
+(* [gseq <> expected] cannot happen through [on_receive] (it dispatches on
+   the comparison), so a mismatch here means the dispatch and the delivery
+   path disagree. Count it instead of asserting: a broken baseline should
+   show up in the experiment report, not kill the whole comparison run. *)
 let deliver_in_order t node ~gseq ~tag =
-  assert (gseq = node.expected);
-  node.expected <- node.expected + 1;
-  node.rev_deliveries <- (Engine.now t.engine, tag) :: node.rev_deliveries
+  if gseq <> node.expected then t.protocol_errors <- t.protocol_errors + 1
+  else begin
+    node.expected <- node.expected + 1;
+    node.rev_deliveries <- (Engine.now t.engine, tag) :: node.rev_deliveries
+  end
 
 let rec arm_submit_timer t node =
   if (not node.submit_timer_armed) && node.pending_submissions <> [] then begin
@@ -159,6 +166,7 @@ let create engine net ~n ~retry =
       rexmit = 0;
       nacks = 0;
       discarded = 0;
+      protocol_errors = 0;
     }
   in
   Array.iter
@@ -185,3 +193,4 @@ let fresh_broadcasts t = t.fresh
 let retransmissions t = t.rexmit
 let nacks t = t.nacks
 let discarded t = t.discarded
+let protocol_errors t = t.protocol_errors

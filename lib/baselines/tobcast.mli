@@ -42,3 +42,9 @@ val retransmissions : t -> int
 val nacks : t -> int
 val discarded : t -> int
 (** Out-of-order broadcasts thrown away by receivers. *)
+
+val protocol_errors : t -> int
+(** Internal-consistency failures: deliveries attempted with a global
+    sequence number other than the receiver's expected one. Always 0 for a
+    correct implementation; counted rather than asserted so a regression
+    surfaces in reports instead of aborting the run. *)

@@ -1,0 +1,419 @@
+open Repro_core
+module Pdu = Repro_pdu.Pdu
+module Codec = Repro_pdu.Codec
+
+type config = {
+  n : int;
+  script : (int * string) list;
+  max_drops : int;
+  max_fires : int;
+  max_states : int;
+  max_depth : int;
+  por : bool;
+  protocol : Config.t;
+}
+
+let default_config ~n =
+  {
+    n;
+    script = List.init n (fun i -> (i mod n, Printf.sprintf "m%d" i));
+    max_drops = 0;
+    (* Timer fires are budgeted like drops. Without a bound the heartbeat
+       regenerates the alphabet forever: every fire may emit a sequenced
+       empty, every empty provokes a confirmation, and the interleavings of
+       that traffic dwarf the protocol logic under test. Even one mid-flight
+       fire costs roughly an order of magnitude of states, so the default is
+       none; budget fires explicitly in runs scoped to afford them. *)
+    max_fires = 0;
+    max_states = 200_000;
+    max_depth = 200;
+    por = true;
+    protocol =
+      {
+        Config.default with
+        defer = Config.Immediate;
+        check_level = Config.Off;
+        (* A tight window bounds the sequenced empties the heartbeat can
+           emit before the window closes (at most W+1 per entity), which is
+           what keeps the state space small-scope. W=2 still exercises
+           window closure, flow blocking and sliding. *)
+        window = 2;
+      };
+  }
+
+(* Transition alphabet. Deliver/Drop identify the transmission by its wire
+   encoding, not by a queue position: replay is deterministic, the in-flight
+   multiset at a given prefix is always the same, and — crucially for sleep
+   sets — the identity of a pending event survives unrelated events that
+   grow the in-flight lists. *)
+type event =
+  | Submit
+  | Deliver of { dst : int; pdu : string }
+  | Drop of { dst : int; pdu : string }
+  | Fire of { entity : int }
+
+type violation_report = {
+  violation : Invariants.violation;
+  schedule : string list;
+}
+
+type outcome = {
+  states : int;
+  transitions : int;
+  max_depth_seen : int;
+  truncated : bool;
+  violation : violation_report option;
+}
+
+type sys = {
+  cfg : config;
+  entities : Entity.t array;
+  mutable inflight : string list array; (* sorted encodings, per destination *)
+  timers : (int * (unit -> unit)) Queue.t array; (* (delay label, action) *)
+  monitor : Invariants.Monitor.t;
+  mutable script_pos : int;
+  mutable drops_used : int;
+  mutable fires_used : int;
+  mutable deep_checks : bool;
+      (* The full catalog runs only on a path's last event: every proper
+         prefix was already checked when its own DFS node was explored, so
+         replaying it needs the (cheap, stateful) monitor bookkeeping but
+         not the O(log²) structural invariants again. *)
+  mutable violation : Invariants.violation option;
+}
+
+let record sys = function
+  | [] -> ()
+  | v :: _ -> if sys.violation = None then sys.violation <- Some v
+
+(* Entities run against a frozen clock (now = 0): interleaving, not timing,
+   is the state space. Timers become explicit Fire events, fired per entity
+   in arming order; the spacing checks of [Deferred] confirmation never pass
+   under a frozen clock, so the explorer requires Immediate or Never. *)
+let make_sys cfg =
+  let inflight = Array.make cfg.n [] in
+  let timers = Array.init cfg.n (fun _ -> Queue.create ()) in
+  let monitor = Invariants.Monitor.create ~n:cfg.n in
+  let put ~dst s = inflight.(dst) <- List.merge compare [ s ] inflight.(dst) in
+  let entities =
+    Array.init cfg.n (fun id ->
+        let actions =
+          {
+            Entity.broadcast =
+              (fun pdu ->
+                let s = Bytes.to_string (Codec.encode pdu) in
+                for dst = 0 to cfg.n - 1 do
+                  put ~dst s
+                done);
+            unicast =
+              (fun ~dst pdu -> put ~dst (Bytes.to_string (Codec.encode pdu)));
+            deliver = (fun _ -> ());
+            now = (fun () -> 0);
+            set_timer = (fun ~delay f -> Queue.add (delay, f) timers.(id));
+            available_buffer = (fun () -> cfg.protocol.Config.initial_buf);
+          }
+        in
+        Entity.create ~config:cfg.protocol ~id ~n:cfg.n ~actions)
+  in
+  let sys =
+    {
+      cfg;
+      entities;
+      inflight;
+      timers;
+      monitor;
+      script_pos = 0;
+      drops_used = 0;
+      fires_used = 0;
+      deep_checks = true;
+      violation = None;
+    }
+  in
+  Array.iteri
+    (fun id e ->
+      Entity.add_observer e (function
+        | Entity.Acknowledged d ->
+          record sys (Invariants.Monitor.note_delivery monitor ~entity:id d)
+        | Entity.Accepted _ | Entity.Preacknowledged _ | Entity.Gap_detected _
+        | Entity.Ret_answered _ ->
+          ());
+      (* Baseline snapshot so the first real step has monotonicity cover. *)
+      ignore (Invariants.Monitor.note_step monitor e))
+    entities;
+  sys
+
+let sender_memo : (string, int) Hashtbl.t = Hashtbl.create 256
+
+let sender_of pdu =
+  match Hashtbl.find_opt sender_memo pdu with
+  | Some src -> src
+  | None ->
+    (match Codec.decode (Bytes.of_string pdu) with
+    | Ok p ->
+      let src = Pdu.src p in
+      Hashtbl.add sender_memo pdu src;
+      src
+    | Error _ -> invalid_arg "Explorer: undecodable in-flight PDU")
+
+let remove_occurrence list s =
+  let rec go = function
+    | [] -> invalid_arg "Explorer: event references a PDU no longer in flight"
+    | x :: rest -> if String.equal x s then rest else x :: go rest
+  in
+  go list
+
+let post sys id =
+  if sys.deep_checks then
+    record sys (Invariants.check_entity sys.entities.(id));
+  (* note_step must run on every step regardless — it advances the
+     monotonicity snapshots the next step is judged against. *)
+  record sys (Invariants.Monitor.note_step sys.monitor sys.entities.(id))
+
+let apply sys ev =
+  let step id f =
+    try
+      f ();
+      post sys id
+    with Entity.Protocol_invariant detail ->
+      record sys
+        [ { Invariants.entity = id; invariant = "runtime-assertion"; detail } ]
+  in
+  match ev with
+  | Submit ->
+    let src, payload = List.nth sys.cfg.script sys.script_pos in
+    sys.script_pos <- sys.script_pos + 1;
+    step src (fun () -> ignore (Entity.submit sys.entities.(src) payload))
+  | Deliver { dst; pdu } ->
+    sys.inflight.(dst) <- remove_occurrence sys.inflight.(dst) pdu;
+    let p =
+      match Codec.decode (Bytes.of_string pdu) with
+      | Ok p -> p
+      | Error _ -> invalid_arg "Explorer: undecodable in-flight PDU"
+    in
+    step dst (fun () -> Entity.receive sys.entities.(dst) p)
+  | Drop { dst; pdu } ->
+    sys.inflight.(dst) <- remove_occurrence sys.inflight.(dst) pdu;
+    sys.drops_used <- sys.drops_used + 1
+  | Fire { entity } ->
+    let _, f = Queue.pop sys.timers.(entity) in
+    sys.fires_used <- sys.fires_used + 1;
+    step entity f
+
+let pdu_brief pdu =
+  match Codec.decode (Bytes.of_string pdu) with
+  | Ok p -> Pdu.to_string p
+  | Error _ -> "<undecodable>"
+
+let describe sys = function
+  | Submit ->
+    let src, payload = List.nth sys.cfg.script sys.script_pos in
+    Printf.sprintf "submit src=%d payload=%S" src payload
+  | Deliver { dst; pdu } ->
+    Printf.sprintf "deliver dst=%d %s" dst (pdu_brief pdu)
+  | Drop { dst; pdu } -> Printf.sprintf "drop dst=%d %s" dst (pdu_brief pdu)
+  | Fire { entity } -> Printf.sprintf "fire entity=%d" entity
+
+(* Entities are mutable and unclonable, so DFS re-executes the event prefix
+   from a fresh system for every node — O(depth) work per state, traded for
+   not having to write (and trust) a deep-copy of the entity. *)
+(* Fast path: no schedule strings. Descriptions are rebuilt by
+   [describe_path] only for the single path that violated. *)
+let replay cfg path =
+  let sys = make_sys cfg in
+  let last = List.length path - 1 in
+  List.iteri
+    (fun i ev ->
+      if sys.violation = None then begin
+        sys.deep_checks <- i = last;
+        apply sys ev
+      end)
+    path;
+  sys.deep_checks <- true;
+  sys
+
+let describe_path cfg path =
+  let sys = make_sys cfg in
+  let descr = ref [] in
+  List.iter
+    (fun ev ->
+      if sys.violation = None then begin
+        descr := describe sys ev :: !descr;
+        apply sys ev
+      end)
+    path;
+  List.rev !descr
+
+let enabled sys =
+  let cfg = sys.cfg in
+  let evs = ref [] in
+  for e = cfg.n - 1 downto 0 do
+    if sys.fires_used < cfg.max_fires && not (Queue.is_empty sys.timers.(e))
+    then evs := Fire { entity = e } :: !evs
+  done;
+  for dst = cfg.n - 1 downto 0 do
+    (* Identical retransmissions in flight are one action: deduplicate. *)
+    let distinct = List.sort_uniq String.compare sys.inflight.(dst) in
+    List.iter
+      (fun pdu ->
+        if sys.drops_used < cfg.max_drops && sender_of pdu <> dst then
+          evs := Drop { dst; pdu } :: !evs;
+        evs := Deliver { dst; pdu } :: !evs)
+      (List.rev distinct)
+  done;
+  if sys.script_pos < List.length cfg.script then evs := Submit :: !evs;
+  !evs
+
+(* Dependence relation for sleep-set reduction. Independent events commute
+   (same resulting state either order) and never disable each other:
+   - events driving different entities commute — a step only mutates its own
+     entity plus *appends* to in-flight lists, and Deliver identity is the
+     encoding, which appends do not disturb;
+   - Fire{e} always means "oldest pending timer of e": other events only
+     append to e's timer queue, so the identity is stable too;
+   - Drop touches no entity; it conflicts only with the budget (other Drops)
+     and with consuming the same transmission. *)
+let dependent sys e1 e2 =
+  let entity_of = function
+    | Submit -> Some (fst (List.nth sys.cfg.script sys.script_pos))
+    | Deliver { dst; _ } -> Some dst
+    | Drop _ -> None
+    | Fire { entity } -> Some entity
+  in
+  match (e1, e2) with
+  | Submit, Submit -> true
+  | Drop _, Drop _ -> true
+  (* Fires share a budget, so one can disable another: dependent. *)
+  | Fire _, Fire _ -> true
+  | Drop { dst = d1; pdu = p1 }, Deliver { dst = d2; pdu = p2 }
+  | Deliver { dst = d2; pdu = p2 }, Drop { dst = d1; pdu = p1 } ->
+    d1 = d2 && String.equal p1 p2
+  | Drop _, (Submit | Fire _) | (Submit | Fire _), Drop _ -> false
+  | _ -> (
+    match (entity_of e1, entity_of e2) with
+    | Some a, Some b -> a = b
+    | _ -> false)
+
+exception Found of violation_report
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let run cfg =
+  if cfg.n < 2 then invalid_arg "Explorer.run: n must be >= 2";
+  (match cfg.protocol.Config.defer with
+  | Config.Deferred _ ->
+    invalid_arg
+      "Explorer.run: Deferred confirmation stalls under the frozen clock; \
+       use Immediate or Never"
+  | Config.Immediate | Config.Never -> ());
+  List.iter
+    (fun (src, _) ->
+      if src < 0 || src >= cfg.n then
+        invalid_arg "Explorer.run: script source out of range")
+    cfg.script;
+  let visited : (string, event list) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let max_depth_seen = ref 0 in
+  let truncated = ref false in
+  let rec explore path sleep =
+    if List.length path > cfg.max_depth then truncated := true
+    else begin
+      let sys = replay cfg path in
+      (match sys.violation with
+      | Some violation ->
+        raise (Found { violation; schedule = describe_path cfg path })
+      | None -> ());
+      let key = state_key sys in
+      let proceed =
+        match Hashtbl.find_opt visited key with
+        | Some stored when subset stored sleep -> false
+        | Some stored ->
+          (* Seen before, but with more futures suppressed than now: the
+             remembered sleep set shrinks to the intersection and the state
+             is re-expanded so nothing stays unexplored. *)
+          Hashtbl.replace visited key
+            (List.filter (fun e -> List.mem e sleep) stored);
+          true
+        | None ->
+          Hashtbl.add visited key sleep;
+          incr states;
+          true
+      in
+      if proceed then begin
+        if !states > cfg.max_states then truncated := true
+        else begin
+          let d = List.length path in
+          if d > !max_depth_seen then max_depth_seen := d;
+          let evs = enabled sys in
+          let evs =
+            if cfg.por then
+              List.filter (fun e -> not (List.mem e sleep)) evs
+            else evs
+          in
+          let sleeping = ref sleep in
+          List.iter
+            (fun e ->
+              incr transitions;
+              let child_sleep =
+                if cfg.por then
+                  List.filter (fun e' -> not (dependent sys e e')) !sleeping
+                else []
+              in
+              explore (path @ [ e ]) child_sleep;
+              if cfg.por then sleeping := e :: !sleeping)
+            evs
+        end
+      end
+    end
+  and state_key sys =
+    (* Timer queues enter only by length: which timers are pending is
+       already in the signature (the armed flags), their delays are
+       meaningless under the frozen clock, and their firing order commutes —
+       every pending closure reads and writes disjoint entity state, so any
+       order reaches the same states. *)
+    let parts = ref [] in
+    for id = sys.cfg.n - 1 downto 0 do
+      parts :=
+        Entity.signature sys.entities.(id)
+        :: string_of_int (Queue.length sys.timers.(id))
+        :: string_of_int (List.length sys.inflight.(id))
+        :: (sys.inflight.(id) @ !parts)
+    done;
+    State_hash.digest
+      (string_of_int sys.script_pos
+      :: string_of_int sys.drops_used
+      :: string_of_int sys.fires_used
+      :: !parts)
+  in
+  match explore [] [] with
+  | () ->
+    {
+      states = !states;
+      transitions = !transitions;
+      max_depth_seen = !max_depth_seen;
+      truncated = !truncated;
+      violation = None;
+    }
+  | exception Found report ->
+    {
+      states = !states;
+      transitions = !transitions;
+      max_depth_seen = !max_depth_seen;
+      truncated = !truncated;
+      violation = Some report;
+    }
+
+let pp_outcome ppf (o : outcome) =
+  match o.violation with
+  | None ->
+    Format.fprintf ppf
+      "clean: %d states, %d transitions, max depth %d%s" o.states
+      o.transitions o.max_depth_seen
+      (if o.truncated then " (TRUNCATED: budget exhausted)" else "")
+  | Some r ->
+    Format.fprintf ppf
+      "@[<v>VIOLATION after %d states: %a@,violating schedule:@,%a@]" o.states
+      Invariants.pp_violation r.violation
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf s ->
+           Format.fprintf ppf "  %s" s))
+      r.schedule

@@ -1,0 +1,83 @@
+(** Exhaustive small-scope model checking of the CO entity state machine.
+
+    The explorer drives [n] real {!Repro_core.Entity.t} instances (the
+    production code, not a model of it) through {e every} interleaving of a
+    finite event alphabet:
+
+    - [Submit] — the next scripted application request (script order fixed,
+      so later submissions can causally depend on earlier deliveries);
+    - [Deliver] — hand one in-flight transmission to its destination;
+    - [Drop] — lose one in-flight transmission (bounded by a drop budget;
+      an entity's own loopback copy is undroppable, matching the MC
+      medium);
+    - [Fire] — run an entity's oldest pending timer.
+
+    Time is frozen at 0: interleaving, not timing, is the state space, and
+    timers become explicit events. After every transition the full
+    {!Invariants} catalog runs on the stepped entity and the
+    {!Invariants.Monitor} checks delivery order and monotonicity; the first
+    violation aborts the search with its complete event schedule — a
+    replayable counterexample.
+
+    States are deduplicated by {!Repro_core.Entity.signature} digests
+    (plus in-flight multisets and timer queues), and an optional sleep-set
+    partial-order reduction prunes interleavings of provably independent
+    (commuting) events. Exploration is replay-based: entities are mutable,
+    so each DFS node re-executes its event prefix from a fresh system.
+
+    Scope: [n] ∈ {2, 3} and 2–4 broadcasts explore in seconds to minutes;
+    the [max_states]/[max_depth] budgets bound the worst case and set
+    [truncated] when hit, so "0 violations" is only a proof of the
+    small-scope theorem when [truncated = false]. *)
+
+type config = {
+  n : int;  (** Cluster size (2 or 3 are practical). *)
+  script : (int * string) list;
+      (** [(src, payload)] submissions, issued in list order. *)
+  max_drops : int;  (** Total loss budget across the schedule. *)
+  max_fires : int;
+      (** Total timer-fire budget across the schedule. Fires must be
+          bounded like drops: the heartbeat re-arms itself and each fire
+          can emit fresh traffic, so unbounded fairness regenerates the
+          event alphabet forever. *)
+  max_states : int;  (** Distinct-state budget; exceeding sets [truncated]. *)
+  max_depth : int;  (** Schedule-length budget. *)
+  por : bool;  (** Enable the sleep-set reduction. *)
+  protocol : Repro_core.Config.t;
+      (** Entity configuration. Must not use [Deferred] confirmation (its
+          spacing test never passes under the frozen clock);
+          {!default_config} uses [Immediate]. Set [fault] here to verify the
+          checker catches seeded bugs. *)
+}
+
+val default_config : n:int -> config
+(** One broadcast per entity, no drops, no timer fires, POR on,
+    [Immediate] confirmation, a tight window ([W = 2]) and a 200k-state
+    budget. Budget drops and fires explicitly per run — each fire roughly
+    multiplies the state count by ten. *)
+
+type event =
+  | Submit
+  | Deliver of { dst : int; pdu : string }  (** [pdu] is the wire encoding. *)
+  | Drop of { dst : int; pdu : string }
+  | Fire of { entity : int }
+
+type violation_report = {
+  violation : Invariants.violation;
+  schedule : string list;
+      (** Human-readable event prefix reproducing the violation. *)
+}
+
+type outcome = {
+  states : int;  (** Distinct states explored. *)
+  transitions : int;
+  max_depth_seen : int;
+  truncated : bool;  (** A budget was exhausted; coverage is partial. *)
+  violation : violation_report option;  (** First violation, if any. *)
+}
+
+val run : config -> outcome
+(** Explore exhaustively (up to the budgets), stopping at the first
+    violation. @raise Invalid_argument on a malformed config. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

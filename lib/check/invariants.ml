@@ -1,0 +1,198 @@
+open Repro_core
+module Pdu = Repro_pdu.Pdu
+module Matrix_clock = Repro_clock.Matrix_clock
+
+type violation = { entity : int; invariant : string; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "entity %d: %s: %s" v.entity v.invariant v.detail
+
+let to_string v = Format.asprintf "%a" pp_violation v
+
+(* Each invariant below is a consequence of the protocol's transition rules
+   (soundness arguments in docs/checking.md): violations mean a bug in the
+   implementation (or an injected {!Config.fault}), never a legal state. *)
+let check_entity e =
+  let id = Entity.id e in
+  let n = Entity.cluster_size e in
+  let cfg = Entity.config e in
+  let out = ref [] in
+  let add invariant fmt =
+    Printf.ksprintf
+      (fun detail -> out := { entity = id; invariant; detail } :: !out)
+      fmt
+  in
+  let al = Entity.al_matrix e in
+  let pal = Entity.pal_matrix e in
+  (* Every row of PAL is raised from a PDU that raised the same AL row first,
+     and rows only grow — so PAL never overtakes AL. *)
+  for row = 0 to n - 1 do
+    for col = 0 to n - 1 do
+      let p = Matrix_clock.get pal ~row ~col in
+      let a = Matrix_clock.get al ~row ~col in
+      if p > a then
+        add "pal-le-al" "PAL[%d][%d]=%d exceeds AL[%d][%d]=%d" row col p row
+          col a
+    done
+  done;
+  for k = 0 to n - 1 do
+    if Entity.minpal e k > Entity.minal e k then
+      add "minpal-le-minal" "minPAL_%d=%d exceeds minAL_%d=%d" k
+        (Entity.minpal e k) k (Entity.minal e k)
+  done;
+  (* Transmission is gated by [seq < minAL_peers + W_eff + slack] with
+     W_eff <= W and slack <= 1, and minAL_peers is monotone. *)
+  if Entity.seq_next e > Entity.minal_peers e + cfg.Config.window + 1 then
+    add "window-bound" "seq_next=%d exceeds minAL_peers=%d + W=%d + 1"
+      (Entity.seq_next e) (Entity.minal_peers e) cfg.Config.window;
+  let req = Entity.req e in
+  if req.(id) > Entity.seq_next e then
+    add "req-self" "REQ_self=%d exceeds next own seq %d" req.(id)
+      (Entity.seq_next e);
+  for j = 0 to n - 1 do
+    (* The ACC condition admits exactly [SEQ = REQ_j], so RRL_j is the
+       contiguous run ending at REQ_j - 1. *)
+    let rrl = Entity.rrl_list e ~src:j in
+    let expect = ref (req.(j) - List.length rrl) in
+    List.iter
+      (fun (p : Pdu.data) ->
+        if p.seq <> !expect then
+          add "rrl-contiguous" "RRL_%d holds seq %d where %d was expected" j
+            p.seq !expect;
+        incr expect)
+      rrl;
+    List.iter
+      (fun s ->
+        if s <= req.(j) then
+          add "pending-above-req"
+            "out-of-sequence buffer holds seq %d from %d at or below REQ=%d" s
+            j req.(j))
+      (Entity.pending_seqs e ~src:j)
+  done;
+  (* PACK moves a PDU into PRL only under [SEQ < minAL_src], and minAL only
+     grows. *)
+  List.iter
+    (fun (p : Pdu.data) ->
+      if p.seq >= Entity.minal e p.src then
+        add "prl-below-minal" "PRL holds (%d,%d) but minAL_%d=%d" p.src p.seq
+          p.src (Entity.minal e p.src))
+    (Entity.prl_list e);
+  (match cfg.Config.causality_mode with
+  | Config.Transitive ->
+    (* CPI keeps PRL a linear extension of causality-precedence. Only
+       guaranteed in Transitive mode: the paper's Direct test legitimately
+       misorders relayed chains (DESIGN.md §7). *)
+    if
+      not
+        (Precedence.is_causality_preserved
+           ~precedes:(Entity.causally_precedes e)
+           (Entity.prl_list e))
+    then
+      add "prl-linear-extension"
+        "PRL is not a linear extension of causality-precedence"
+  | Config.Direct -> ());
+  List.rev !out
+
+module Monitor = struct
+  type slot = {
+    mutable delivered_rev : Pdu.data list;
+    delivered : (int * int, unit) Hashtbl.t;
+    mutable seen_step : bool;
+    mutable last_seq : int;
+    mutable last_req : int array;
+    mutable last_al : Matrix_clock.t;
+    mutable last_pal : Matrix_clock.t;
+  }
+
+  type t = { n : int; slots : slot array }
+
+  let create ~n =
+    {
+      n;
+      slots =
+        Array.init n (fun _ ->
+            {
+              delivered_rev = [];
+              delivered = Hashtbl.create 64;
+              seen_step = false;
+              last_seq = 1;
+              last_req = Array.make n 1;
+              last_al = Matrix_clock.create ~n ~init:1;
+              last_pal = Matrix_clock.create ~n ~init:1;
+            });
+    }
+
+  let note_delivery t ~entity (d : Pdu.data) =
+    let s = t.slots.(entity) in
+    let out = ref [] in
+    let add invariant fmt =
+      Printf.ksprintf
+        (fun detail -> out := { entity; invariant; detail } :: !out)
+        fmt
+    in
+    let key = Pdu.key d in
+    if Hashtbl.mem s.delivered key then
+      add "deliver-exactly-once" "(%d,%d) acknowledged twice" d.src d.seq;
+    Hashtbl.replace s.delivered key ();
+    (* The Theorem 4.1 direct test only claims precedence when the later
+       sender had provably accepted the earlier PDU, so it never flags a
+       concurrent pair: any hit is a real causal-order inversion. *)
+    List.iter
+      (fun (earlier : Pdu.data) ->
+        if Precedence.precedes d earlier then
+          add "causal-delivery-order"
+            "(%d,%d) delivered after (%d,%d) despite preceding it" d.src d.seq
+            earlier.src earlier.seq)
+      s.delivered_rev;
+    s.delivered_rev <- d :: s.delivered_rev;
+    List.rev !out
+
+  let note_step t e =
+    let entity = Entity.id e in
+    let s = t.slots.(entity) in
+    let out = ref [] in
+    let add invariant fmt =
+      Printf.ksprintf
+        (fun detail -> out := { entity; invariant; detail } :: !out)
+        fmt
+    in
+    let seq = Entity.seq_next e in
+    let req = Entity.req e in
+    let al = Entity.al_matrix e in
+    let pal = Entity.pal_matrix e in
+    if s.seen_step then begin
+      if seq < s.last_seq then
+        add "seq-monotone" "seq_next went from %d to %d" s.last_seq seq;
+      Array.iteri
+        (fun j v ->
+          if v < s.last_req.(j) then
+            add "req-monotone" "REQ_%d went from %d to %d" j s.last_req.(j) v)
+        req;
+      for row = 0 to t.n - 1 do
+        for col = 0 to t.n - 1 do
+          if
+            Matrix_clock.get al ~row ~col
+            < Matrix_clock.get s.last_al ~row ~col
+          then
+            add "al-monotone" "AL[%d][%d] went from %d to %d" row col
+              (Matrix_clock.get s.last_al ~row ~col)
+              (Matrix_clock.get al ~row ~col);
+          if
+            Matrix_clock.get pal ~row ~col
+            < Matrix_clock.get s.last_pal ~row ~col
+          then
+            add "pal-monotone" "PAL[%d][%d] went from %d to %d" row col
+              (Matrix_clock.get s.last_pal ~row ~col)
+              (Matrix_clock.get pal ~row ~col)
+        done
+      done
+    end;
+    s.seen_step <- true;
+    s.last_seq <- seq;
+    s.last_req <- req;
+    s.last_al <- al;
+    s.last_pal <- pal;
+    List.rev !out
+
+  let delivered_count t ~entity = Hashtbl.length t.slots.(entity).delivered
+end

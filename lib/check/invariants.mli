@@ -1,0 +1,52 @@
+(** The CO protocol's invariant catalog.
+
+    Pure checks over a live {!Repro_core.Entity.t} (structural state
+    invariants) plus a {!Monitor} for history properties (cross-step
+    monotonicity, exactly-once and causally ordered delivery) that a single
+    state snapshot cannot express. Shared by the small-scope model checker
+    ({!Explorer}), the runtime assertion mode ({!Runtime}) and the trace
+    linter's oracle tests. The catalog and the soundness argument for each
+    entry are documented in [docs/checking.md]. *)
+
+type violation = { entity : int; invariant : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+val to_string : violation -> string
+
+val check_entity : Repro_core.Entity.t -> violation list
+(** Evaluate every structural invariant on one entity's current state:
+
+    - [pal-le-al]: PAL ≤ AL pointwise (hence [minpal-le-minal]);
+    - [window-bound]: SEQ never runs more than W+1 past [minAL_peers];
+    - [req-self]: REQ for self never exceeds the next own sequence number;
+    - [rrl-contiguous]: RRL_j is the gap-free run ending at REQ_j − 1;
+    - [pending-above-req]: parked out-of-sequence PDUs lie above REQ;
+    - [prl-below-minal]: everything in PRL passed the pre-ack gate;
+    - [prl-linear-extension]: PRL respects causality-precedence
+      ([Transitive] mode only — the paper's [Direct] test legitimately
+      misorders relayed chains, DESIGN.md §7).
+
+    Returns all violations found, in catalog order; [[]] means clean. *)
+
+(** History monitor: watches deliveries and state snapshots over a run. *)
+module Monitor : sig
+  type t
+
+  val create : n:int -> t
+
+  val note_delivery :
+    t -> entity:int -> Repro_pdu.Pdu.data -> violation list
+  (** Record that [entity] acknowledged (delivered) a PDU. Checks
+      [deliver-exactly-once] and [causal-delivery-order] (no previously
+      delivered PDU at the same entity is causally preceded by this one,
+      per the Theorem 4.1 direct test — a sound under-approximation of
+      happened-before, so every hit is a real inversion). *)
+
+  val note_step : t -> Repro_core.Entity.t -> violation list
+  (** Record a between-steps snapshot of the entity; checks that [seq_next],
+      REQ, AL and PAL never decrease relative to the previous snapshot. The
+      first call per entity only establishes the baseline. *)
+
+  val delivered_count : t -> entity:int -> int
+  (** Distinct PDUs seen delivered at [entity]. *)
+end

@@ -1,0 +1,31 @@
+open Repro_core
+
+let fail v = raise (Entity.Protocol_invariant (Invariants.to_string v))
+
+let install ?monitor e =
+  (match monitor with
+  | Some m ->
+    Entity.add_observer e (function
+      | Entity.Acknowledged d -> (
+        match Invariants.Monitor.note_delivery m ~entity:(Entity.id e) d with
+        | [] -> ()
+        | v :: _ -> fail v)
+      | Entity.Accepted _ | Entity.Preacknowledged _ | Entity.Gap_detected _
+      | Entity.Ret_answered _ ->
+        ())
+  | None -> ());
+  Entity.set_step_checker e (fun () ->
+      (match Invariants.check_entity e with [] -> () | v :: _ -> fail v);
+      match monitor with
+      | Some m -> (
+        match Invariants.Monitor.note_step m e with
+        | [] -> ()
+        | v :: _ -> fail v)
+      | None -> ())
+
+let install_cluster cluster =
+  let n = Cluster.size cluster in
+  let monitor = Invariants.Monitor.create ~n in
+  for id = 0 to n - 1 do
+    install ~monitor (Cluster.entity cluster id)
+  done

@@ -1,0 +1,22 @@
+(** Runtime assertion mode: thread the full {!Invariants} catalog into live
+    entities.
+
+    The built-in {!Repro_core.Config.check_level} assertions cover what an
+    entity can see about itself; installing this runtime adds the external
+    catalog and the cross-step/delivery-order {!Invariants.Monitor}. Checks
+    fire after every protocol step (the entity calls them through its step
+    checker, which runs only at [Paranoid]) and raise
+    {!Repro_core.Entity.Protocol_invariant} on the first violation —
+    fail-stop debugging, not production error handling.
+
+    {!Repro_harness.Experiment.run} installs this automatically on every
+    entity when the experiment's protocol config says [Paranoid]. *)
+
+val install :
+  ?monitor:Invariants.Monitor.t -> Repro_core.Entity.t -> unit
+(** Install the catalog as [e]'s step checker; with [monitor], also watch
+    acknowledgments for exactly-once and causal delivery order. Effective
+    only when the entity runs at [check_level = Paranoid]. *)
+
+val install_cluster : Repro_core.Cluster.t -> unit
+(** {!install} on every entity of the cluster, sharing one monitor. *)

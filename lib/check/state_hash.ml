@@ -1,0 +1,9 @@
+let digest parts =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun s ->
+      Buffer.add_string b (string_of_int (String.length s));
+      Buffer.add_char b ':';
+      Buffer.add_string b s)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents b))

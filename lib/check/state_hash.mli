@@ -1,0 +1,11 @@
+(** Canonical hashing of composite model-checker states.
+
+    A state is presented as an ordered list of opaque component strings
+    (entity signatures, in-flight PDU encodings, timer labels, counters);
+    the digest length-prefixes every part before hashing, so distinct part
+    lists never produce the same pre-image — two states collide only by MD5
+    collision, not by concatenation ambiguity. *)
+
+val digest : string list -> string
+(** Hex digest, order-sensitive, injective in the part list modulo hash
+    collisions. *)

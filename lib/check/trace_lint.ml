@@ -1,0 +1,156 @@
+module Trace = Repro_sim.Trace
+module Cluster = Repro_core.Cluster
+
+type issue = { index : int; entity : int; message : string }
+
+let pp_issue ppf i =
+  Format.fprintf ppf "event %d, entity %d: %s" i.index i.entity i.message
+
+(* Happened-before is rebuilt from the trace alone, with no protocol state:
+   a -> b iff they share a source and a was submitted first, or a was
+   delivered at b's source strictly before b was submitted. The transitive
+   closure of those edges under-approximates true causality only where the
+   trace is silent, so every inversion reported is real. *)
+type hb = {
+  submit : (int, Repro_sim.Simtime.t * int) Hashtbl.t; (* tag -> time, src *)
+  prev_same_src : (int, int) Hashtbl.t; (* tag -> previous tag from its src *)
+  delivered_before : (int, (Repro_sim.Simtime.t * int) list) Hashtbl.t;
+      (* entity -> chronological (time, tag) deliveries *)
+  ancestors : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let build_hb events =
+  let t =
+    {
+      submit = Hashtbl.create 64;
+      prev_same_src = Hashtbl.create 64;
+      delivered_before = Hashtbl.create 16;
+      ancestors = Hashtbl.create 64;
+    }
+  in
+  let last_of_src = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Submitted { time; src; tag } ->
+        if not (Hashtbl.mem t.submit tag) then begin
+          Hashtbl.add t.submit tag (time, src);
+          (match Hashtbl.find_opt last_of_src src with
+          | Some prev -> Hashtbl.add t.prev_same_src tag prev
+          | None -> ());
+          Hashtbl.replace last_of_src src tag
+        end
+      | Trace.Delivered { time; entity; tag } ->
+        let prior =
+          Option.value ~default:[] (Hashtbl.find_opt t.delivered_before entity)
+        in
+        Hashtbl.replace t.delivered_before entity ((time, tag) :: prior)
+      | Trace.Sent _ | Trace.Arrived _ | Trace.Dropped _ | Trace.Handled _
+      | Trace.Note _ ->
+        ())
+    events;
+  t
+
+let preds t b =
+  match Hashtbl.find_opt t.submit b with
+  | None -> []
+  | Some (t_b, src_b) ->
+    let same = Option.to_list (Hashtbl.find_opt t.prev_same_src b) in
+    let heard =
+      List.filter_map
+        (fun (time, tag) ->
+          if Repro_sim.Simtime.compare time t_b < 0 then Some tag else None)
+        (Option.value ~default:[] (Hashtbl.find_opt t.delivered_before src_b))
+    in
+    same @ heard
+
+let rec ancestors t b =
+  match Hashtbl.find_opt t.ancestors b with
+  | Some set -> set
+  | None ->
+    let set = Hashtbl.create 8 in
+    (* Pre-register to stay terminating on (corrupt) cyclic traces. *)
+    Hashtbl.add t.ancestors b set;
+    List.iter
+      (fun a ->
+        Hashtbl.replace set a ();
+        Hashtbl.iter (fun k () -> Hashtbl.replace set k ()) (ancestors t a))
+      (preds t b);
+    set
+
+let precedes t x y =
+  let sx, qx = Cluster.key_of_tag x in
+  let sy, qy = Cluster.key_of_tag y in
+  if sx = sy then qx < qy else Hashtbl.mem (ancestors t y) x
+
+let lint ?(complete = false) ?n events =
+  let hb = build_hb events in
+  let issues = ref [] in
+  let add index entity fmt =
+    Printf.ksprintf
+      (fun message -> issues := { index; entity; message } :: !issues)
+      fmt
+  in
+  let have_submissions = Hashtbl.length hb.submit > 0 in
+  let delivered : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let history : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let entities = Hashtbl.create 16 in
+  let index = ref (-1) in
+  List.iter
+    (fun ev ->
+      incr index;
+      match ev with
+      | Trace.Submitted { src; _ } -> Hashtbl.replace entities src ()
+      | Trace.Delivered { entity; tag; _ } ->
+        Hashtbl.replace entities entity ();
+        let seen =
+          match Hashtbl.find_opt delivered entity with
+          | Some s -> s
+          | None ->
+            let s = Hashtbl.create 64 in
+            Hashtbl.add delivered entity s;
+            s
+        in
+        let src, seq = Cluster.key_of_tag tag in
+        if Hashtbl.mem seen tag then
+          add !index entity "tag %d (src %d, seq %d) delivered twice" tag src
+            seq;
+        Hashtbl.replace seen tag ();
+        if have_submissions && not (Hashtbl.mem hb.submit tag) then
+          add !index entity "tag %d delivered but never submitted" tag;
+        let earlier =
+          Option.value ~default:[] (Hashtbl.find_opt history entity)
+        in
+        List.iter
+          (fun e ->
+            if precedes hb tag e then
+              add !index entity
+                "tag %d delivered after tag %d despite preceding it" tag e)
+          earlier;
+        Hashtbl.replace history entity (tag :: earlier)
+      | Trace.Sent _ | Trace.Arrived _ | Trace.Dropped _ | Trace.Handled _
+      | Trace.Note _ ->
+        ())
+    events;
+  if complete then begin
+    let count =
+      match n with
+      | Some n -> n
+      | None -> Hashtbl.fold (fun id () acc -> max acc (id + 1)) entities 0
+    in
+    Hashtbl.iter
+      (fun tag _ ->
+        for entity = 0 to count - 1 do
+          let seen =
+            match Hashtbl.find_opt delivered entity with
+            | Some s -> Hashtbl.mem s tag
+            | None -> false
+          in
+          if not seen then
+            add (List.length events) entity "tag %d was never delivered" tag
+        done)
+      hb.submit
+  end;
+  List.rev !issues
+
+let lint_trace ?complete ?n trace = lint ?complete ?n (Trace.events trace)

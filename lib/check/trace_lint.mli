@@ -1,0 +1,33 @@
+(** [colint]'s core: lint a recorded execution trace against the CO service
+    properties, with no access to protocol state.
+
+    The linter rebuilds a happened-before relation from the trace itself —
+    [a -> b] iff they share a source and [a] was submitted first, or [a] was
+    delivered at [b]'s source strictly before [b] was submitted — and takes
+    its transitive closure. This under-approximates true causality only
+    where the trace is silent, so every reported inversion is a real
+    violation; it needs the {!Repro_sim.Trace.Submitted} events the harness
+    records (traces without them still get per-source FIFO and
+    exactly-once checking).
+
+    Checks, incremental over the event sequence (the first issue's [index]
+    is the first violating prefix):
+    - exactly-once: no tag delivered twice at one entity;
+    - provenance: no tag delivered that was never submitted;
+    - causal order: no delivery inverts happened-before at any entity;
+    - completeness (opt-in, for runs-to-quiescence): every submitted tag
+      delivered at every entity. *)
+
+type issue = { index : int; entity : int; message : string }
+(** [index] is the 0-based position of the offending event in the trace
+    (or the trace length for completeness issues). *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val lint :
+  ?complete:bool -> ?n:int -> Repro_sim.Trace.event list -> issue list
+(** [complete] defaults to [false]; [n] (the cluster size) defaults to the
+    highest entity id seen plus one and only matters for completeness. *)
+
+val lint_trace :
+  ?complete:bool -> ?n:int -> Repro_sim.Trace.t -> issue list

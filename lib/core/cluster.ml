@@ -74,8 +74,16 @@ let create (config : config) =
             let key = Pdu.key d in
             if not (Hashtbl.mem send_times key) then begin
               Hashtbl.add send_times key (Engine.now engine);
-              if not (Pdu.is_confirmation d) then
+              if not (Pdu.is_confirmation d) then begin
                 rev_data_keys := key :: !rev_data_keys;
+                Trace.record (Network.trace net)
+                  (Trace.Submitted
+                     {
+                       time = Engine.now engine;
+                       src = id;
+                       tag = tag_of_key ~src:d.src ~seq:d.seq;
+                     })
+              end;
               Repro_clock.Causality.send causality ~entity:id
                 ~msg:(tag_of_key ~src:d.src ~seq:d.seq)
             end

@@ -5,6 +5,10 @@ type defer_policy =
 
 type causality_mode = Direct | Transitive
 
+type check_level = Off | Cheap | Paranoid
+
+type fault = Skip_minpal_gate | Skip_cpi_order
+
 type t = {
   cid : int;
   window : int;
@@ -15,6 +19,8 @@ type t = {
   initial_buf : int;
   retain_arl : bool;
   causality_mode : causality_mode;
+  check_level : check_level;
+  fault : fault option;
 }
 
 let default =
@@ -28,6 +34,8 @@ let default =
     initial_buf = 64;
     retain_arl = true;
     causality_mode = Transitive;
+    check_level = Off;
+    fault = None;
   }
 
 let validate t =

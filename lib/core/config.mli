@@ -33,6 +33,29 @@ type causality_mode =
           PDU has been accepted by the time the PDU is pre-acknowledged, so
           the closure equals true happened-before. Default. *)
 
+type check_level =
+  | Off  (** No runtime invariant checking (production default). *)
+  | Cheap
+      (** O(n²) structural assertions after every protocol step: PAL ≤ AL
+          pointwise, the flow window bound on SEQ, REQ-self sanity. *)
+  | Paranoid
+      (** [Cheap] plus full log-walking invariants (RRL contiguity, PRL as a
+          linear extension of ≺, pending-above-REQ) and, when a checker from
+          [Repro_check.Runtime] is installed, the complete external catalog
+          with cross-step monotonicity and delivery-order monitoring. *)
+
+type fault =
+  | Skip_minpal_gate
+      (** Acknowledge (and deliver) the PRL top without waiting for
+          [SEQ < minPAL_src] — breaks causal delivery under reordering. *)
+  | Skip_cpi_order
+      (** Append to PRL in receipt order instead of CPI position — breaks
+          the linear-extension invariant. *)
+(** Deliberate protocol bugs, injectable only through configuration, used to
+    prove that the checking layers ({!Repro_check.Explorer}, runtime
+    assertions, [colint]) actually catch violations. Never set outside
+    negative tests. *)
+
 type t = {
   cid : int;  (** Cluster identifier stamped on every PDU. *)
   window : int;  (** [W], per-source send window. *)
@@ -52,11 +75,13 @@ type t = {
           millions of PDUs turn this off; delivery callbacks fire either
           way. *)
   causality_mode : causality_mode;
+  check_level : check_level;
+  fault : fault option;  (** Fault injection for checker self-tests. *)
 }
 
 val default : t
 (** cid 0, W = 8, H = 1, deferred confirmation with 5ms timeout, 20ms RET
-    retry, anti-entropy on, initial buffer 64. *)
+    retry, anti-entropy on, initial buffer 64, checking off, no fault. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical parameters. *)

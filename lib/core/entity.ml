@@ -50,7 +50,10 @@ type t = {
   mutable undelivered : int; (* accepted data PDUs not yet acknowledged *)
   metrics : Metrics.t;
   mutable observers : (event -> unit) list;
+  mutable step_checker : (unit -> unit) option;
 }
+
+exception Protocol_invariant of string
 
 let create ~config ~id ~n ~actions =
   Config.validate config;
@@ -88,6 +91,7 @@ let create ~config ~id ~n ~actions =
     undelivered = 0;
     metrics = Metrics.create ();
     observers = [];
+    step_checker = None;
   }
 
 let id t = t.id
@@ -199,6 +203,87 @@ let req_changed t =
     if j <> t.id && t.req.(j) <> t.req_at_last_send.(j) then changed := true
   done;
   !changed
+
+let fail_invariant t name detail =
+  raise (Protocol_invariant (Printf.sprintf "entity %d: %s: %s" t.id name detail))
+
+(* Structural invariants of a between-steps entity state. [Cheap] runs the
+   O(n²) matrix and window checks; [Paranoid] additionally walks the logs.
+   The same facts, plus cross-step monotonicity and delivery-order
+   monitoring, live in the external catalog (lib/check/invariants.ml); the
+   inline forms are the always-available subset that needs no extra
+   dependencies, so any run can self-check by flipping the config. *)
+let self_check t =
+  (* Pre-acknowledgment never outruns acceptance knowledge: every PDU that
+     raises a PAL row raised the same AL row at acceptance, and rows only
+     grow, so PAL ≤ AL pointwise (hence minPAL_k ≤ minAL_k for every k). *)
+  for j = 0 to t.n - 1 do
+    for k = 0 to t.n - 1 do
+      let p = Matrix_clock.get t.pal ~row:j ~col:k in
+      let a = Matrix_clock.get t.al ~row:j ~col:k in
+      if p > a then
+        fail_invariant t "pal-le-al"
+          (Printf.sprintf "PAL[%d][%d]=%d > AL[%d][%d]=%d" j k p j k a)
+    done
+  done;
+  (* Every sequenced transmission was gated by [seq < minal_peers + W_eff]
+     (plus one slack slot for empty confirmations), and minAL only grows, so
+     the next fresh seq can never run more than W+1 ahead of the window. *)
+  if t.seq > minal_peers t + t.config.window + 1 then
+    fail_invariant t "window-bound"
+      (Printf.sprintf "seq_next=%d > minAL_peers=%d + W=%d + 1" t.seq
+         (minal_peers t) t.config.window);
+  if t.req.(t.id) > t.seq then
+    fail_invariant t "req-self"
+      (Printf.sprintf "REQ_self=%d > next own seq=%d" t.req.(t.id) t.seq);
+  if t.config.check_level = Config.Paranoid then begin
+    for j = 0 to t.n - 1 do
+      (* RRL_j is the contiguous run of accepted-not-yet-packed seqs ending
+         exactly at REQ_j - 1 (acceptance is in-sequence per source). *)
+      let expect = ref (t.req.(j) - Logs.Receipt.rrl_length t.logs ~src:j) in
+      List.iter
+        (fun (p : Pdu.data) ->
+          if p.seq <> !expect then
+            fail_invariant t "rrl-contiguous"
+              (Printf.sprintf "RRL_%d holds seq %d where %d was expected" j
+                 p.seq !expect);
+          incr expect)
+        (Logs.Receipt.rrl_to_list t.logs ~src:j);
+      (* Parked out-of-sequence PDUs are strictly beyond REQ (the drain loop
+         in [handle_data] consumes everything at or below it). *)
+      Hashtbl.iter
+        (fun seq _ ->
+          if seq <= t.req.(j) then
+            fail_invariant t "pending-above-req"
+              (Printf.sprintf "pending seq %d from %d <= REQ=%d" seq j
+                 t.req.(j)))
+        t.pending.(j)
+    done;
+    (* Every pre-acknowledged PDU passed the SEQ < minAL gate, and minAL is
+       monotone, so the whole PRL stays below it. *)
+    List.iter
+      (fun (p : Pdu.data) ->
+        if p.seq >= minal t p.src then
+          fail_invariant t "prl-below-minal"
+            (Printf.sprintf "PRL holds (%d,%d) but minAL_%d=%d" p.src p.seq
+               p.src (minal t p.src)))
+      (Logs.Receipt.prl_to_list t.logs);
+    (* CPI keeps PRL a linear extension of ≺ (checked against the one-hop
+       Theorem 4.1 test, a sound subrelation of the Transitive mode's
+       closure). Direct mode legitimately misorders relayed chains
+       (DESIGN.md §7), so the check only applies to Transitive. *)
+    if t.config.causality_mode = Config.Transitive then
+      if not (Precedence.is_causality_preserved (Logs.Receipt.prl_to_list t.logs))
+      then fail_invariant t "prl-linear-extension" "PRL is not causality-preserved"
+  end
+
+let check_step t =
+  match t.config.check_level with
+  | Config.Off -> ()
+  | Config.Cheap -> self_check t
+  | Config.Paranoid -> (
+    self_check t;
+    match t.step_checker with Some f -> f () | None -> ())
 
 (* Broadcast a fresh sequenced DT PDU. The self component of the ACK vector
    is this PDU's own sequence number (Example 4.1, Table 1): the sender
@@ -380,8 +465,17 @@ let handle_ctl t (c : Pdu.ctl) =
   t.prompted <- true
 
 (* PACK action (§4.4): RRL tops whose SEQ < minAL_src move into PRL in
-   causality-precedence position; their ACK vectors raise PAL. *)
+   causality-precedence position; their ACK vectors raise PAL.
+
+   [Config.fault] deliberately miswires the two actions so the checking
+   layers can prove they catch real bugs: [Skip_cpi_order] appends to PRL in
+   receipt order, [Skip_minpal_gate] acknowledges without the minPAL gate. *)
 let pack_scan t =
+  let precedes =
+    match t.config.fault with
+    | Some Config.Skip_cpi_order -> fun _ _ -> false
+    | Some Config.Skip_minpal_gate | None -> precedes_current t
+  in
   for j = 0 to t.n - 1 do
     let continue = ref true in
     while !continue do
@@ -389,7 +483,7 @@ let pack_scan t =
       | Some p when p.seq < minal t j && reach_ready t p ->
         ignore (Logs.Receipt.rrl_dequeue t.logs ~src:j);
         Matrix_clock.set_row t.pal ~row:j p.ack;
-        Logs.Receipt.prl_insert ~precedes:(precedes_current t) t.logs p;
+        Logs.Receipt.prl_insert ~precedes t.logs p;
         notify t (Preacknowledged p)
       | Some _ | None -> continue := false
     done
@@ -398,10 +492,15 @@ let pack_scan t =
 (* ACK action (§4.5): PRL tops whose SEQ < minPAL_src are acknowledged and,
    if they carry data, delivered to the application — in causal order. *)
 let ack_scan t =
+  let ack_gate (p : Pdu.data) =
+    match t.config.fault with
+    | Some Config.Skip_minpal_gate -> true
+    | Some Config.Skip_cpi_order | None -> p.seq < minpal t p.src
+  in
   let continue = ref true in
   while !continue do
     match Logs.Receipt.prl_top t.logs with
-    | Some p when p.seq < minpal t p.src ->
+    | Some p when ack_gate p ->
       ignore (Logs.Receipt.prl_dequeue t.logs);
       if t.config.retain_arl then Logs.Receipt.arl_enqueue t.logs p;
       if not (Pdu.is_confirmation p) then begin
@@ -490,7 +589,8 @@ let rec ensure_heartbeat_armed t ~timeout =
         t.accepted_at_last_hb <- t.metrics.accepted;
         confirm_now t ~heartbeat:true;
         pump t;
-        ensure_heartbeat_armed t ~timeout)
+        ensure_heartbeat_armed t ~timeout;
+        check_step t)
   end
 
 let after_processing t =
@@ -500,7 +600,7 @@ let after_processing t =
   pump t;
   let occupancy = Logs.Receipt.buffered t.logs in
   if occupancy > t.metrics.peak_buffered then t.metrics.peak_buffered <- occupancy;
-  match t.config.defer with
+  (match t.config.defer with
   | Config.Immediate ->
     if t.need_immediate_confirm || t.prompted then confirm_now t ~heartbeat:false;
     t.need_immediate_confirm <- false;
@@ -514,7 +614,8 @@ let after_processing t =
     if (!all_heard && req_changed t) || t.prompted then
       confirm_now t ~heartbeat:false;
     ensure_heartbeat_armed t ~timeout
-  | Config.Never -> t.prompted <- false
+  | Config.Never -> t.prompted <- false);
+  check_step t
 
 let receive t pdu =
   let ours =
@@ -532,22 +633,106 @@ let receive t pdu =
   end
 
 let submit t payload =
-  if flow_ok t && Queue.is_empty t.dt_queue then begin
-    transmit t ~payload;
-    true
-  end
-  else begin
-    Queue.push payload t.dt_queue;
-    t.metrics.flow_blocked <- t.metrics.flow_blocked + 1;
-    (match t.config.defer with
-    | Config.Immediate ->
-      ensure_heartbeat_armed t ~timeout:t.config.ret_retry_timeout
-    | Config.Deferred { timeout } -> ensure_heartbeat_armed t ~timeout
-    | Config.Never -> ());
-    false
-  end
+  let sent =
+    if flow_ok t && Queue.is_empty t.dt_queue then begin
+      transmit t ~payload;
+      true
+    end
+    else begin
+      Queue.push payload t.dt_queue;
+      t.metrics.flow_blocked <- t.metrics.flow_blocked + 1;
+      (match t.config.defer with
+      | Config.Immediate ->
+        ensure_heartbeat_armed t ~timeout:t.config.ret_retry_timeout
+      | Config.Deferred { timeout } -> ensure_heartbeat_armed t ~timeout
+      | Config.Never -> ());
+      false
+    end
+  in
+  check_step t;
+  sent
 
 (* Inspection *)
+
+(* Canonical digest of every behavior-relevant piece of mutable state: the
+   model checker's notion of "same state". Excludes the observers, the
+   derived reach memo-table and pure counters; includes the control-flow
+   flags and logs. Timestamps enter only as "has this ever happened" flags —
+   the explorer runs on frozen virtual time (now = 0, initial sentinels
+   negative), where that is the full story; under a live clock the digest is
+   still well-defined but two states differing only in wall-time history may
+   collide, which a safety checker can tolerate. *)
+let signature t =
+  let b = Buffer.create 1024 in
+  let addi i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b ';'
+  in
+  let addb v = addi (if v then 1 else 0) in
+  let add_arr a = Array.iter addi a in
+  let add_flag_arr a = Array.iter (fun ts -> addb (Simtime.compare ts 0 >= 0)) a in
+  let add_pdu (p : Pdu.data) =
+    let s = Bytes.to_string (Codec.encode (Pdu.Data p)) in
+    addi (String.length s);
+    Buffer.add_string b s
+  in
+  addi t.seq;
+  add_arr t.req;
+  for j = 0 to t.n - 1 do
+    add_arr (Matrix_clock.row t.al j)
+  done;
+  for j = 0 to t.n - 1 do
+    add_arr (Matrix_clock.row t.pal j)
+  done;
+  add_arr t.buf;
+  add_flag_arr t.buf_at;
+  addi (Logs.Sending.low_seq t.sl);
+  for s = Logs.Sending.low_seq t.sl to Logs.Sending.last_seq t.sl do
+    match Logs.Sending.find t.sl ~seq:s with
+    | Some p -> add_pdu p
+    | None -> addi (-1)
+  done;
+  for j = 0 to t.n - 1 do
+    addi (-2);
+    List.iter add_pdu (Logs.Receipt.rrl_to_list t.logs ~src:j)
+  done;
+  addi (-3);
+  List.iter add_pdu (Logs.Receipt.prl_to_list t.logs);
+  for j = 0 to t.n - 1 do
+    addi (-4);
+    List.iter addi
+      (List.sort compare
+         (Hashtbl.fold (fun k _ acc -> k :: acc) t.pending.(j) []))
+  done;
+  addi (-5);
+  Queue.iter
+    (fun payload ->
+      addi (String.length payload);
+      Buffer.add_string b payload)
+    t.dt_queue;
+  for j = 0 to t.n - 1 do
+    addi (-6);
+    match Failure.outstanding t.fails ~lsrc:j with
+    | None -> addi 0
+    | Some (bound, at) ->
+      addi bound;
+      addb (Simtime.compare at 0 >= 0)
+  done;
+  Array.iter addb t.heard;
+  add_arr t.req_at_last_send;
+  addb t.need_immediate_confirm;
+  addb t.prompted;
+  addb t.defer_timer_armed;
+  (* hb_interval, accepted_at_last_hb and the metrics counters are
+     deliberately absent: they feed only timer *delays* (the heartbeat
+     backoff ladder), which cannot influence behavior when time is frozen —
+     including them would multiply every explored state by the ladder. *)
+  Array.iter addb t.ret_timer_armed;
+  add_flag_arr t.last_ctl_to;
+  addb (Simtime.compare t.last_send_at 0 >= 0);
+  addb (Simtime.compare t.last_ctl_broadcast_at 0 >= 0);
+  addi t.undelivered;
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 let causally_precedes t p q = precedes_current t p q
 
@@ -564,3 +749,10 @@ let pending_count t =
 let queued_requests t = Queue.length t.dt_queue
 let undelivered_data t = t.undelivered
 let metrics t = t.metrics
+let config t = t.config
+let rrl_list t ~src = Logs.Receipt.rrl_to_list t.logs ~src
+
+let pending_seqs t ~src =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.pending.(src) [])
+
+let set_step_checker t f = t.step_checker <- Some f

@@ -41,6 +41,12 @@ type event =
 
 type t
 
+exception Protocol_invariant of string
+(** Raised by the runtime assertion mode ({!Config.check_level} [Cheap] or
+    [Paranoid]) when a structural invariant of the entity state is violated
+    after a protocol step. Carries the entity id, invariant name and
+    detail. *)
+
 val create : config:Config.t -> id:int -> n:int -> actions:actions -> t
 (** @raise Invalid_argument on invalid config, [n < 2] or [id] out of
     range. *)
@@ -62,6 +68,12 @@ val add_observer : t -> (event -> unit) -> unit
 (** Register a protocol-event listener; all registered listeners fire in
     registration order. *)
 
+val set_step_checker : t -> (unit -> unit) -> unit
+(** Install an external checker run after every protocol step when
+    [check_level = Paranoid] (in addition to the built-in structural
+    assertions). {!Repro_check.Runtime} uses this to thread the full
+    invariant catalog into the entity. *)
+
 (** {2 Inspection} — used by tests, oracles and experiments. *)
 
 val causally_precedes :
@@ -81,12 +93,23 @@ val minal : t -> int -> int
 
 val minpal : t -> int -> int
 
+val minal_peers : t -> int
+(** Minimum of this entity's AL row over the other entities — the bound the
+    flow condition compares [SEQ] against. *)
+
 val al_matrix : t -> Repro_clock.Matrix_clock.t
 (** Copies; row = informant entity, column = subject source. *)
 
 val pal_matrix : t -> Repro_clock.Matrix_clock.t
 
 val rrl_length : t -> src:int -> int
+
+val rrl_list : t -> src:int -> Repro_pdu.Pdu.data list
+(** RRL contents for [src], oldest first. *)
+
+val pending_seqs : t -> src:int -> int list
+(** Sequence numbers of out-of-order PDUs parked for [src], ascending. *)
+
 val prl_list : t -> Repro_pdu.Pdu.data list
 val arl_list : t -> Repro_pdu.Pdu.data list
 val buffered : t -> int
@@ -100,3 +123,13 @@ val undelivered_data : t -> int
 (** Data PDUs accepted but not yet acknowledged here. 0 at quiescence. *)
 
 val metrics : t -> Metrics.t
+
+val config : t -> Config.t
+(** The configuration this entity was created with. *)
+
+val signature : t -> string
+(** Canonical digest of the entity's behavior-relevant mutable state, for the
+    model checker's state deduplication. Two entities with equal signatures
+    behave identically under any further input — provided time is frozen
+    (the explorer's setting): timestamps are digested only as
+    has-it-ever-happened flags. *)

@@ -29,6 +29,8 @@ module Sending = struct
 
   let last_seq t = t.last
 
+  let low_seq t = t.low
+
   let prune_below t ~seq =
     for s = t.low to min (seq - 1) t.last do
       Hashtbl.remove t.tbl s
@@ -67,6 +69,8 @@ module Receipt = struct
       Some p
 
   let rrl_length t ~src = Repro_util.Fifo.length t.rrl.(src)
+
+  let rrl_to_list t ~src = Repro_util.Fifo.to_list t.rrl.(src)
 
   let prl_insert ?precedes t p =
     t.prl <- Precedence.cpi_insert_lenient ?precedes t.prl p;

@@ -25,6 +25,9 @@ module Sending : sig
   val last_seq : t -> int
   (** Highest appended seq; 0 when nothing was ever appended. *)
 
+  val low_seq : t -> int
+  (** Lowest retained seq (1 before any pruning). *)
+
   val prune_below : t -> seq:int -> unit
   (** Forget PDUs with [seq' < seq]; they can no longer be requested. *)
 
@@ -43,6 +46,9 @@ module Receipt : sig
   val rrl_top : t -> src:int -> Repro_pdu.Pdu.data option
   val rrl_dequeue : t -> src:int -> Repro_pdu.Pdu.data option
   val rrl_length : t -> src:int -> int
+
+  val rrl_to_list : t -> src:int -> Repro_pdu.Pdu.data list
+  (** Oldest (next to pre-acknowledge) first. *)
 
   (** PRL operations. *)
 

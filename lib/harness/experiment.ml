@@ -20,6 +20,10 @@ type outcome = {
 
 let run ?(max_events = 20_000_000) ~config ~workload () =
   let cluster = Cluster.create config in
+  (* Paranoid runs get the full external invariant catalog asserted after
+     every protocol step, not just the entity's built-in self checks. *)
+  if config.Cluster.protocol.Repro_core.Config.check_level = Repro_core.Config.Paranoid
+  then Repro_check.Runtime.install_cluster cluster;
   Workload.apply cluster workload;
   Cluster.run cluster ~max_events;
   let oracle = Oracle.check_cluster cluster ~expected_tags:(Cluster.data_tags cluster) in

@@ -112,6 +112,16 @@ type report = {
   causal : violation list;
 }
 
+let check_deliveries ~expected_tags ~precedes ~key_of ~deliveries =
+  {
+    expected = List.length expected_tags;
+    delivered_per_entity = Array.map List.length deliveries;
+    missing = missing_tags ~expected:expected_tags ~deliveries;
+    dups = duplicate_tags ~deliveries;
+    fifo = fifo_violations ~key_of ~deliveries;
+    causal = causality_violations ~precedes ~deliveries;
+  }
+
 let check_cluster cluster ~expected_tags =
   let n = Cluster.size cluster in
   let deliveries =
@@ -124,14 +134,8 @@ let check_cluster cluster ~expected_tags =
   let precedes p q =
     try Causality.msg_precedes causality p q with Not_found -> false
   in
-  {
-    expected = List.length expected_tags;
-    delivered_per_entity = Array.map List.length deliveries;
-    missing = missing_tags ~expected:expected_tags ~deliveries;
-    dups = duplicate_tags ~deliveries;
-    fifo = fifo_violations ~key_of:Cluster.key_of_tag ~deliveries;
-    causal = causality_violations ~precedes ~deliveries;
-  }
+  check_deliveries ~expected_tags ~precedes ~key_of:Cluster.key_of_tag
+    ~deliveries
 
 let ok r =
   r.missing = [] && r.dups = [] && r.fifo = [] && r.causal = []

@@ -54,9 +54,18 @@ type report = {
   causal : violation list;
 }
 
+val check_deliveries :
+  expected_tags:int list ->
+  precedes:(int -> int -> bool) ->
+  key_of:(int -> int * int) ->
+  deliveries:int list array ->
+  report
+(** Pure report over externally supplied delivery sequences and precedence —
+    usable on replayed traces as well as live clusters. *)
+
 val check_cluster :
   Repro_core.Cluster.t -> expected_tags:int list -> report
-(** Runs all checks against the ground-truth relation of
+(** {!check_deliveries} against the ground-truth relation of
     {!Repro_core.Cluster.causality}. *)
 
 val ok : report -> bool

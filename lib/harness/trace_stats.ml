@@ -45,7 +45,9 @@ let per_entity trace ~n =
         | Trace.Filtered -> filt.(dst) <- filt.(dst) + 1)
       | Trace.Delivered { entity; _ } when entity < n ->
         delivered.(entity) <- delivered.(entity) + 1
-      | Trace.Sent _ | Trace.Dropped _ | Trace.Delivered _ | Trace.Note _ -> ())
+      | Trace.Submitted _ | Trace.Sent _ | Trace.Dropped _ | Trace.Delivered _
+      | Trace.Note _ ->
+        ())
     (Trace.events trace);
   Array.init n (fun entity ->
       {

@@ -11,6 +11,10 @@ type drop_reason =
   | Filtered  (** Deterministic test drop-filter. *)
 
 type event =
+  | Submitted of { time : Simtime.t; src : int; tag : int }
+      (** The application handed a new data message [tag] to the protocol at
+          [src] (recorded by the harness at first broadcast; confirmations
+          and retransmissions are not submissions). *)
   | Sent of { time : Simtime.t; src : int; uid : int }
       (** A transmission was put on the medium ([uid] identifies this
           transmission, not the logical PDU: a retransmission gets a fresh
@@ -39,8 +43,19 @@ val filter : t -> f:(event -> bool) -> event list
 val deliveries : t -> entity:int -> (Simtime.t * int) list
 (** [(time, tag)] pairs delivered at [entity], chronological. *)
 
+val submissions : t -> (Simtime.t * int * int) list
+(** [(time, src, tag)] of every application submission, chronological. *)
+
 val drops : t -> drop_reason list
 (** Reasons of all drops, chronological. *)
 
 val pp_event : Format.formatter -> event -> unit
 val dump : Format.formatter -> t -> unit
+
+(** {2 Persistence} — a line-oriented text format, so recorded runs can be
+    linted offline ([colint trace]) and checked into test fixtures. *)
+
+val save : t -> file:string -> unit
+val load : file:string -> (t, string) result
+(** [Error] carries ["file:line: reason"] for unreadable or malformed
+    input. [load] inverts {!save}. *)

@@ -139,7 +139,8 @@ let test_tobcast_recovers_from_loss () =
   (* Entities other than the sequencer recover through go-back-N. *)
   let d1 = Tobcast.delivered_tags tb ~entity:1 in
   check int_t "entity 1 complete" 20 (List.length d1);
-  check bool_t "go-back-N retransmitted" true (Tobcast.retransmissions tb > 0)
+  check bool_t "go-back-N retransmitted" true (Tobcast.retransmissions tb > 0);
+  check int_t "no protocol errors" 0 (Tobcast.protocol_errors tb)
 
 let test_tobcast_go_back_n_is_wasteful () =
   (* A single early loss triggers rebroadcast of everything after it. *)

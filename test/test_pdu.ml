@@ -191,6 +191,40 @@ let prop_codec_size =
   QCheck.Test.make ~name:"encoded_size is exact" ~count:200 arb_pdu (fun pdu ->
       Bytes.length (Codec.encode pdu) = Codec.encoded_size pdu)
 
+(* Robustness: the decoder is a total function. Malformed input — any
+   truncation, any byte corruption, arbitrary garbage — must come back as
+   [Error], never as an exception: a hostile or damaged wire must not be
+   able to kill an entity. *)
+
+let prop_codec_truncation_total =
+  QCheck.Test.make ~name:"every strict prefix is a clean Error" ~count:200
+    arb_pdu (fun pdu ->
+      let b = Codec.encode pdu in
+      let ok = ref true in
+      for len = 0 to Bytes.length b - 1 do
+        match Codec.decode (Bytes.sub b 0 len) with
+        | Ok _ -> ok := false
+        | Error _ -> ()
+        | exception _ -> ok := false
+      done;
+      !ok)
+
+let prop_codec_corruption_no_raise =
+  QCheck.Test.make ~name:"corrupting any byte never raises" ~count:500
+    QCheck.(triple arb_pdu (int_bound 10_000) (int_bound 255))
+    (fun (pdu, pos, value) ->
+      let b = Codec.encode pdu in
+      Bytes.set_uint8 b (pos mod Bytes.length b) value;
+      match Codec.decode b with Ok _ | Error _ -> true | exception _ -> false)
+
+let prop_codec_garbage_no_raise =
+  QCheck.Test.make ~name:"arbitrary bytes never raise" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 128))
+    (fun s ->
+      match Codec.decode (Bytes.of_string s) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -223,5 +257,12 @@ let () =
           Alcotest.test_case "golden bytes" `Quick test_codec_golden_bytes;
           Alcotest.test_case "pp error" `Quick test_codec_pp_error;
         ]
-        @ qsuite [ prop_codec_roundtrip; prop_codec_size ] );
+        @ qsuite
+            [
+              prop_codec_roundtrip;
+              prop_codec_size;
+              prop_codec_truncation_total;
+              prop_codec_corruption_no_raise;
+              prop_codec_garbage_no_raise;
+            ] );
     ]
