@@ -100,8 +100,8 @@ let tco_test n =
 (* ------------------------------------------------------------------ *)
 (* E1 — Figure 8: Tco and Tap vs n.                                    *)
 
-let run_co ?(protocol = Config.default) ?(inbox = 64) ?(loss = 0.) ?(seed = 1)
-    ?service ~n workload =
+let run_co ?registry ?(protocol = Config.default) ?(inbox = 64) ?(loss = 0.)
+    ?(seed = 1) ?service ~n workload =
   let base = Cluster.default_config ~n in
   let config =
     {
@@ -114,7 +114,7 @@ let run_co ?(protocol = Config.default) ?(inbox = 64) ?(loss = 0.) ?(seed = 1)
         (match service with Some f -> f | None -> base.Cluster.service_time);
     }
   in
-  Experiment.run ~max_events ~config ~workload ()
+  Experiment.run ?registry ~max_events ~config ~workload ()
 
 let e1 () =
   Report.header "E1 / Figure 8 — processing time (Tco) and delay (Tap) vs n";
@@ -334,6 +334,7 @@ let e4 () =
           ("GBN/selective", Table.Right);
           ("CO delivered", Table.Right);
           ("TO delivered", Table.Right);
+          ("TO proto errors", Table.Right);
         ]
   in
   List.iter
@@ -383,6 +384,7 @@ let e4 () =
           Report.factor (float_of_int to_rexmit) (float_of_int co_rexmit);
           Printf.sprintf "%d/%d" o.Experiment.delivered_total (n * per_entity * n);
           Printf.sprintf "%d/%d" to_delivered (n * per_entity * n);
+          string_of_int (Tobcast.protocol_errors tb);
         ])
     [ 0; 2; 5; 10; 15; 20 ];
   Table.print table;
@@ -675,6 +677,69 @@ let e8 () =
      are preserved by both (the gap is purely about cross-source ordering)."
 
 (* ------------------------------------------------------------------ *)
+(* JSON artifacts: machine-readable per-scenario summaries, one        *)
+(* BENCH_<scenario>.json each, for CI trend tracking.                  *)
+
+let json () =
+  Report.header "JSON artifacts (BENCH_<scenario>.json)";
+  let num v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null" in
+  let stage name (s : Repro_obs.Histogram.snapshot) =
+    Printf.sprintf
+      "%S:{\"count\":%d,\"mean_us\":%s,\"p50_us\":%s,\"p99_us\":%s}" name
+      s.Repro_obs.Histogram.count
+      (num (Repro_obs.Histogram.mean s))
+      (num (Repro_obs.Histogram.percentile s 50.))
+      (num (Repro_obs.Histogram.percentile s 99.))
+  in
+  List.iter
+    (fun (scenario, n, loss) ->
+      let workload =
+        Workload.continuous ~n ~per_entity:20 ~interval:(Simtime.of_ms 5) ()
+      in
+      let registry = Repro_obs.Registry.create () in
+      let _, o = run_co ~registry ~loss ~seed:42 ~n workload in
+      let ladder =
+        match o.Experiment.ladder with
+        | Some l -> l
+        | None -> assert false (* instrumented run *)
+      in
+      let body =
+        String.concat ","
+          [
+            Printf.sprintf "\"scenario\":%S" scenario;
+            Printf.sprintf "\"n\":%d" n;
+            Printf.sprintf "\"loss\":%s" (num loss);
+            Printf.sprintf "\"messages\":%d" o.Experiment.submitted;
+            Printf.sprintf "\"delivered\":%d" o.Experiment.delivered_total;
+            Printf.sprintf "\"goodput_msg_per_s\":%s"
+              (num (Experiment.goodput o));
+            Printf.sprintf "\"pdus_per_message\":%s"
+              (num (Experiment.pdus_per_message o));
+            Printf.sprintf "\"tap_ms_mean\":%s"
+              (num o.Experiment.tap_ms.Stats.mean);
+            Printf.sprintf "\"ladder\":{%s}"
+              (String.concat ","
+                 [
+                   stage "queue" ladder.Repro_obs.Lifecycle.queue;
+                   stage "accept" ladder.Repro_obs.Lifecycle.accept;
+                   stage "preack" ladder.Repro_obs.Lifecycle.preack;
+                   stage "ack" ladder.Repro_obs.Lifecycle.ack;
+                   stage "deliver" ladder.Repro_obs.Lifecycle.deliver;
+                 ]);
+            Printf.sprintf "\"metrics\":%s"
+              (Metrics.to_json o.Experiment.metrics);
+          ]
+      in
+      let file = Printf.sprintf "BENCH_%s.json" scenario in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc ("{" ^ body ^ "}\n"));
+      Printf.printf "wrote %s (%d messages, goodput %s msg/s)\n" file
+        o.Experiment.submitted
+        (num (Experiment.goodput o)))
+    [ ("co_n5_clean", 5, 0.0); ("co_n5_loss10", 5, 0.10) ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (wall clock, Bechamel).                             *)
 
 let micro () =
@@ -724,7 +789,7 @@ let micro () =
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("micro", micro) ]
+    ("e7", e7); ("e8", e8); ("micro", micro); ("json", json) ]
 
 let () =
   let requested =
@@ -740,5 +805,6 @@ let () =
       match List.assoc_opt name all with
       | Some f -> f ()
       | None ->
-        Printf.eprintf "unknown experiment %S (expected e1..e8, micro)\n" name)
+        Printf.eprintf "unknown experiment %S (expected e1..e8, micro, json)\n"
+          name)
     requested

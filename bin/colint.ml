@@ -1,12 +1,16 @@
 (* colint — the CO protocol invariant checker.
 
-   Two modes:
+   Three modes:
      colint trace FILE [--complete] [-n N]
        Replay a recorded trace (cosim run --trace-out FILE) through the
        service-property linter; report the first violating prefix.
      colint explore [-n N] [--broadcasts K] [--drops D] [--fault F] ...
        Exhaustive small-scope model checking of the real entity code over
        all event interleavings, with the full invariant catalog.
+     colint metrics FILE
+       Lint a Prometheus exposition file (cosim run --metrics-out FILE):
+       line format, declared types, no NaN or negative counters, monotone
+       cumulative histogram buckets.
 
    Exit codes: 0 clean, 1 violation found, 2 unusable input or truncated
    (incomplete) exploration. *)
@@ -90,6 +94,21 @@ let explore_cmd n broadcasts drops fires max_states max_depth fault defer
     if o.Explorer.violation <> None then 1 else if o.Explorer.truncated then 2
     else 0
 
+let metrics_cmd file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error msg ->
+    Printf.eprintf "colint: %s\n" msg;
+    2
+  | text -> (
+    match Repro_obs.Exporter.lint text with
+    | Ok samples ->
+      Printf.printf "colint: %d sample lines, no issues\n" samples;
+      0
+    | Error issues ->
+      List.iter (fun i -> Printf.printf "%s\n" i) issues;
+      Printf.printf "colint: %d issue(s)\n" (List.length issues);
+      1)
+
 let file_arg =
   Arg.(
     required
@@ -163,6 +182,15 @@ let no_por_arg =
 
 let trace_term = Term.(const trace_cmd $ file_arg $ complete_arg $ lint_n_arg)
 
+let metrics_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"Prometheus text file written by cosim run --metrics-out.")
+
+let metrics_term = Term.(const metrics_cmd $ metrics_file_arg)
+
 let explore_term =
   Term.(
     const explore_cmd $ n_arg $ broadcasts_arg $ drops_arg $ fires_arg
@@ -177,6 +205,10 @@ let cmds =
       (Cmd.info "explore"
          ~doc:"Model-check the entity over all small-scope interleavings.")
       explore_term;
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:"Lint a Prometheus metric exposition for format violations.")
+      metrics_term;
   ]
 
 let () =

@@ -18,6 +18,10 @@ module Network = Repro_sim.Network
 module Topology = Repro_sim.Topology
 module Engine = Repro_sim.Engine
 module Stats = Repro_util.Stats
+module Table = Repro_util.Table
+module Registry = Repro_obs.Registry
+module Exporter = Repro_obs.Exporter
+module Lifecycle = Repro_obs.Lifecycle
 open Cmdliner
 
 let make_workload ~kind ~n ~per_entity ~interval_ms ~duration_ms ~seed =
@@ -43,8 +47,52 @@ let pp_summary label (s : Stats.summary) =
     Printf.printf "  %-16s mean %.3fms  p50 %.3fms  p99 %.3fms  (%d samples)\n"
       label s.Stats.mean s.Stats.p50 s.Stats.p99 s.Stats.count
 
+(* Periodic in-run telemetry: a tick on the sim engine that snapshots the
+   aggregate counters into a table row. The tick re-arms itself only while
+   the workload is still submitting or the cluster is not yet quiescent —
+   otherwise it would keep the event queue nonempty forever. *)
+let arm_snapshots ~interval_ms ~workload ~table ~series cluster =
+  let engine = Cluster.engine cluster in
+  let period = Simtime.of_ms interval_ms in
+  let workload_end =
+    List.fold_left (fun acc e -> max acc e.Workload.at) 0 workload
+  in
+  let n = Cluster.size cluster in
+  let quiescent () =
+    List.for_all
+      (fun i ->
+        let e = Cluster.entity cluster i in
+        Repro_core.Entity.undelivered_data e = 0
+        && Repro_core.Entity.pending_count e = 0
+        && Repro_core.Entity.queued_requests e = 0)
+      (List.init n Fun.id)
+  in
+  let rec tick () =
+    Cluster.sync_metrics cluster;
+    let m = Cluster.aggregate_metrics cluster in
+    let open_spans =
+      match Cluster.lifecycle cluster with
+      | Some lc -> Lifecycle.open_spans lc
+      | None -> 0
+    in
+    Table.add_row table
+      [
+        Table.fmt_float ~digits:1 (Simtime.to_ms (Engine.now engine));
+        Table.fmt_int m.Metrics.data_sent;
+        Table.fmt_int m.Metrics.accepted;
+        Table.fmt_int m.Metrics.delivered;
+        Table.fmt_int m.Metrics.retransmitted;
+        Table.fmt_int open_spans;
+      ];
+    series := float_of_int m.Metrics.delivered :: !series;
+    if Engine.now engine < workload_end || not (quiescent ()) then
+      Engine.schedule_after engine ~delay:period tick
+  in
+  Engine.schedule_after engine ~delay:period tick
+
 let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
-    workload_kind mode show_trace trace_out paranoid quiet =
+    workload_kind mode show_trace trace_out paranoid quiet metrics_out
+    metrics_interval_ms =
   let protocol =
     {
       Config.default with
@@ -61,7 +109,33 @@ let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
     make_workload ~kind:workload_kind ~n ~per_entity ~interval_ms ~duration_ms
       ~seed
   in
-  let cluster, o = Experiment.run ~config ~workload () in
+  let registry =
+    if metrics_out <> None || metrics_interval_ms > 0 then
+      Some (Registry.create ())
+    else None
+  in
+  let snapshot_table =
+    Table.create
+      ~title:
+        (Printf.sprintf "telemetry snapshots (every %dms virtual)"
+           metrics_interval_ms)
+      ~columns:
+        [
+          ("t ms", Table.Right);
+          ("data sent", Table.Right);
+          ("accepted", Table.Right);
+          ("delivered", Table.Right);
+          ("rexmit", Table.Right);
+          ("open spans", Table.Right);
+        ]
+  in
+  let delivered_series = ref [] in
+  let on_cluster cluster =
+    if registry <> None && metrics_interval_ms > 0 then
+      arm_snapshots ~interval_ms:metrics_interval_ms ~workload
+        ~table:snapshot_table ~series:delivered_series cluster
+  in
+  let cluster, o = Experiment.run ?registry ~on_cluster ~config ~workload () in
   if show_trace then
     Format.printf "%a@." Trace.dump (Cluster.trace cluster);
   (match trace_out with
@@ -81,6 +155,29 @@ let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
   pp_summary "ack" o.Experiment.ack_ms;
   Printf.printf "traffic: %d copies on the wire, %d lost\n"
     o.Experiment.transmissions o.Experiment.losses;
+  if metrics_interval_ms > 0 && !delivered_series <> [] then begin
+    Table.print snapshot_table;
+    (* Deliveries per interval, oldest tick first. *)
+    let per_tick =
+      let totals = List.rev !delivered_series in
+      let _, deltas =
+        List.fold_left
+          (fun (prev, acc) v -> (v, (v -. prev) :: acc))
+          (0., []) totals
+      in
+      List.rev deltas
+    in
+    Printf.printf "deliveries/interval: %s\n\n"
+      (Repro_util.Chart.sparkline per_tick)
+  end;
+  (match o.Experiment.ladder with
+  | Some ladder when not quiet -> Table.print (Repro_harness.Report.ladder_table ladder)
+  | Some _ | None -> ());
+  (match (metrics_out, registry) with
+  | Some file, Some reg ->
+    Exporter.write reg ~file;
+    Printf.printf "metrics written to %s\n" file
+  | _ -> ());
   if not quiet then begin
     Format.printf "metrics: %a@." Metrics.pp o.Experiment.metrics;
     let stats =
@@ -160,10 +257,12 @@ let compare_cmd n per_entity interval_ms loss seed =
         acc + List.length (Repro_baselines.Tobcast.delivered_tags tb ~entity:e))
       0 (List.init n Fun.id)
   in
-  Printf.printf "%-8s delivered %4d/%d  rexmit %d (go-back-N)\n" "TO"
+  Printf.printf
+    "%-8s delivered %4d/%d  rexmit %d  protocol_errors %d (go-back-N)\n" "TO"
     tb_delivered
     (List.length workload * n)
-    (Repro_baselines.Tobcast.retransmissions tb);
+    (Repro_baselines.Tobcast.retransmissions tb)
+    (Repro_baselines.Tobcast.protocol_errors tb);
   let engine, net = fresh_net () in
   let cb = Repro_baselines.Cbcast.create engine net ~n in
   let tag = ref 0 in
@@ -250,11 +349,31 @@ let paranoid_arg =
 
 let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Less output.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ]
+        ~doc:
+          "Write the metric registry to $(docv) after the run: Prometheus \
+           text format, or JSONL when the extension is .json/.jsonl. \
+           Enables receipt-ladder instrumentation.")
+
+let metrics_interval_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "metrics-interval" ]
+        ~doc:
+          "Snapshot the counters every $(docv) virtual milliseconds and \
+           print the series as a table after the run (0 = off). Enables \
+           instrumentation like $(b,--metrics-out).")
+
 let run_term =
   Term.(
     const run_cmd $ n_arg $ per_entity_arg $ interval_arg $ duration_arg
     $ loss_arg $ seed_arg $ window_arg $ defer_arg $ workload_arg $ mode_arg
-    $ trace_arg $ trace_out_arg $ paranoid_arg $ quiet_arg)
+    $ trace_arg $ trace_out_arg $ paranoid_arg $ quiet_arg $ metrics_out_arg
+    $ metrics_interval_arg)
 
 let compare_term =
   Term.(const compare_cmd $ n_arg $ per_entity_arg $ interval_arg $ loss_arg $ seed_arg)

@@ -11,6 +11,7 @@ type config = {
   max_depth : int;
   por : bool;
   protocol : Config.t;
+  on_system : Entity.t array -> unit;
 }
 
 let default_config ~n =
@@ -39,6 +40,7 @@ let default_config ~n =
            window closure, flow blocking and sliding. *)
         window = 2;
       };
+    on_system = ignore;
   }
 
 (* Transition alphabet. Deliver/Drop identify the transmission by its wire
@@ -140,6 +142,7 @@ let make_sys cfg =
       (* Baseline snapshot so the first real step has monotonicity cover. *)
       ignore (Invariants.Monitor.note_step monitor e))
     entities;
+  cfg.on_system entities;
   sys
 
 let sender_memo : (string, int) Hashtbl.t = Hashtbl.create 256

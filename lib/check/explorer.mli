@@ -48,6 +48,12 @@ type config = {
           spacing test never passes under the frozen clock);
           {!default_config} uses [Immediate]. Set [fault] here to verify the
           checker catches seeded bugs. *)
+  on_system : Repro_core.Entity.t array -> unit;
+      (** Called on each freshly built entity array, after observers are
+          attached, before any event replays. The explorer rebuilds the
+          system once per explored path, so the hook fires once per replay —
+          use it to attach external monitors (e.g. telemetry probes) that
+          must see every path from its first event. [ignore] by default. *)
 }
 
 val default_config : n:int -> config

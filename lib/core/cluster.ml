@@ -4,6 +4,8 @@ module Network = Repro_sim.Network
 module Simtime = Repro_sim.Simtime
 module Topology = Repro_sim.Topology
 module Trace = Repro_sim.Trace
+module Lifecycle = Repro_obs.Lifecycle
+module Registry = Repro_obs.Registry
 
 type config = {
   n : int;
@@ -13,6 +15,7 @@ type config = {
   service_time : Pdu.t -> Simtime.t;
   loss_prob : float;
   seed : int;
+  instrument : Registry.t option;
 }
 
 let default_service_time ~n _pdu = Simtime.of_us (40 + (12 * n))
@@ -26,6 +29,7 @@ let default_config ~n =
     service_time = default_service_time ~n;
     loss_prob = 0.;
     seed = 0;
+    instrument = None;
   }
 
 let tag_of_key ~src ~seq = (src * 0x1000000) + seq
@@ -43,6 +47,7 @@ type t = {
   deliver_ms : Repro_util.Stats.Acc.t;
   causality : Repro_clock.Causality.t;
   rev_data_keys : (int * int) list ref; (* data PDUs, newest first *)
+  lifecycle : Lifecycle.t option;
 }
 
 let create (config : config) =
@@ -66,6 +71,9 @@ let create (config : config) =
   let deliver_ms = Repro_util.Stats.Acc.create () in
   let causality = Repro_clock.Causality.create ~n:config.n in
   let rev_data_keys = ref [] in
+  let lifecycle =
+    Option.map (fun reg -> Lifecycle.create ~registry:reg ()) config.instrument
+  in
   let entities =
     Array.init config.n (fun id ->
         let record_first_send pdu =
@@ -131,6 +139,47 @@ let create (config : config) =
             | Entity.Preacknowledged d -> latency d preack_ms
             | Entity.Acknowledged d -> latency d ack_ms
             | Entity.Gap_detected _ | Entity.Ret_answered _ -> ());
+        (match (lifecycle, config.instrument) with
+        | Some lc, Some reg ->
+          let received =
+            Registry.counter reg
+              ~help:
+                "Data PDUs received, including duplicates and out-of-order"
+              ~name:"co_pdus_received_total"
+              [ ("entity", string_of_int id) ]
+          in
+          let now () = Engine.now engine in
+          Entity.set_probe entity
+            {
+              Entity.on_submit =
+                (fun () -> Lifecycle.submit lc ~src:id ~now:(now ()));
+              on_transmit =
+                (fun d ->
+                  Lifecycle.first_send lc ~src:d.src ~seq:d.seq
+                    ~data:(not (Pdu.is_confirmation d))
+                    ~now:(now ()));
+              on_receive = (fun _ -> Registry.inc received);
+              on_accept =
+                (fun d ->
+                  Lifecycle.accept lc ~entity:id ~src:d.src ~seq:d.seq
+                    ~data:(not (Pdu.is_confirmation d))
+                    ~now:(now ()));
+              on_preack =
+                (fun d ->
+                  Lifecycle.preack lc ~entity:id ~src:d.src ~seq:d.seq
+                    ~data:(not (Pdu.is_confirmation d))
+                    ~now:(now ()));
+              on_ack =
+                (fun d ->
+                  Lifecycle.ack lc ~entity:id ~src:d.src ~seq:d.seq
+                    ~data:(not (Pdu.is_confirmation d))
+                    ~now:(now ()));
+              on_deliver =
+                (fun d ->
+                  Lifecycle.deliver lc ~entity:id ~src:d.src ~seq:d.seq
+                    ~now:(now ()));
+            }
+        | _ -> ());
         entity)
   in
   Array.iteri
@@ -149,6 +198,7 @@ let create (config : config) =
     deliver_ms;
     causality;
     rev_data_keys;
+    lifecycle;
   }
 
 let engine t = t.engine
@@ -181,6 +231,32 @@ let aggregate_metrics t =
   acc
 
 let entity_metrics t i = Entity.metrics t.entities.(i)
+let lifecycle t = t.lifecycle
+let registry t = t.config.instrument
+
+let sync_metrics t =
+  match t.config.instrument with
+  | None -> ()
+  | Some reg ->
+    Array.iteri
+      (fun id e ->
+        Metrics.to_registry (Entity.metrics e) reg
+          ~labels:[ ("entity", string_of_int id) ])
+      t.entities;
+    Registry.counter_set
+      (Registry.counter reg
+         ~help:"Physical PDU copies put on the MC medium"
+         ~name:"co_net_transmissions_total" [])
+      (Network.transmissions t.net);
+    Registry.counter_set
+      (Registry.counter reg
+         ~help:"PDU copies lost to injected loss or inbox overflow"
+         ~name:"co_net_losses_total" [])
+      (Network.losses t.net);
+    Registry.set
+      (Registry.gauge reg ~help:"Virtual time of the simulation, seconds"
+         ~name:"co_sim_time_seconds" [])
+      (Simtime.to_ms (Engine.now t.engine) /. 1000.)
 let trace t = Network.trace t.net
 let causality t = t.causality
 

@@ -15,6 +15,13 @@ type config = {
       (** Receive-path processing cost per PDU (the Tco model). *)
   loss_prob : float;  (** Additional iid loss injection. *)
   seed : int;
+  instrument : Repro_obs.Registry.t option;
+      (** When set, the cluster registers receipt-ladder telemetry here:
+          per-entity probes feed a {!Repro_obs.Lifecycle.t}
+          ([co_ladder_stage_seconds], [co_submit_queue_seconds]) plus
+          per-entity [co_pdus_received_total]; {!sync_metrics} mirrors the
+          protocol counters. [None] (the default) installs no probes and
+          costs nothing on the hot paths. *)
 }
 
 val default_service_time : n:int -> Repro_pdu.Pdu.t -> Repro_sim.Simtime.t
@@ -68,6 +75,19 @@ val ack_latencies : t -> float list
 
 val aggregate_metrics : t -> Metrics.t
 val entity_metrics : t -> int -> Metrics.t
+
+val lifecycle : t -> Repro_obs.Lifecycle.t option
+(** The per-PDU lifecycle tracker, present iff [config.instrument] was. *)
+
+val registry : t -> Repro_obs.Registry.t option
+(** [config.instrument], for convenience. *)
+
+val sync_metrics : t -> unit
+(** Mirror the per-entity protocol counters (as
+    [co_<field>_total{entity="i"}]), the medium's transmission/loss totals
+    and the virtual clock into [config.instrument]. Idempotent — call before
+    each exposition snapshot. No-op without instrumentation. *)
+
 val trace : t -> Repro_sim.Trace.t
 
 val data_keys : t -> (int * int) list

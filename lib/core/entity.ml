@@ -18,6 +18,27 @@ type event =
   | Gap_detected of { lsrc : int; lo : int; hi : int }
   | Ret_answered of { dst : int; count : int }
 
+type probe = {
+  on_submit : unit -> unit;
+  on_transmit : Pdu.data -> unit;
+  on_receive : Pdu.data -> unit;
+  on_accept : Pdu.data -> unit;
+  on_preack : Pdu.data -> unit;
+  on_ack : Pdu.data -> unit;
+  on_deliver : Pdu.data -> unit;
+}
+
+let probe_nop =
+  {
+    on_submit = ignore;
+    on_transmit = ignore;
+    on_receive = ignore;
+    on_accept = ignore;
+    on_preack = ignore;
+    on_ack = ignore;
+    on_deliver = ignore;
+  }
+
 type t = {
   config : Config.t;
   id : int;
@@ -51,6 +72,11 @@ type t = {
   metrics : Metrics.t;
   mutable observers : (event -> unit) list;
   mutable step_checker : (unit -> unit) option;
+  mutable probe : probe option;
+      (* Telemetry stamps on the hot protocol paths. [None] (the default)
+         costs one tag test per site; observers stay the general-purpose
+         mechanism while the probe is the fixed, allocation-free shape the
+         obs layer needs. *)
 }
 
 exception Protocol_invariant of string
@@ -92,12 +118,14 @@ let create ~config ~id ~n ~actions =
     metrics = Metrics.create ();
     observers = [];
     step_checker = None;
+    probe = None;
   }
 
 let id t = t.id
 let cluster_size t = t.n
 let add_observer t f = t.observers <- t.observers @ [ f ]
 let notify t e = List.iter (fun f -> f e) t.observers
+let set_probe t p = t.probe <- Some p
 
 let minal t k = Matrix_clock.col_min t.al k
 let minpal t k = Matrix_clock.col_min t.pal k
@@ -306,6 +334,7 @@ let transmit t ~payload =
   t.last_send_at <- t.actions.now ();
   Array.fill t.heard 0 t.n false;
   t.need_immediate_confirm <- false;
+  (match t.probe with None -> () | Some p -> p.on_transmit d);
   t.actions.broadcast pdu
 
 let send_ctl_broadcast t =
@@ -404,12 +433,14 @@ let accept t (q : Pdu.data) =
     if j <> t.id then t.need_immediate_confirm <- true
   end;
   t.metrics.accepted <- t.metrics.accepted + 1;
+  (match t.probe with None -> () | Some p -> p.on_accept q);
   notify t (Accepted q);
   scan_acks_for_gaps t ~informant:j q.ack;
   maybe_help_stale_peer t ~peer:j q.ack
 
 let handle_data t (p : Pdu.data) =
   let j = p.src in
+  (match t.probe with None -> () | Some pr -> pr.on_receive p);
   if j <> t.id then t.heard.(j) <- true;
   if p.seq < t.req.(j) then t.metrics.duplicates <- t.metrics.duplicates + 1
   else if p.seq > t.req.(j) then begin
@@ -484,6 +515,7 @@ let pack_scan t =
         ignore (Logs.Receipt.rrl_dequeue t.logs ~src:j);
         Matrix_clock.set_row t.pal ~row:j p.ack;
         Logs.Receipt.prl_insert ~precedes t.logs p;
+        (match t.probe with None -> () | Some pr -> pr.on_preack p);
         notify t (Preacknowledged p)
       | Some _ | None -> continue := false
     done
@@ -506,8 +538,12 @@ let ack_scan t =
       if not (Pdu.is_confirmation p) then begin
         t.undelivered <- t.undelivered - 1;
         t.metrics.delivered <- t.metrics.delivered + 1;
+        (* Delivery is part of the acknowledgment action, so the deliver
+           stamp fires while the lifecycle span is still open. *)
+        (match t.probe with None -> () | Some pr -> pr.on_deliver p);
         t.actions.deliver p
       end;
+      (match t.probe with None -> () | Some pr -> pr.on_ack p);
       notify t (Acknowledged p)
     | Some _ | None -> continue := false
   done
@@ -633,6 +669,7 @@ let receive t pdu =
   end
 
 let submit t payload =
+  (match t.probe with None -> () | Some p -> p.on_submit ());
   let sent =
     if flow_ok t && Queue.is_empty t.dt_queue then begin
       transmit t ~payload;

@@ -39,6 +39,29 @@ type event =
   | Gap_detected of { lsrc : int; lo : int; hi : int }
   | Ret_answered of { dst : int; count : int }
 
+(** Telemetry stamps fired from the protocol hot paths. Unlike {!event}
+    observers (a list walked per event), the probe is a single optional
+    record: when none is installed every site costs one tag test, so
+    disabled instrumentation is free. The probe is excluded from
+    {!signature} — it never affects protocol behavior. *)
+type probe = {
+  on_submit : unit -> unit;  (** Application DT request entered [submit]. *)
+  on_transmit : Repro_pdu.Pdu.data -> unit;
+      (** Fresh sequenced PDU about to be broadcast (first send; RET-driven
+          retransmissions do not re-fire this). *)
+  on_receive : Repro_pdu.Pdu.data -> unit;
+      (** Any incoming data PDU, including duplicates and out-of-order. *)
+  on_accept : Repro_pdu.Pdu.data -> unit;
+  on_preack : Repro_pdu.Pdu.data -> unit;
+  on_ack : Repro_pdu.Pdu.data -> unit;
+  on_deliver : Repro_pdu.Pdu.data -> unit;
+      (** Fires just before [actions.deliver], i.e. before [on_ack] for the
+          same PDU (delivery is part of the acknowledgment action). *)
+}
+
+val probe_nop : probe
+(** All fields [ignore]; spread to instrument a subset of sites. *)
+
 type t
 
 exception Protocol_invariant of string
@@ -67,6 +90,9 @@ val receive : t -> Repro_pdu.Pdu.t -> unit
 val add_observer : t -> (event -> unit) -> unit
 (** Register a protocol-event listener; all registered listeners fire in
     registration order. *)
+
+val set_probe : t -> probe -> unit
+(** Install (or replace) the telemetry probe. *)
 
 val set_step_checker : t -> (unit -> unit) -> unit
 (** Install an external checker run after every protocol step when

@@ -60,6 +60,47 @@ let add ~into t =
   into.flow_blocked <- into.flow_blocked + t.flow_blocked;
   into.peak_buffered <- max into.peak_buffered t.peak_buffered
 
+let fields t =
+  [
+    ("data_sent", t.data_sent);
+    ("confirmations_sent", t.confirmations_sent);
+    ("ctl_sent", t.ctl_sent);
+    ("ret_sent", t.ret_sent);
+    ("retransmitted", t.retransmitted);
+    ("accepted", t.accepted);
+    ("duplicates", t.duplicates);
+    ("out_of_order", t.out_of_order);
+    ("gaps_detected", t.gaps_detected);
+    ("delivered", t.delivered);
+    ("flow_blocked", t.flow_blocked);
+    ("peak_buffered", t.peak_buffered);
+  ]
+
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%S:%d" k v))
+    (fields t);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_registry t reg ~labels =
+  let module R = Repro_obs.Registry in
+  List.iter
+    (fun (k, v) ->
+      if k = "peak_buffered" then
+        R.set (R.gauge reg ~help:"Max RRL+PRL occupancy observed"
+                 ~name:"co_peak_buffered" labels)
+          (float_of_int v)
+      else
+        R.counter_set
+          (R.counter reg ~name:("co_" ^ k ^ "_total") labels)
+          v)
+    (fields t)
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>data_sent=%d confirmations=%d ctl=%d ret=%d rexmit=%d@,\

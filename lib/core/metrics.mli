@@ -29,4 +29,16 @@ val total_pdus_sent : t -> int
 val add : into:t -> t -> unit
 (** Accumulate [t] into [into] (peak fields take the max). *)
 
+val fields : t -> (string * int) list
+(** All counters as (name, value) pairs, in declaration order. *)
+
+val to_json : t -> string
+(** One-line JSON object of {!fields}. *)
+
+val to_registry :
+  t -> Repro_obs.Registry.t -> labels:(string * string) list -> unit
+(** Mirror the counters into [reg] as [co_<field>_total] counters (and the
+    [co_peak_buffered] gauge) carrying [labels]. Idempotent: sets absolute
+    values, so it can be re-run on every scrape/snapshot. *)
+
 val pp : Format.formatter -> t -> unit

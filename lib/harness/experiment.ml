@@ -16,16 +16,25 @@ type outcome = {
   losses : int;
   sim_end_ms : float;
   events : int;
+  ladder : Repro_obs.Lifecycle.ladder option;
 }
 
-let run ?(max_events = 20_000_000) ~config ~workload () =
+let run ?(max_events = 20_000_000) ?registry ?on_cluster ~config ~workload ()
+    =
+  let config =
+    match registry with
+    | None -> config
+    | Some _ -> { config with Cluster.instrument = registry }
+  in
   let cluster = Cluster.create config in
+  (match on_cluster with None -> () | Some f -> f cluster);
   (* Paranoid runs get the full external invariant catalog asserted after
      every protocol step, not just the entity's built-in self checks. *)
   if config.Cluster.protocol.Repro_core.Config.check_level = Repro_core.Config.Paranoid
   then Repro_check.Runtime.install_cluster cluster;
   Workload.apply cluster workload;
   Cluster.run cluster ~max_events;
+  Cluster.sync_metrics cluster;
   let oracle = Oracle.check_cluster cluster ~expected_tags:(Cluster.data_tags cluster) in
   let outcome =
     {
@@ -42,6 +51,7 @@ let run ?(max_events = 20_000_000) ~config ~workload () =
       losses = Network.losses (Cluster.network cluster);
       sim_end_ms = Repro_sim.Simtime.to_ms (Engine.now (Cluster.engine cluster));
       events = Engine.processed (Cluster.engine cluster);
+      ladder = Option.map Repro_obs.Lifecycle.ladder (Cluster.lifecycle cluster);
     }
   in
   (cluster, outcome)

@@ -14,13 +14,25 @@ type outcome = {
   losses : int;  (** Copies lost (all reasons). *)
   sim_end_ms : float;  (** Virtual time when the run went quiescent. *)
   events : int;  (** Engine events executed. *)
+  ladder : Repro_obs.Lifecycle.ladder option;
+      (** Receipt-ladder latency snapshots (µs), present iff the run was
+          instrumented. *)
 }
 
 val run :
-  ?max_events:int -> config:Repro_core.Cluster.config
-  -> workload:Workload.entry list -> unit -> Repro_core.Cluster.t * outcome
+  ?max_events:int ->
+  ?registry:Repro_obs.Registry.t ->
+  ?on_cluster:(Repro_core.Cluster.t -> unit) ->
+  config:Repro_core.Cluster.config ->
+  workload:Workload.entry list ->
+  unit ->
+  Repro_core.Cluster.t * outcome
 (** Build a cluster, apply the workload, run to quiescence (bounded by
-    [max_events], default 20 million), and summarize. *)
+    [max_events], default 20 million), and summarize. [registry] overrides
+    [config.instrument], turning on receipt-ladder telemetry; counters are
+    synced into it after the run. [on_cluster] fires after cluster creation
+    and before the workload — the hook the CLI uses to arm periodic metric
+    snapshots on the engine. *)
 
 val pdus_per_message : outcome -> float
 (** Fresh protocol transmissions per application message — the paper's O(n)

@@ -1,4 +1,6 @@
 module Stats = Repro_util.Stats
+module Table = Repro_util.Table
+module Histogram = Repro_obs.Histogram
 
 let shape_line ~xs ~ys =
   match List.combine xs ys with
@@ -18,3 +20,42 @@ let header s =
   Printf.printf "\n%s\n= %s =\n%s\n\n" bar s bar
 
 let para s = Printf.printf "%s\n\n" s
+
+let ladder_table ?(title = "Receipt ladder (first send -> stage)")
+    (ladder : Repro_obs.Lifecycle.ladder) =
+  let tbl =
+    Table.create ~title
+      ~columns:
+        [
+          ("stage", Table.Left);
+          ("samples", Table.Right);
+          ("mean ms", Table.Right);
+          ("p50 ms", Table.Right);
+          ("p90 ms", Table.Right);
+          ("p99 ms", Table.Right);
+        ]
+  in
+  let ms v = Table.fmt_float ~digits:3 (v /. 1000.) in
+  let q s p =
+    (* Bucket upper bounds are finite except the open-ended last bucket. *)
+    let v = Histogram.percentile s p in
+    if v = infinity then "inf" else ms v
+  in
+  let row name (s : Histogram.snapshot) =
+    Table.add_row tbl
+      [
+        name;
+        Table.fmt_int s.Histogram.count;
+        ms (Histogram.mean s);
+        q s 50.;
+        q s 90.;
+        q s 99.;
+      ]
+  in
+  row "submit queue" ladder.Repro_obs.Lifecycle.queue;
+  Table.add_rule tbl;
+  row "accept" ladder.Repro_obs.Lifecycle.accept;
+  row "preack" ladder.Repro_obs.Lifecycle.preack;
+  row "ack" ladder.Repro_obs.Lifecycle.ack;
+  row "deliver" ladder.Repro_obs.Lifecycle.deliver;
+  tbl

@@ -10,6 +10,8 @@ type per_entity = {
   dropped_filtered : int;
   delivered : int;
   mean_sojourn_ms : float;
+  p50_sojourn_ms : float;
+  p99_sojourn_ms : float;
 }
 
 let per_entity trace ~n =
@@ -19,7 +21,7 @@ let per_entity trace ~n =
   and inj = Array.make n 0
   and filt = Array.make n 0
   and delivered = Array.make n 0
-  and sojourn_sum = Array.make n 0.
+  and sojourns = Array.make n []
   and arrival_time = Hashtbl.create 256 in
   List.iter
     (fun event ->
@@ -34,7 +36,7 @@ let per_entity trace ~n =
           handled.(dst) <- handled.(dst) + 1;
           match Hashtbl.find_opt arrival_time (dst, uid) with
           | Some t0 ->
-            sojourn_sum.(dst) <- sojourn_sum.(dst) +. Simtime.to_ms (time - t0);
+            sojourns.(dst) <- Simtime.to_ms (time - t0) :: sojourns.(dst);
             Hashtbl.remove arrival_time (dst, uid)
           | None -> ()
         end
@@ -50,6 +52,7 @@ let per_entity trace ~n =
         ())
     (Trace.events trace);
   Array.init n (fun entity ->
+      let s = Repro_util.Stats.summarize sojourns.(entity) in
       {
         entity;
         arrived = arrived.(entity);
@@ -58,9 +61,9 @@ let per_entity trace ~n =
         dropped_injected = inj.(entity);
         dropped_filtered = filt.(entity);
         delivered = delivered.(entity);
-        mean_sojourn_ms =
-          (if handled.(entity) = 0 then 0.
-           else sojourn_sum.(entity) /. float_of_int handled.(entity));
+        mean_sojourn_ms = s.Repro_util.Stats.mean;
+        p50_sojourn_ms = s.Repro_util.Stats.p50;
+        p99_sojourn_ms = s.Repro_util.Stats.p99;
       })
 
 let loss_rate p =
@@ -82,6 +85,7 @@ let drop_breakdown trace =
 let pp_per_entity ppf p =
   Format.fprintf ppf
     "entity %d: arrived=%d handled=%d drops(ovr/inj/filt)=%d/%d/%d \
-     delivered=%d sojourn=%.3fms"
+     delivered=%d sojourn mean=%.3fms p50=%.3fms p99=%.3fms"
     p.entity p.arrived p.handled p.dropped_overrun p.dropped_injected
-    p.dropped_filtered p.delivered p.mean_sojourn_ms
+    p.dropped_filtered p.delivered p.mean_sojourn_ms p.p50_sojourn_ms
+    p.p99_sojourn_ms

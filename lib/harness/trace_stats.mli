@@ -15,6 +15,8 @@ type per_entity = {
   mean_sojourn_ms : float;
       (** Mean time a transmission spent between arriving in the inbox and
           being processed (0 if nothing was handled). *)
+  p50_sojourn_ms : float;  (** Median inbox sojourn (nearest-rank). *)
+  p99_sojourn_ms : float;  (** Tail inbox sojourn — queueing pressure. *)
 }
 
 val per_entity : Repro_sim.Trace.t -> n:int -> per_entity array

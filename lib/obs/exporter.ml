@@ -1,0 +1,397 @@
+let escape_label v =
+  let b = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let fmt_le le = if le = infinity then "+Inf" else fmt_float le
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label v)) labels)
+    ^ "}"
+
+(* Cumulative buckets, truncated after the last occupied bucket; the +Inf
+   bucket (total count) is emitted separately by the caller. *)
+let cumulative_buckets (s : Histogram.snapshot) ~scale =
+  let last_nonzero = ref (-1) in
+  Array.iteri (fun i c -> if c > 0 then last_nonzero := i) s.Histogram.counts;
+  let hi = min !last_nonzero (Histogram.buckets - 2) in
+  let cum = ref 0 in
+  List.init (hi + 1) (fun i ->
+      cum := !cum + s.Histogram.counts.(i);
+      (Histogram.upper_bound i *. scale, !cum))
+
+let kind_name = function
+  | Registry.Counter -> "counter"
+  | Registry.Gauge -> "gauge"
+  | Registry.Histogram_k -> "histogram"
+
+let to_prometheus reg =
+  let b = Buffer.create 4096 in
+  let last_family = ref "" in
+  List.iter
+    (fun (s : Registry.sample) ->
+      if s.Registry.family <> !last_family then begin
+        last_family := s.Registry.family;
+        if s.Registry.help <> "" then
+          Buffer.add_string b
+            (Printf.sprintf "# HELP %s %s\n" s.Registry.family s.Registry.help);
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" s.Registry.family
+             (kind_name s.Registry.kind))
+      end;
+      let labels = render_labels s.Registry.labels in
+      match s.Registry.value with
+      | Registry.Sample_counter v ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" s.Registry.family labels v)
+      | Registry.Sample_gauge v ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" s.Registry.family labels (fmt_float v))
+      | Registry.Sample_histogram snap ->
+        let scale = s.Registry.scale in
+        let with_le le =
+          render_labels (s.Registry.labels @ [ ("le", le) ])
+        in
+        List.iter
+          (fun (le, cum) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" s.Registry.family
+                 (with_le (fmt_le le)) cum))
+          (cumulative_buckets snap ~scale);
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" s.Registry.family (with_le "+Inf")
+             snap.Histogram.count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" s.Registry.family labels
+             (fmt_float (float_of_int snap.Histogram.sum *. scale)));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" s.Registry.family labels
+             snap.Histogram.count))
+    (Registry.samples reg);
+  Buffer.contents b
+
+(* ---------------------------------------------------------------- JSONL *)
+
+let json_string v =
+  let b = Buffer.create (String.length v + 8) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) labels)
+  ^ "}"
+
+let to_jsonl reg =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (s : Registry.sample) ->
+      let common =
+        Printf.sprintf "\"name\":%s,\"type\":%s,\"labels\":%s"
+          (json_string s.Registry.family)
+          (json_string (kind_name s.Registry.kind))
+          (json_labels s.Registry.labels)
+      in
+      (match s.Registry.value with
+      | Registry.Sample_counter v ->
+        Buffer.add_string b (Printf.sprintf "{%s,\"value\":%d}" common v)
+      | Registry.Sample_gauge v ->
+        Buffer.add_string b
+          (Printf.sprintf "{%s,\"value\":%s}" common (fmt_float v))
+      | Registry.Sample_histogram snap ->
+        let scale = s.Registry.scale in
+        let q p = fmt_float (Histogram.percentile snap p *. scale) in
+        let bkts =
+          String.concat ","
+            (List.map
+               (fun (le, cum) ->
+                 Printf.sprintf "[%s,%d]" (json_string (fmt_le le)) cum)
+               (cumulative_buckets snap ~scale
+               @ [ (infinity, snap.Histogram.count) ]))
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "{%s,\"count\":%d,\"sum\":%s,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"buckets\":[%s]}"
+             common snap.Histogram.count
+             (fmt_float (float_of_int snap.Histogram.sum *. scale))
+             (fmt_float (Histogram.mean snap *. scale))
+             (q 50.) (q 90.) (q 99.) bkts));
+      Buffer.add_char b '\n')
+    (Registry.samples reg);
+  Buffer.contents b
+
+let write reg ~file =
+  let jsonl =
+    Filename.check_suffix file ".json" || Filename.check_suffix file ".jsonl"
+  in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (if jsonl then to_jsonl reg else to_prometheus reg))
+
+(* ----------------------------------------------------------------- lint *)
+
+type parsed = {
+  p_name : string;
+  p_labels : (string * string) list;
+  p_value : float;
+}
+
+exception Bad of string
+
+let parse_sample line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some line.[!pos] else None in
+  let read_ident ~allow_colon =
+    let start = !pos in
+    let first = ref true in
+    let ok c =
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+      | '0' .. '9' -> not !first
+      | ':' -> allow_colon (* label names exclude ':' *)
+      | _ -> false
+    in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some c when ok c ->
+        first := false;
+        incr pos
+      | _ -> continue := false
+    done;
+    if !pos = start then raise (Bad "expected identifier");
+    String.sub line start (!pos - start)
+  in
+  let name = read_ident ~allow_colon:true in
+  let labels = ref [] in
+  (if peek () = Some '{' then begin
+     incr pos;
+     let continue = ref true in
+     while !continue do
+       match peek () with
+       | Some '}' ->
+         incr pos;
+         continue := false
+       | Some _ ->
+         let k = read_ident ~allow_colon:false in
+         if peek () <> Some '=' then raise (Bad "expected '=' in label");
+         incr pos;
+         if peek () <> Some '"' then raise (Bad "expected '\"' in label");
+         incr pos;
+         let b = Buffer.create 16 in
+         let in_string = ref true in
+         while !in_string do
+           match peek () with
+           | None -> raise (Bad "unterminated label value")
+           | Some '"' ->
+             incr pos;
+             in_string := false
+           | Some '\\' ->
+             incr pos;
+             (match peek () with
+             | Some '\\' -> Buffer.add_char b '\\'
+             | Some '"' -> Buffer.add_char b '"'
+             | Some 'n' -> Buffer.add_char b '\n'
+             | _ -> raise (Bad "bad escape in label value"));
+             incr pos
+           | Some c ->
+             Buffer.add_char b c;
+             incr pos
+         done;
+         labels := (k, Buffer.contents b) :: !labels;
+         (match peek () with
+         | Some ',' -> incr pos
+         | Some '}' -> ()
+         | _ -> raise (Bad "expected ',' or '}' after label"))
+       | None -> raise (Bad "unterminated label set")
+     done
+   end);
+  if peek () <> Some ' ' then raise (Bad "expected space before value");
+  while peek () = Some ' ' do
+    incr pos
+  done;
+  let rest = String.sub line !pos (len - !pos) in
+  let value_str, _timestamp =
+    match String.index_opt rest ' ' with
+    | None -> (rest, None)
+    | Some i ->
+      (String.sub rest 0 i, Some (String.sub rest (i + 1) (String.length rest - i - 1)))
+  in
+  let value =
+    match String.lowercase_ascii value_str with
+    | "+inf" | "inf" -> infinity
+    | "-inf" -> neg_infinity
+    | "nan" -> nan
+    | v -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None -> raise (Bad (Printf.sprintf "unparsable value %S" value_str)))
+  in
+  { p_name = name; p_labels = List.rev !labels; p_value = value }
+
+let le_value v =
+  match String.lowercase_ascii v with
+  | "+inf" | "inf" -> Some infinity
+  | v -> float_of_string_opt v
+
+let lint text =
+  let errors = ref [] in
+  let err line msg =
+    errors := Printf.sprintf "line %d: %s" line msg :: !errors
+  in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  (* series key -> (last le, last cumulative count, saw +Inf, inf count) *)
+  let series : (string, float * int * bool * int) Hashtbl.t = Hashtbl.create 16 in
+  let series_line : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let counts : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let nsamples = ref 0 in
+  let base_histogram name =
+    let strip suffix =
+      if Filename.check_suffix name suffix then
+        Some (Filename.chop_suffix name suffix)
+      else None
+    in
+    let base =
+      match strip "_bucket" with
+      | Some base -> Some (`Bucket, base)
+      | None -> (
+        match strip "_sum" with
+        | Some base -> Some (`Sum, base)
+        | None -> (
+          match strip "_count" with
+          | Some base -> Some (`Count, base)
+          | None -> None))
+    in
+    match base with
+    | Some (role, base) when Hashtbl.find_opt types base = Some "histogram" ->
+      Some (role, base)
+    | Some _ | None -> None
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '\r' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+          if not (List.mem kind [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+          then err lineno (Printf.sprintf "unknown TYPE %S" kind);
+          if Hashtbl.mem types name then
+            err lineno (Printf.sprintf "duplicate TYPE for %s" name)
+          else Hashtbl.add types name kind
+        | _ -> err lineno "malformed TYPE comment"
+      end
+      else if line.[0] = '#' then ()
+      else begin
+        match parse_sample line with
+        | exception Bad msg -> err lineno msg
+        | p ->
+          incr nsamples;
+          if Float.is_nan p.p_value then err lineno "NaN value";
+          let histo = base_histogram p.p_name in
+          let kind =
+            match histo with
+            | Some _ -> Some "histogram"
+            | None -> Hashtbl.find_opt types p.p_name
+          in
+          (match kind with
+          | None -> err lineno (Printf.sprintf "no # TYPE for %s" p.p_name)
+          | Some ("counter" | "histogram") ->
+            if p.p_value < 0. then
+              err lineno
+                (Printf.sprintf "negative value %s on %s" (fmt_float p.p_value)
+                   p.p_name)
+          | Some _ ->
+            if p.p_value = infinity || p.p_value = neg_infinity then
+              err lineno (Printf.sprintf "non-finite value on %s" p.p_name));
+          (match histo with
+          | Some (`Bucket, base) -> (
+            let le, rest =
+              List.partition (fun (k, _) -> k = "le") p.p_labels
+            in
+            match le with
+            | [ (_, le_str) ] -> (
+              match le_value le_str with
+              | None -> err lineno (Printf.sprintf "bad le=%S" le_str)
+              | Some le ->
+                let key =
+                  base ^ render_labels rest
+                in
+                let cum = int_of_float p.p_value in
+                Hashtbl.replace series_line key lineno;
+                (match Hashtbl.find_opt series key with
+                | None ->
+                  Hashtbl.add series key
+                    (le, cum, le = infinity, if le = infinity then cum else 0)
+                | Some (last_le, last_cum, saw_inf, inf_cum) ->
+                  if le <= last_le then
+                    err lineno
+                      (Printf.sprintf "bucket le not increasing on %s" key);
+                  if cum < last_cum then
+                    err lineno
+                      (Printf.sprintf "cumulative bucket count decreases on %s"
+                         key);
+                  Hashtbl.replace series key
+                    ( le, cum, saw_inf || le = infinity,
+                      if le = infinity then cum else inf_cum )))
+            | _ -> err lineno "histogram bucket without exactly one le label")
+          | Some (`Count, base) ->
+            let key = base ^ render_labels p.p_labels in
+            Hashtbl.replace counts key (lineno, p.p_value)
+          | Some (`Sum, _) | None -> ())
+      end)
+    lines;
+  Hashtbl.iter
+    (fun key (_, _, saw_inf, inf_cum) ->
+      let lineno = try Hashtbl.find series_line key with Not_found -> 0 in
+      if not saw_inf then
+        err lineno (Printf.sprintf "histogram series %s has no +Inf bucket" key)
+      else
+        match Hashtbl.find_opt counts key with
+        | Some (cl, c) when int_of_float c <> inf_cum ->
+          err cl
+            (Printf.sprintf "%s_count=%d disagrees with +Inf bucket=%d" key
+               (int_of_float c) inf_cum)
+        | Some _ | None -> ())
+    series;
+  match !errors with
+  | [] -> Ok !nsamples
+  | es -> Error (List.rev es)

@@ -1,0 +1,28 @@
+(** Metric exposition: Prometheus text format and JSONL, plus the lint the
+    CI smoke job runs over exported files.
+
+    Prometheus: one [# HELP] / [# TYPE] header per family, then one sample
+    line per cell; histograms expose cumulative [_bucket{le="…"}] series
+    (truncated after the last occupied bucket, always ending in [+Inf]),
+    [_sum] and [_count], with bucket bounds and the sum scaled by the
+    family's [scale] (so microsecond-observed histograms read in seconds).
+
+    JSONL: one self-contained JSON object per line per cell; histograms
+    carry count, sum, mean and p50/p90/p99 pre-computed, plus the
+    cumulative buckets. *)
+
+val to_prometheus : Registry.t -> string
+
+val to_jsonl : Registry.t -> string
+
+val write : Registry.t -> file:string -> unit
+(** Write the registry to [file]; format chosen by extension ([.json] /
+    [.jsonl] → JSONL, anything else → Prometheus text). *)
+
+val lint : string -> (int, string list) result
+(** Validate Prometheus text exposition: every sample line parses
+    ([name{labels} value]), every sampled family has a [# TYPE], values are
+    finite and never NaN, counter and histogram samples are nonnegative
+    (negative latency is a stamping bug), cumulative bucket counts are
+    monotone and end in a [+Inf] bucket that agrees with [_count].
+    [Ok n] is the number of sample lines; [Error es] lists every issue. *)

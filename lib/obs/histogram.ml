@@ -1,0 +1,73 @@
+let buckets = 48
+
+type t = { buf : int array; mutable n : int; mutable total : int }
+
+type snapshot = { counts : int array; count : int; sum : int }
+
+let create () = { buf = Array.make buckets 0; n = 0; total = 0 }
+
+let reset t =
+  Array.fill t.buf 0 buckets 0;
+  t.n <- 0;
+  t.total <- 0
+
+(* Bucket of a value: 0 for v <= 0, else the bit-length of v (v = 1 -> 1,
+   2..3 -> 2, 4..7 -> 3, ...), clamped to the last bucket. *)
+let index v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      incr b;
+      x := !x lsr 1
+    done;
+    if !b > buckets - 1 then buckets - 1 else !b
+  end
+
+let observe t v =
+  t.buf.(index v) <- t.buf.(index v) + 1;
+  t.n <- t.n + 1;
+  t.total <- t.total + (if v > 0 then v else 0)
+
+let count t = t.n
+let sum t = t.total
+
+let empty = { counts = Array.make buckets 0; count = 0; sum = 0 }
+
+let snapshot t = { counts = Array.copy t.buf; count = t.n; sum = t.total }
+
+let merge a b =
+  {
+    counts = Array.init buckets (fun i -> a.counts.(i) + b.counts.(i));
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+  }
+
+let upper_bound i =
+  if i <= 0 then 0.
+  else if i >= buckets - 1 then infinity
+  else float_of_int ((1 lsl i) - 1)
+
+let percentile s q =
+  if s.count = 0 then 0.
+  else begin
+    (* Same nearest-rank rule as Stats.percentile, so the chosen rank's
+       sample and this lookup land in the same bucket. *)
+    let rank =
+      int_of_float (ceil (q /. 100. *. float_of_int s.count))
+    in
+    let rank = max 1 (min s.count rank) in
+    let cum = ref 0 and found = ref (buckets - 1) and i = ref 0 in
+    while !i < buckets && !cum < rank do
+      cum := !cum + s.counts.(!i);
+      if !cum >= rank then found := !i;
+      incr i
+    done;
+    upper_bound !found
+  end
+
+let mean s = if s.count = 0 then 0. else float_of_int s.sum /. float_of_int s.count
+
+let pp ppf s =
+  Format.fprintf ppf "count=%d mean=%.1f p50=%.0f p90=%.0f p99=%.0f" s.count
+    (mean s) (percentile s 50.) (percentile s 90.) (percentile s 99.)

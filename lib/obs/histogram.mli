@@ -1,0 +1,61 @@
+(** Fixed-bucket log₂ latency histogram.
+
+    Samples are nonnegative integers (the codebase's convention: microseconds,
+    whether simulated {!Repro_sim.Simtime.t} or wall-clock). Bucket 0 holds
+    zero; bucket [i ≥ 1] holds values in [[2^(i-1), 2^i - 1]]; the last bucket
+    is open-ended. Observation is a single array increment — no allocation,
+    no branching on sample history — so the hot protocol paths can observe
+    unconditionally once instrumentation is enabled.
+
+    Snapshots are immutable copies designed to be merged: merge is pointwise
+    addition, hence associative and commutative, so per-entity (or per-core)
+    histograms can be written without sharing and combined at exposition
+    time. A quantile read off a snapshot is exact to one bucket: it reports
+    the upper bound of the bucket containing the nearest-rank sample, so for
+    a true percentile [p ≥ 1] the reported value [r] satisfies
+    [p ≤ r ≤ 2p - 1]. *)
+
+type t
+(** Mutable histogram: one writer, any number of snapshot readers. *)
+
+val buckets : int
+(** Number of buckets (48: bucket 47 starts at 2^46 µs ≈ 2.2 years). *)
+
+val create : unit -> t
+val reset : t -> unit
+
+val observe : t -> int -> unit
+(** Record one sample. Negative samples are clamped to bucket 0 (callers
+    that care about negative latencies must filter before observing). *)
+
+val count : t -> int
+val sum : t -> int
+
+(** {2 Snapshots} *)
+
+type snapshot = private {
+  counts : int array;  (** Per-bucket counts, length {!buckets}. *)
+  count : int;
+  sum : int;
+}
+
+val empty : snapshot
+val snapshot : t -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum; associative and commutative with {!empty} as identity. *)
+
+val upper_bound : int -> float
+(** [upper_bound i] is the largest value bucket [i] can hold ([0.] for
+    bucket 0, [infinity] for the last bucket) — the Prometheus [le] bound
+    before unit scaling. *)
+
+val percentile : snapshot -> float -> float
+(** [percentile s q] with [q] in [\[0,100\]]: nearest-rank (the same rank
+    rule as {!Repro_util.Stats.percentile}), reported as the containing
+    bucket's upper bound. [0.] on an empty snapshot. *)
+
+val mean : snapshot -> float
+
+val pp : Format.formatter -> snapshot -> unit
+(** One-line ["count=… mean=… p50=… p99=…"] rendering. *)

@@ -1,0 +1,137 @@
+type labels = (string * string) list
+
+type kind = Counter | Gauge | Histogram_k
+
+type cell =
+  | Counter_cell of int ref
+  | Gauge_cell of float ref
+  | Histo_cell of Histogram.t
+
+type family = {
+  name : string;
+  help : string;
+  kind : kind;
+  scale : float;
+  cells : (labels, cell) Hashtbl.t;
+  mutable rev_order : labels list; (* label sets, newest first *)
+}
+
+type t = {
+  families : (string, family) Hashtbl.t;
+  mutable rev_names : string list; (* family names, newest first *)
+}
+
+type counter = int ref
+type gauge = float ref
+type histo = Histogram.t
+
+let create () = { families = Hashtbl.create 32; rev_names = [] }
+
+let name_ok name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let label_name_ok name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let normalize_labels name labels =
+  List.iter
+    (fun (k, _) ->
+      if not (label_name_ok k) then
+        invalid_arg (Printf.sprintf "Registry: bad label name %S on %s" k name))
+    labels;
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let family t ~name ~help ~kind ~scale =
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+    if f.kind <> kind then
+      invalid_arg
+        (Printf.sprintf "Registry: %s already registered as another kind" name);
+    f
+  | None ->
+    if not (name_ok name) then
+      invalid_arg (Printf.sprintf "Registry: bad metric name %S" name);
+    let f = { name; help; kind; scale; cells = Hashtbl.create 8; rev_order = [] } in
+    Hashtbl.add t.families name f;
+    t.rev_names <- name :: t.rev_names;
+    f
+
+let cell f labels make =
+  match Hashtbl.find_opt f.cells labels with
+  | Some c -> c
+  | None ->
+    let c = make () in
+    Hashtbl.add f.cells labels c;
+    f.rev_order <- labels :: f.rev_order;
+    c
+
+let counter t ?(help = "") ~name labels =
+  let f = family t ~name ~help ~kind:Counter ~scale:1. in
+  let labels = normalize_labels name labels in
+  match cell f labels (fun () -> Counter_cell (ref 0)) with
+  | Counter_cell r -> r
+  | Gauge_cell _ | Histo_cell _ -> assert false
+
+let gauge t ?(help = "") ~name labels =
+  let f = family t ~name ~help ~kind:Gauge ~scale:1. in
+  let labels = normalize_labels name labels in
+  match cell f labels (fun () -> Gauge_cell (ref 0.)) with
+  | Gauge_cell r -> r
+  | Counter_cell _ | Histo_cell _ -> assert false
+
+let histogram t ?(help = "") ?(scale = 1.) ~name labels =
+  let f = family t ~name ~help ~kind:Histogram_k ~scale in
+  let labels = normalize_labels name labels in
+  match cell f labels (fun () -> Histo_cell (Histogram.create ())) with
+  | Histo_cell h -> h
+  | Counter_cell _ | Gauge_cell _ -> assert false
+
+let inc ?(by = 1) c =
+  if by < 0 then invalid_arg "Registry.inc: negative increment";
+  c := !c + by
+
+let counter_set c v = c := v
+let counter_value c = !c
+let set g v = g := v
+let gauge_value g = !g
+let observe h v = Histogram.observe h v
+let histo_snapshot h = Histogram.snapshot h
+
+type value =
+  | Sample_counter of int
+  | Sample_gauge of float
+  | Sample_histogram of Histogram.snapshot
+
+type sample = {
+  family : string;
+  help : string;
+  kind : kind;
+  scale : float;
+  labels : labels;
+  value : value;
+}
+
+let samples t =
+  List.concat_map
+    (fun name ->
+      let f = Hashtbl.find t.families name in
+      List.rev_map
+        (fun labels ->
+          let value =
+            match Hashtbl.find f.cells labels with
+            | Counter_cell r -> Sample_counter !r
+            | Gauge_cell r -> Sample_gauge !r
+            | Histo_cell h -> Sample_histogram (Histogram.snapshot h)
+          in
+          { family = f.name; help = f.help; kind = f.kind; scale = f.scale;
+            labels; value })
+        f.rev_order)
+    (List.rev t.rev_names)

@@ -1,0 +1,77 @@
+(** Labeled metrics registry: counters, gauges and histograms, each
+    identified by a family name plus a label set (e.g. [entity="3"]).
+
+    A family is registered on first use; subsequent registrations with the
+    same name must agree on the metric kind (and return the existing cell
+    for an already-seen label set). Handles returned by {!counter},
+    {!gauge} and {!histogram} are direct references to the underlying
+    cell, so the hot path pays one mutation and no lookup.
+
+    Exposition (Prometheus text format, JSONL) lives in {!Exporter};
+    {!samples} is the stable iteration order it renders from (family
+    registration order, then label-set registration order). *)
+
+type t
+
+type labels = (string * string) list
+(** Label pairs; order-insensitive (normalized by sorting on label name). *)
+
+type counter
+type gauge
+type histo
+
+val create : unit -> t
+
+(** {2 Registration} *)
+
+val counter : t -> ?help:string -> name:string -> labels -> counter
+(** @raise Invalid_argument on an invalid metric/label name or if [name]
+    is already registered as a different kind. *)
+
+val gauge : t -> ?help:string -> name:string -> labels -> gauge
+
+val histogram : t -> ?help:string -> ?scale:float -> name:string -> labels -> histo
+(** [scale] is the multiplier applied to sample values and bucket bounds
+    at exposition time only (default [1.]) — e.g. a histogram observed in
+    microseconds is exposed as seconds with [~scale:1e-6]. *)
+
+(** {2 Updates} *)
+
+val inc : ?by:int -> counter -> unit
+(** Add [by] (default 1). @raise Invalid_argument if [by < 0]. *)
+
+val counter_set : counter -> int -> unit
+(** Overwrite the count — for mirroring an externally-maintained monotone
+    total (e.g. {!Repro_core.Metrics}) into the registry at export time. *)
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histo -> int -> unit
+val histo_snapshot : histo -> Histogram.snapshot
+
+(** {2 Iteration (for exposition)} *)
+
+type kind = Counter | Gauge | Histogram_k
+
+type value =
+  | Sample_counter of int
+  | Sample_gauge of float
+  | Sample_histogram of Histogram.snapshot
+
+type sample = {
+  family : string;
+  help : string;
+  kind : kind;
+  scale : float;
+  labels : labels;  (** Sorted by label name. *)
+  value : value;
+}
+
+val samples : t -> sample list
+(** Every cell of every family, in registration order (families that have
+    been registered but never given a cell with empty labels still appear
+    if they hold at least one labeled cell; a family with no cells exposes
+    nothing). *)

@@ -3,6 +3,8 @@ module Config = Repro_core.Config
 module Pdu = Repro_pdu.Pdu
 module Codec = Repro_pdu.Codec
 module Simtime = Repro_sim.Simtime
+module Lifecycle = Repro_obs.Lifecycle
+module Registry = Repro_obs.Registry
 
 type timer = { at : Simtime.t; fn : unit -> unit }
 
@@ -26,13 +28,16 @@ type t = {
   mutable dropped : int;
   mutable decode_errors : int;
   mutable closed : bool;
+  registry : Registry.t option;
+  lifecycle : Lifecycle.t option;
 }
 
 (* Wall-clock microseconds since cluster creation, as the entities'
    Simtime. *)
 let now_us t = int_of_float ((Unix.gettimeofday () -. t.started_at) *. 1e6)
 
-let create ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n () =
+let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
+    =
   if n < 2 then invalid_arg "Udp_cluster.create: n must be >= 2";
   if loss < 0. || loss > 1. then invalid_arg "Udp_cluster.create: loss";
   Config.validate config;
@@ -116,9 +121,60 @@ let create ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n () =
       dropped = 0;
       decode_errors = 0;
       closed = false;
+      registry;
+      lifecycle =
+        Option.map (fun reg -> Lifecycle.create ~registry:reg ()) registry;
     }
   in
   t_ref := Some t;
+  (match (t.lifecycle, registry) with
+  | Some lc, Some reg ->
+    Array.iter
+      (fun node ->
+        let id = node.id in
+        let received =
+          Registry.counter reg
+            ~help:"Data PDUs received, including duplicates and out-of-order"
+            ~name:"co_pdus_received_total"
+            [ ("entity", string_of_int id) ]
+        in
+        (* Wall-clock µs since creation: monotone enough for the latency
+           deltas the lifecycle tracker computes (single host, no clock
+           skew between entities; gettimeofday steps would surface as
+           order_errors rather than bogus samples). *)
+        let now () = now_us t in
+        Entity.set_probe node.entity
+          {
+            Entity.on_submit =
+              (fun () -> Lifecycle.submit lc ~src:id ~now:(now ()));
+            on_transmit =
+              (fun d ->
+                Lifecycle.first_send lc ~src:d.src ~seq:d.seq
+                  ~data:(not (Pdu.is_confirmation d))
+                  ~now:(now ()));
+            on_receive = (fun _ -> Registry.inc received);
+            on_accept =
+              (fun d ->
+                Lifecycle.accept lc ~entity:id ~src:d.src ~seq:d.seq
+                  ~data:(not (Pdu.is_confirmation d))
+                  ~now:(now ()));
+            on_preack =
+              (fun d ->
+                Lifecycle.preack lc ~entity:id ~src:d.src ~seq:d.seq
+                  ~data:(not (Pdu.is_confirmation d))
+                  ~now:(now ()));
+            on_ack =
+              (fun d ->
+                Lifecycle.ack lc ~entity:id ~src:d.src ~seq:d.seq
+                  ~data:(not (Pdu.is_confirmation d))
+                  ~now:(now ()));
+            on_deliver =
+              (fun d ->
+                Lifecycle.deliver lc ~entity:id ~src:d.src ~seq:d.seq
+                  ~now:(now ()));
+          })
+      t.nodes
+  | _ -> ());
   t
 
 let size t = t.n
@@ -222,6 +278,26 @@ let port t i =
 let datagrams_sent t = t.sent
 let datagrams_dropped t = t.dropped
 let decode_errors t = t.decode_errors
+let lifecycle t = t.lifecycle
+
+let sync_registry t =
+  match t.registry with
+  | None -> ()
+  | Some reg ->
+    Array.iter
+      (fun node ->
+        Repro_core.Metrics.to_registry (Entity.metrics node.entity) reg
+          ~labels:[ ("entity", string_of_int node.id) ])
+      t.nodes;
+    let c ~help name v =
+      Registry.counter_set (Registry.counter reg ~help ~name []) v
+    in
+    c ~help:"UDP datagrams put on the wire" "co_udp_datagrams_sent_total"
+      t.sent;
+    c ~help:"Incoming datagrams dropped by injected loss"
+      "co_udp_datagrams_dropped_total" t.dropped;
+    c ~help:"Datagrams that failed PDU decoding" "co_udp_decode_errors_total"
+      t.decode_errors
 
 let close t =
   if not t.closed then begin

@@ -14,11 +14,20 @@
 type t
 
 val create :
-  ?loss:float -> ?seed:int -> ?config:Repro_core.Config.t -> n:int -> unit -> t
+  ?registry:Repro_obs.Registry.t ->
+  ?loss:float ->
+  ?seed:int ->
+  ?config:Repro_core.Config.t ->
+  n:int ->
+  unit ->
+  t
 (** Bind [n] UDP sockets on ephemeral loopback ports and attach one CO entity
     to each. [loss] drops incoming datagrams iid (after decode, never for an
-    entity's own loopback, which is delivered in-process). @raise
-    Unix.Unix_error if sockets cannot be created. *)
+    entity's own loopback, which is delivered in-process). [registry]
+    enables receipt-ladder telemetry: every entity gets a probe stamping
+    wall-clock microseconds into a {!Repro_obs.Lifecycle.t}; see
+    {!sync_registry}. @raise Unix.Unix_error if sockets cannot be
+    created. *)
 
 val size : t -> int
 
@@ -50,6 +59,13 @@ val port : t -> int -> int
 val datagrams_sent : t -> int
 val datagrams_dropped : t -> int
 val decode_errors : t -> int
+
+val lifecycle : t -> Repro_obs.Lifecycle.t option
+(** The per-PDU lifecycle tracker, present iff [create] got a [?registry]. *)
+
+val sync_registry : t -> unit
+(** Mirror per-entity protocol counters and the datagram totals into the
+    registry passed at [create]. Idempotent; no-op without one. *)
 
 val close : t -> unit
 (** Close all sockets. The [t] must not be used afterwards. *)
