@@ -285,6 +285,45 @@ let compare_cmd n per_entity interval_ms loss seed =
     cb_stalled;
   0
 
+let chaos_cmd plan_name list_plans n seed per_entity metrics_out =
+  if list_plans then begin
+    print_endline "built-in fault plans (cosim chaos <name>):";
+    List.iter
+      (fun p ->
+        Printf.printf "  %-16s %s\n" p.Repro_fault.Plan.name
+          p.Repro_fault.Plan.description)
+      Repro_fault.Plan.all;
+    0
+  end
+  else begin
+    let plans =
+      match plan_name with
+      | "all" -> Repro_fault.Plan.all
+      | name -> (
+        match Repro_fault.Plan.find name with
+        | Some p -> [ p ]
+        | None ->
+          prerr_endline
+            ("unknown plan " ^ name ^ " (cosim chaos --list shows them)");
+          exit 2)
+    in
+    let registry = Registry.create () in
+    let outcomes =
+      List.map
+        (fun plan ->
+          let o = Repro_fault.Chaos.run ~n ~seed ~per_entity ~registry plan in
+          Format.printf "%a@.@." Repro_fault.Chaos.pp_outcome o;
+          o)
+        plans
+    in
+    (match metrics_out with
+    | Some file ->
+      Exporter.write registry ~file;
+      Printf.printf "metrics written to %s\n" file
+    | None -> ());
+    if List.for_all (fun o -> o.Repro_fault.Chaos.ok) outcomes then 0 else 1
+  end
+
 let examples_cmd () =
   print_endline "runnable examples (dune exec examples/<name>.exe):";
   print_endline "  quickstart        - 3-entity causal broadcast in a page of code";
@@ -378,6 +417,23 @@ let run_term =
 let compare_term =
   Term.(const compare_cmd $ n_arg $ per_entity_arg $ interval_arg $ loss_arg $ seed_arg)
 
+let plan_arg =
+  Arg.(
+    value & pos 0 string "all"
+    & info [] ~docv:"PLAN"
+        ~doc:"Fault plan to run, or $(b,all) for every built-in plan.")
+
+let list_plans_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List the built-in fault plans.")
+
+let chaos_per_entity_arg =
+  Arg.(value & opt int 6 & info [ "per-entity" ] ~doc:"Messages per entity.")
+
+let chaos_term =
+  Term.(
+    const chaos_cmd $ plan_arg $ list_plans_arg $ n_arg $ seed_arg
+    $ chaos_per_entity_arg $ metrics_out_arg)
+
 let examples_term = Term.(const examples_cmd $ const ())
 
 let cmds =
@@ -386,6 +442,13 @@ let cmds =
     Cmd.v
       (Cmd.info "compare" ~doc:"Run CO and the three baselines on one workload.")
       compare_term;
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Run a seeded fault plan (crash-restart, partition, loss burst, \
+            corruption, ...) against a cluster and check safety and \
+            convergence after heal.")
+      chaos_term;
     Cmd.v (Cmd.info "examples" ~doc:"List example scenarios.") examples_term;
   ]
 

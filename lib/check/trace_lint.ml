@@ -46,7 +46,7 @@ let build_hb events =
         in
         Hashtbl.replace t.delivered_before entity ((time, tag) :: prior)
       | Trace.Sent _ | Trace.Arrived _ | Trace.Dropped _ | Trace.Handled _
-      | Trace.Note _ ->
+      | Trace.Crashed _ | Trace.Restarted _ | Trace.Note _ ->
         ())
     events;
   t
@@ -95,14 +95,33 @@ let lint ?(complete = false) ?n events =
   let delivered : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
   let history : (int, int list) Hashtbl.t = Hashtbl.create 16 in
   let entities = Hashtbl.create 16 in
+  (* Declared crash windows: entity -> down since a Crashed event with no
+     matching Restarted yet. A crashed entity must be silent. *)
+  let down : (int, unit) Hashtbl.t = Hashtbl.create 4 in
   let index = ref (-1) in
   List.iter
     (fun ev ->
       incr index;
       match ev with
-      | Trace.Submitted { src; _ } -> Hashtbl.replace entities src ()
+      | Trace.Submitted { src; _ } ->
+        Hashtbl.replace entities src ();
+        if Hashtbl.mem down src then
+          add !index src "submission stamped inside a declared crash window"
+      | Trace.Crashed { entity; _ } ->
+        Hashtbl.replace entities entity ();
+        if Hashtbl.mem down entity then
+          add !index entity "crash of an already-crashed entity";
+        Hashtbl.replace down entity ()
+      | Trace.Restarted { entity; _ } ->
+        Hashtbl.replace entities entity ();
+        if not (Hashtbl.mem down entity) then
+          add !index entity "restart without a preceding crash";
+        Hashtbl.remove down entity
       | Trace.Delivered { entity; tag; _ } ->
         Hashtbl.replace entities entity ();
+        if Hashtbl.mem down entity then
+          add !index entity
+            "tag %d delivered inside a declared crash window" tag;
         let seen =
           match Hashtbl.find_opt delivered entity with
           | Some s -> s

@@ -15,6 +15,10 @@
     - exactly-once: no tag delivered twice at one entity;
     - provenance: no tag delivered that was never submitted;
     - causal order: no delivery inverts happened-before at any entity;
+    - crash windows: no delivery or submission stamped at an entity between
+      its {!Repro_sim.Trace.Crashed} and the matching
+      {!Repro_sim.Trace.Restarted} (and the crash/restart events must pair
+      up);
     - completeness (opt-in, for runs-to-quiescence): every submitted tag
       delivered at every entity. *)
 

@@ -48,6 +48,15 @@ type t = {
   causality : Repro_clock.Causality.t;
   rev_data_keys : (int * int) list ref; (* data PDUs, newest first *)
   lifecycle : Lifecycle.t option;
+  (* Crash-stop support. [down.(i)] silences entity [i]: its receive handler
+     discards, scheduled submissions are skipped, and every timer armed by
+     any incarnation checks both flags before firing — a timer armed before
+     a crash must not drive the pre-crash entity object after a restart has
+     replaced it. *)
+  down : bool array;
+  incarnation : int array;
+  checkpoints : string option array; (* stable storage, written at crash *)
+  rebuild : int -> string option -> Entity.t; (* rewire an entity slot *)
 }
 
 let create (config : config) =
@@ -74,8 +83,9 @@ let create (config : config) =
   let lifecycle =
     Option.map (fun reg -> Lifecycle.create ~registry:reg ()) config.instrument
   in
-  let entities =
-    Array.init config.n (fun id ->
+  let down = Array.make config.n false in
+  let incarnation = Array.make config.n 0 in
+  let build_entity checkpoint id =
         let record_first_send pdu =
           match pdu with
           | Pdu.Data d when d.src = id ->
@@ -118,11 +128,22 @@ let create (config : config) =
                 | None -> ());
             now = (fun () -> Engine.now engine);
             set_timer =
-              (fun ~delay f -> Engine.schedule_after engine ~delay f);
+              (fun ~delay f ->
+                let inc = incarnation.(id) in
+                Engine.schedule_after engine ~delay (fun () ->
+                    if (not down.(id)) && incarnation.(id) = inc then f ()));
             available_buffer = (fun () -> Network.available_buffer net id);
           }
         in
-        let entity = Entity.create ~config:config.protocol ~id ~n:config.n ~actions in
+        let entity =
+          match checkpoint with
+          | None -> Entity.create ~config:config.protocol ~id ~n:config.n ~actions
+          | Some blob -> (
+            match Entity.restore ~config:config.protocol ~actions blob with
+            | Ok e -> e
+            | Error msg ->
+              invalid_arg ("Cluster.restart: corrupt checkpoint: " ^ msg))
+        in
         Entity.add_observer entity (fun ev ->
             let now = Engine.now engine in
             let latency (d : Pdu.data) acc =
@@ -149,6 +170,12 @@ let create (config : config) =
               [ ("entity", string_of_int id) ]
           in
           let now () = Engine.now engine in
+          let backoff_h =
+            Registry.histogram reg
+              ~help:"RET retry delay after each backoff step, microseconds"
+              ~name:"co_ret_backoff_us"
+              [ ("entity", string_of_int id) ]
+          in
           Entity.set_probe entity
             {
               Entity.on_submit =
@@ -178,13 +205,18 @@ let create (config : config) =
                 (fun d ->
                   Lifecycle.deliver lc ~entity:id ~src:d.src ~seq:d.seq
                     ~now:(now ()));
+              on_ret_backoff = (fun delay -> Registry.observe backoff_h delay);
             }
         | _ -> ());
-        entity)
+        entity
   in
+  let entities = Array.init config.n (build_entity None) in
   Array.iteri
-    (fun id entity ->
-      Network.attach net ~id ~handler:(fun ~src:_ pdu -> Entity.receive entity pdu))
+    (fun id _ ->
+      (* Index-based so a restart's replacement entity takes over the slot;
+         a crashed entity's arriving copies are discarded. *)
+      Network.attach net ~id ~handler:(fun ~src:_ pdu ->
+          if not down.(id) then Entity.receive entities.(id) pdu))
     entities;
   {
     config;
@@ -199,6 +231,10 @@ let create (config : config) =
     causality;
     rev_data_keys;
     lifecycle;
+    down;
+    incarnation;
+    checkpoints = Array.make config.n None;
+    rebuild = (fun id checkpoint -> build_entity checkpoint id);
   }
 
 let engine t = t.engine
@@ -208,11 +244,41 @@ let size t = t.config.n
 
 let submit_at t ~at ~src payload =
   Engine.schedule t.engine ~at (fun () ->
-      ignore (Entity.submit t.entities.(src) payload))
+      if not t.down.(src) then ignore (Entity.submit t.entities.(src) payload))
 
 let submit t ~src payload = submit_at t ~at:(Engine.now t.engine) ~src payload
 
 let run ?until ?max_events t = Engine.run ?until ?max_events t.engine
+
+(* --- Crash-stop and checkpoint-restore recovery --- *)
+
+let is_down t i = t.down.(i)
+
+let live_ids t =
+  List.filter (fun i -> not t.down.(i)) (List.init t.config.n (fun i -> i))
+
+let crash t ~id =
+  if id < 0 || id >= t.config.n then invalid_arg "Cluster.crash: id out of range";
+  if t.down.(id) then invalid_arg "Cluster.crash: entity already down";
+  (* Stable-storage model: the checkpoint is written before the crash takes
+     effect, as a periodic checkpointer would have. *)
+  t.checkpoints.(id) <- Some (Entity.checkpoint t.entities.(id));
+  t.down.(id) <- true;
+  t.incarnation.(id) <- t.incarnation.(id) + 1;
+  Trace.record (Network.trace t.net)
+    (Trace.Crashed { time = Engine.now t.engine; entity = id })
+
+let restart t ~id =
+  if id < 0 || id >= t.config.n then
+    invalid_arg "Cluster.restart: id out of range";
+  if not t.down.(id) then invalid_arg "Cluster.restart: entity is not down";
+  t.incarnation.(id) <- t.incarnation.(id) + 1;
+  t.down.(id) <- false;
+  let entity = t.rebuild id t.checkpoints.(id) in
+  t.entities.(id) <- entity;
+  Trace.record (Network.trace t.net)
+    (Trace.Restarted { time = Engine.now t.engine; entity = id });
+  Entity.kick entity
 
 let deliveries t ~entity = List.rev t.deliveries.(entity)
 

@@ -51,6 +51,34 @@ val run : ?until:Repro_sim.Simtime.t -> ?max_events:int -> t -> unit
 (** Drive the engine. With neither bound, runs to quiescence: the protocol's
     timers stop re-arming once every entity has acknowledged all data. *)
 
+(** {2 Crash-stop faults}
+
+    An entity crash-stops and later rejoins from a checkpoint written to
+    stable storage at crash time (the strongest recovery the paper's
+    sending-log pruning supports: peers retain PDUs the crashed entity has
+    not accepted — its frozen AL row holds the prune floor down — so a
+    rejoiner that remembers its own REQ/SEQ position can always catch up
+    through RET and anti-entropy; an amnesiac restart could neither avoid
+    reusing sequence numbers nor request pruned history). *)
+
+val crash : t -> id:int -> unit
+(** Checkpoint the entity, then silence it: its handler discards arrivals,
+    scheduled submissions are skipped, armed timers are disarmed, and a
+    {!Repro_sim.Trace.Crashed} event is recorded.
+    @raise Invalid_argument if already down or out of range. *)
+
+val restart : t -> id:int -> unit
+(** Rebuild the entity from its crash checkpoint (fresh object, same slot),
+    record {!Repro_sim.Trace.Restarted}, and {!Entity.kick} it to start
+    catch-up. Pre-crash deliveries and metrics recorded by the cluster are
+    kept; the replacement entity's own counters restart from zero.
+    @raise Invalid_argument if not down or out of range. *)
+
+val is_down : t -> int -> bool
+
+val live_ids : t -> int list
+(** Entity ids currently up, ascending. *)
+
 (** {2 Results} *)
 
 val deliveries : t -> entity:int -> (Repro_sim.Simtime.t * Repro_pdu.Pdu.data) list

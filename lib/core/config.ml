@@ -15,6 +15,9 @@ type t = {
   buf_units_per_pdu : int;
   defer : defer_policy;
   ret_retry_timeout : Repro_sim.Simtime.t;
+  ret_backoff_factor : int;
+  ret_backoff_max : Repro_sim.Simtime.t;
+  ret_jitter_pct : int;
   anti_entropy : bool;
   initial_buf : int;
   retain_arl : bool;
@@ -30,6 +33,9 @@ let default =
     buf_units_per_pdu = 1;
     defer = Deferred { timeout = Repro_sim.Simtime.of_ms 5 };
     ret_retry_timeout = Repro_sim.Simtime.of_ms 20;
+    ret_backoff_factor = 2;
+    ret_backoff_max = Repro_sim.Simtime.of_ms 320;
+    ret_jitter_pct = 20;
     anti_entropy = true;
     initial_buf = 64;
     retain_arl = true;
@@ -48,4 +54,10 @@ let validate t =
   | Deferred { timeout } ->
     if timeout <= 0 then invalid_arg "Config: defer timeout must be > 0");
   if t.ret_retry_timeout <= 0 then
-    invalid_arg "Config: ret_retry_timeout must be > 0"
+    invalid_arg "Config: ret_retry_timeout must be > 0";
+  if t.ret_backoff_factor < 1 then
+    invalid_arg "Config: ret_backoff_factor must be >= 1";
+  if t.ret_backoff_max < t.ret_retry_timeout then
+    invalid_arg "Config: ret_backoff_max must be >= ret_retry_timeout";
+  if t.ret_jitter_pct < 0 || t.ret_jitter_pct > 100 then
+    invalid_arg "Config: ret_jitter_pct must be in [0, 100]"

@@ -63,7 +63,21 @@ type t = {
   defer : defer_policy;
   ret_retry_timeout : Repro_sim.Simtime.t;
       (** Re-issue a RET if the gap is still open after this long (the RET
-          itself, or the retransmission, may be lost). *)
+          itself, or the retransmission, may be lost). This is the {e base}
+          of the retry schedule; see [ret_backoff_factor]. *)
+  ret_backoff_factor : int;
+      (** Multiply the retry delay by this after each unanswered RET
+          (exponential backoff), capped at [ret_backoff_max]. [1] recovers
+          the paper's fixed-interval timer. The delay resets to
+          [ret_retry_timeout] whenever the gap makes progress. *)
+  ret_backoff_max : Repro_sim.Simtime.t;
+      (** Ceiling of the backed-off retry delay. Must be at least
+          [ret_retry_timeout]. *)
+  ret_jitter_pct : int;
+      (** Spread each armed retry uniformly over
+          [delay .. delay · (100 + pct) / 100] so retries from entities that
+          lost the same datagram don't synchronize. [0] disables jitter
+          (deterministic replay in unit tests). *)
   anti_entropy : bool;
       (** Answer a peer whose ACK vector is behind with an unsequenced CTL
           confirmation so it can detect its loss (liveness at quiescence; see
@@ -81,7 +95,8 @@ type t = {
 
 val default : t
 (** cid 0, W = 8, H = 1, deferred confirmation with 5ms timeout, 20ms RET
-    retry, anti-entropy on, initial buffer 64, checking off, no fault. *)
+    retry doubling up to 320ms with 20% jitter, anti-entropy on, initial
+    buffer 64, checking off, no fault. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical parameters. *)

@@ -26,6 +26,7 @@ type probe = {
   on_preack : Pdu.data -> unit;
   on_ack : Pdu.data -> unit;
   on_deliver : Pdu.data -> unit;
+  on_ret_backoff : Simtime.t -> unit;
 }
 
 let probe_nop =
@@ -37,6 +38,7 @@ let probe_nop =
     on_preack = ignore;
     on_ack = ignore;
     on_deliver = ignore;
+    on_ret_backoff = ignore;
   }
 
 type t = {
@@ -63,6 +65,8 @@ type t = {
   mutable hb_interval : Simtime.t; (* current heartbeat period (with backoff) *)
   mutable accepted_at_last_hb : int;
   ret_timer_armed : bool array;
+  ret_backoff : Simtime.t array; (* current retry delay per lsrc *)
+  rng : Repro_util.Prng.t; (* retry jitter; never protocol decisions *)
   last_ctl_to : Simtime.t array; (* anti-entropy rate limiting *)
   mutable last_send_at : Simtime.t; (* spacing clock for deferred empties *)
   mutable last_ctl_broadcast_at : Simtime.t;
@@ -109,6 +113,8 @@ let create ~config ~id ~n ~actions =
     hb_interval = 0;
     accepted_at_last_hb = 0;
     ret_timer_armed = Array.make n false;
+    ret_backoff = Array.make n config.ret_retry_timeout;
+    rng = Repro_util.Prng.create ~seed:(0x5e17 + id);
     last_ctl_to = Array.make n (-1_000_000_000);
     last_send_at = -1_000_000_000;
     last_ctl_broadcast_at = -1_000_000_000;
@@ -360,19 +366,36 @@ let send_ret t ~lsrc ~lseq =
     (Pdu.ret ~cid:t.config.cid ~src:t.id ~lsrc ~lseq ~ack:t.req
        ~buf:(t.actions.available_buffer ()))
 
+(* The retry timer backs off exponentially while the gap stays open —
+   retries into a partition or a crashed source would otherwise fire at
+   fixed cadence forever — and carries uniform jitter so entities that lost
+   the same datagram don't re-request in lockstep. Any acceptance from
+   [lsrc] (progress) resets the delay to the base timeout. *)
+let ret_delay_with_jitter t lsrc =
+  let base = t.ret_backoff.(lsrc) in
+  if t.config.ret_jitter_pct = 0 then base
+  else base + Repro_util.Prng.int t.rng ((base * t.config.ret_jitter_pct / 100) + 1)
+
 let rec arm_ret_timer t lsrc =
   if not t.ret_timer_armed.(lsrc) then begin
     t.ret_timer_armed.(lsrc) <- true;
-    t.actions.set_timer ~delay:t.config.ret_retry_timeout (fun () ->
+    t.actions.set_timer ~delay:(ret_delay_with_jitter t lsrc) (fun () ->
         t.ret_timer_armed.(lsrc) <- false;
         match
           Failure.retry_due t.fails ~now:(t.actions.now ())
             ~retry_after:t.config.ret_retry_timeout ~lsrc ~req:t.req.(lsrc)
         with
         | Some (_, hi) ->
+          t.metrics.ret_retries <- t.metrics.ret_retries + 1;
+          t.ret_backoff.(lsrc) <-
+            min t.config.ret_backoff_max
+              (t.ret_backoff.(lsrc) * t.config.ret_backoff_factor);
+          (match t.probe with
+          | None -> ()
+          | Some p -> p.on_ret_backoff t.ret_backoff.(lsrc));
           send_ret t ~lsrc ~lseq:hi;
           arm_ret_timer t lsrc
-        | None -> ())
+        | None -> t.ret_backoff.(lsrc) <- t.config.ret_retry_timeout)
   end
 
 (* Failure conditions F(1)/F(2): evidence that PDUs from [lsrc] strictly
@@ -424,6 +447,7 @@ let accept t (q : Pdu.data) =
   let j = q.src in
   t.req.(j) <- q.seq + 1;
   Failure.satisfied_up_to t.fails ~lsrc:j ~req:t.req.(j);
+  t.ret_backoff.(j) <- t.config.ret_retry_timeout;
   Matrix_clock.set_row t.al ~row:j q.ack;
   note_buf t ~peer:j q.buf;
   Hashtbl.replace t.headers (Pdu.key q) q.ack;
@@ -689,6 +713,29 @@ let submit t payload =
   check_step t;
   sent
 
+(* Recovery entry point: announce our REQ vector so peers' anti-entropy can
+   tell us what we missed, re-issue RETs for gaps we already know about, and
+   re-arm the timers a restart (or a stall the watchdog detected) may have
+   lost. Safe to call at any time — every action is one the protocol could
+   have taken on its own. *)
+let kick t =
+  t.last_ctl_broadcast_at <- t.actions.now ();
+  send_ctl_broadcast t;
+  for j = 0 to t.n - 1 do
+    if j <> t.id then
+      match Failure.outstanding t.fails ~lsrc:j with
+      | Some (bound, _) ->
+        send_ret t ~lsrc:j ~lseq:bound;
+        arm_ret_timer t j
+      | None -> ()
+  done;
+  (match t.config.defer with
+  | Config.Immediate ->
+    ensure_heartbeat_armed t ~timeout:t.config.ret_retry_timeout
+  | Config.Deferred { timeout } -> ensure_heartbeat_armed t ~timeout
+  | Config.Never -> ());
+  check_step t
+
 (* Inspection *)
 
 (* Canonical digest of every behavior-relevant piece of mutable state: the
@@ -760,10 +807,11 @@ let signature t =
   addb t.need_immediate_confirm;
   addb t.prompted;
   addb t.defer_timer_armed;
-  (* hb_interval, accepted_at_last_hb and the metrics counters are
-     deliberately absent: they feed only timer *delays* (the heartbeat
-     backoff ladder), which cannot influence behavior when time is frozen —
-     including them would multiply every explored state by the ladder. *)
+  (* hb_interval, accepted_at_last_hb, ret_backoff, the jitter rng and the
+     metrics counters are deliberately absent: they feed only timer *delays*
+     (the heartbeat and RET backoff ladders), which cannot influence
+     behavior when time is frozen — including them would multiply every
+     explored state by the ladder. *)
   Array.iter addb t.ret_timer_armed;
   add_flag_arr t.last_ctl_to;
   addb (Simtime.compare t.last_send_at 0 >= 0);
@@ -793,3 +841,179 @@ let pending_seqs t ~src =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.pending.(src) [])
 
 let set_step_checker t f = t.step_checker <- Some f
+
+(* --- Checkpoint / restore (stable-storage model for crash recovery) ---
+
+   A checkpoint is a self-describing blob of the state a rejoining entity
+   cannot rebuild from the network: its sequencing position (SEQ, REQ), the
+   AL/PAL knowledge matrices, the four logs, parked out-of-sequence PDUs,
+   flow-blocked requests, and the accepted-header table that Transitive
+   causality needs to compute reach vectors. Wall-clock state (timers,
+   buffer-advertisement ages, backoff ladders, outstanding-RET bookkeeping)
+   is deliberately NOT saved: it is meaningless after downtime, and
+   {!kick} re-derives it from the peers.
+
+   Format: a version line, then integers in decimal separated by newlines;
+   PDUs and payloads as length-prefixed byte blocks ({!Codec} wire encoding
+   for PDUs). Purely sequential, so the reader is a cursor with two
+   primitives. *)
+
+let ckpt_magic = "co-checkpoint-v1"
+
+let checkpoint t =
+  let b = Buffer.create 4096 in
+  let wi i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b '\n'
+  in
+  let wblock s =
+    wi (String.length s);
+    Buffer.add_string b s
+  in
+  let wpdu (p : Pdu.data) = wblock (Bytes.to_string (Codec.encode (Pdu.Data p))) in
+  let wpdus ps =
+    wi (List.length ps);
+    List.iter wpdu ps
+  in
+  Buffer.add_string b ckpt_magic;
+  Buffer.add_char b '\n';
+  wi t.id;
+  wi t.n;
+  wi t.seq;
+  Array.iter wi t.req;
+  for j = 0 to t.n - 1 do
+    Array.iter wi (Matrix_clock.row t.al j)
+  done;
+  for j = 0 to t.n - 1 do
+    Array.iter wi (Matrix_clock.row t.pal j)
+  done;
+  Array.iter wi t.buf;
+  wi (Logs.Sending.low_seq t.sl);
+  wi (Logs.Sending.last_seq t.sl);
+  wpdus
+    (Logs.Sending.range t.sl ~lo:(Logs.Sending.low_seq t.sl)
+       ~hi:(Logs.Sending.last_seq t.sl + 1));
+  for j = 0 to t.n - 1 do
+    wpdus (Logs.Receipt.rrl_to_list t.logs ~src:j)
+  done;
+  wpdus (Logs.Receipt.prl_to_list t.logs);
+  wpdus (Logs.Receipt.arl_to_list t.logs);
+  for j = 0 to t.n - 1 do
+    let seqs =
+      List.sort compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.pending.(j) [])
+    in
+    wi (List.length seqs);
+    List.iter (fun s -> wpdu (Hashtbl.find t.pending.(j) s)) seqs
+  done;
+  wi (Queue.length t.dt_queue);
+  Queue.iter wblock t.dt_queue;
+  wi (Hashtbl.length t.headers);
+  let header_keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.headers [])
+  in
+  List.iter
+    (fun ((src, seq) as key) ->
+      wi src;
+      wi seq;
+      Array.iter wi (Hashtbl.find t.headers key))
+    header_keys;
+  Buffer.contents b
+
+exception Corrupt of string
+
+let restore ~config ~actions blob =
+  let pos = ref 0 in
+  let len = String.length blob in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt in
+  let rline () =
+    match String.index_from_opt blob !pos '\n' with
+    | None -> fail "truncated at byte %d" !pos
+    | Some nl ->
+      let s = String.sub blob !pos (nl - !pos) in
+      pos := nl + 1;
+      s
+  in
+  let ri () =
+    let s = rline () in
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> fail "expected integer at byte %d, got %S" !pos s
+  in
+  let rblock () =
+    let n = ri () in
+    if n < 0 || !pos + n > len then fail "bad block length %d at byte %d" n !pos;
+    let s = String.sub blob !pos n in
+    pos := !pos + n;
+    s
+  in
+  let rpdu () =
+    match Codec.decode (Bytes.of_string (rblock ())) with
+    | Ok (Pdu.Data d) -> d
+    | Ok (Pdu.Ret _ | Pdu.Ctl _) -> fail "non-data PDU in checkpoint"
+    | Error e -> fail "undecodable PDU: %s" (Format.asprintf "%a" Codec.pp_error e)
+  in
+  let rpdus () = List.init (ri ()) (fun _ -> rpdu ()) in
+  match
+    if rline () <> ckpt_magic then fail "not a checkpoint (bad magic)";
+    let id = ri () in
+    let n = ri () in
+    let t = create ~config ~id ~n ~actions in
+    t.seq <- ri ();
+    for j = 0 to n - 1 do
+      t.req.(j) <- ri ()
+    done;
+    let rrow () = Array.init n (fun _ -> ri ()) in
+    for j = 0 to n - 1 do
+      Matrix_clock.set_row t.al ~row:j (rrow ())
+    done;
+    for j = 0 to n - 1 do
+      Matrix_clock.set_row t.pal ~row:j (rrow ())
+    done;
+    for j = 0 to n - 1 do
+      t.buf.(j) <- ri ()
+    done;
+    let sl_low = ri () in
+    let sl_last = ri () in
+    Logs.Sending.reload t.sl ~low:sl_low ~last:sl_last (rpdus ());
+    for j = 0 to n - 1 do
+      List.iter (Logs.Receipt.rrl_enqueue t.logs ~src:j) (rpdus ())
+    done;
+    (* PRL order is part of the service guarantee: append in saved order
+       rather than re-running CPI, whose tie-breaks need not be unique. *)
+    List.iter
+      (Logs.Receipt.prl_insert ~precedes:(fun _ _ -> false) t.logs)
+      (rpdus ());
+    List.iter (Logs.Receipt.arl_enqueue t.logs) (rpdus ());
+    for j = 0 to n - 1 do
+      List.iter
+        (fun (p : Pdu.data) -> Hashtbl.replace t.pending.(j) p.seq p)
+        (rpdus ())
+    done;
+    let nq = ri () in
+    for _ = 1 to nq do
+      Queue.push (rblock ()) t.dt_queue
+    done;
+    let nh = ri () in
+    for _ = 1 to nh do
+      let src = ri () in
+      let seq = ri () in
+      Hashtbl.replace t.headers (src, seq) (rrow ())
+    done;
+    if !pos <> len then fail "%d trailing bytes" (len - !pos);
+    (* Derived state: data PDUs accepted but not yet acknowledged sit in
+       the RRLs and the PRL. *)
+    let count_data ps =
+      List.length
+        (List.filter (fun (p : Pdu.data) -> not (Pdu.is_confirmation p)) ps)
+    in
+    t.undelivered <- count_data (Logs.Receipt.prl_to_list t.logs);
+    for j = 0 to n - 1 do
+      t.undelivered <-
+        t.undelivered + count_data (Logs.Receipt.rrl_to_list t.logs ~src:j)
+    done;
+    check_step t;
+    t
+  with
+  | t -> Ok t
+  | exception Corrupt msg -> Error msg

@@ -57,6 +57,9 @@ type probe = {
   on_deliver : Repro_pdu.Pdu.data -> unit;
       (** Fires just before [actions.deliver], i.e. before [on_ack] for the
           same PDU (delivery is part of the acknowledgment action). *)
+  on_ret_backoff : Repro_sim.Simtime.t -> unit;
+      (** A RET retry timer fired for a still-open gap; the argument is the
+          new (backed-off) retry delay that will gate the next attempt. *)
 }
 
 val probe_nop : probe
@@ -86,6 +89,29 @@ val submit : t -> string -> bool
 val receive : t -> Repro_pdu.Pdu.t -> unit
 (** Feed a PDU from the network (including this entity's own loopback copy,
     which the MC medium always delivers). *)
+
+val kick : t -> unit
+(** Force recovery: broadcast a CTL carrying the current REQ vector (so
+    peers' anti-entropy answers with what this entity missed), re-issue RETs
+    for known-outstanding gaps, and re-arm the heartbeat. Used after a
+    {!restore} and by the liveness watchdog; safe at any time — every action
+    is one the protocol could have taken on its own. *)
+
+val checkpoint : t -> string
+(** Serialize the state a rejoining entity cannot rebuild from the network:
+    SEQ, REQ, the AL/PAL matrices, advertised peer buffers, the sending log,
+    RRL/PRL/ARL, parked out-of-sequence PDUs, flow-blocked requests, and the
+    accepted-header table (Transitive-mode reach vectors need it). Timers,
+    backoff ladders and other wall-clock state are excluded — they are
+    meaningless after downtime and {!kick} re-derives them. *)
+
+val restore :
+  config:Config.t -> actions:actions -> string -> (t, string) result
+(** [restore ~config ~actions blob] rebuilds an entity from a {!checkpoint}
+    (id and cluster size come from the blob). The entity resumes with its
+    sequencing position and logs intact, so it never reuses sequence numbers
+    or re-delivers; call {!kick} afterwards to start catch-up. [Error]
+    describes the corruption. @raise Invalid_argument on invalid config. *)
 
 val add_observer : t -> (event -> unit) -> unit
 (** Register a protocol-event listener; all registered listeners fire in

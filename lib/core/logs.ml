@@ -38,6 +38,20 @@ module Sending = struct
     if seq > t.low then t.low <- seq
 
   let length t = Hashtbl.length t.tbl
+
+  (* Checkpoint restore: refill a fresh log whose retained range no longer
+     starts at 1 (earlier PDUs were pruned before the checkpoint). *)
+  let reload t ~low ~last pdus =
+    if low < 1 || last < low - 1 then invalid_arg "Logs.Sending.reload: range";
+    Hashtbl.reset t.tbl;
+    t.low <- low;
+    t.last <- last;
+    List.iter
+      (fun (p : Pdu.data) ->
+        if p.seq < low || p.seq > last then
+          invalid_arg "Logs.Sending.reload: seq outside range";
+        Hashtbl.replace t.tbl p.seq p)
+      pdus
 end
 
 module Receipt = struct

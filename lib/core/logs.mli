@@ -33,6 +33,12 @@ module Sending : sig
 
   val length : t -> int
   (** PDUs currently retained. *)
+
+  val reload : t -> low:int -> last:int -> Repro_pdu.Pdu.data list -> unit
+  (** Replace the whole log with a checkpointed snapshot: retained range
+      [low..last] (possibly already pruned past 1) holding [pdus]. Used by
+      {!Entity.restore}. @raise Invalid_argument on a nonsensical range or a
+      PDU outside it. *)
 end
 
 module Receipt : sig

@@ -4,6 +4,7 @@ type t = {
   mutable ctl_sent : int;
   mutable ret_sent : int;
   mutable retransmitted : int;
+  mutable ret_retries : int;
   mutable accepted : int;
   mutable duplicates : int;
   mutable out_of_order : int;
@@ -20,6 +21,7 @@ let create () =
     ctl_sent = 0;
     ret_sent = 0;
     retransmitted = 0;
+    ret_retries = 0;
     accepted = 0;
     duplicates = 0;
     out_of_order = 0;
@@ -35,6 +37,7 @@ let reset t =
   t.ctl_sent <- 0;
   t.ret_sent <- 0;
   t.retransmitted <- 0;
+  t.ret_retries <- 0;
   t.accepted <- 0;
   t.duplicates <- 0;
   t.out_of_order <- 0;
@@ -52,6 +55,7 @@ let add ~into t =
   into.ctl_sent <- into.ctl_sent + t.ctl_sent;
   into.ret_sent <- into.ret_sent + t.ret_sent;
   into.retransmitted <- into.retransmitted + t.retransmitted;
+  into.ret_retries <- into.ret_retries + t.ret_retries;
   into.accepted <- into.accepted + t.accepted;
   into.duplicates <- into.duplicates + t.duplicates;
   into.out_of_order <- into.out_of_order + t.out_of_order;
@@ -67,6 +71,7 @@ let fields t =
     ("ctl_sent", t.ctl_sent);
     ("ret_sent", t.ret_sent);
     ("retransmitted", t.retransmitted);
+    ("ret_retries", t.ret_retries);
     ("accepted", t.accepted);
     ("duplicates", t.duplicates);
     ("out_of_order", t.out_of_order);
@@ -103,8 +108,8 @@ let to_registry t reg ~labels =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>data_sent=%d confirmations=%d ctl=%d ret=%d rexmit=%d@,\
+    "@[<v>data_sent=%d confirmations=%d ctl=%d ret=%d rexmit=%d retries=%d@,\
      accepted=%d dup=%d ooo=%d gaps=%d delivered=%d blocked=%d peak_buf=%d@]"
     t.data_sent t.confirmations_sent t.ctl_sent t.ret_sent t.retransmitted
-    t.accepted t.duplicates t.out_of_order t.gaps_detected t.delivered
-    t.flow_blocked t.peak_buffered
+    t.ret_retries t.accepted t.duplicates t.out_of_order t.gaps_detected
+    t.delivered t.flow_blocked t.peak_buffered

@@ -10,6 +10,9 @@ type t = {
   mutable ctl_sent : int;  (** Unsequenced CTL confirmations. *)
   mutable ret_sent : int;  (** RET requests issued. *)
   mutable retransmitted : int;  (** DT PDUs rebroadcast in answer to a RET. *)
+  mutable ret_retries : int;
+      (** RET retry-timer firings for a still-open gap — each one backs the
+          retry delay off further (see {!Config.t.ret_backoff_factor}). *)
   mutable accepted : int;  (** PDUs passing the ACC condition. *)
   mutable duplicates : int;  (** Received copies below REQ, discarded. *)
   mutable out_of_order : int;  (** Received above REQ, buffered as pending. *)

@@ -1,0 +1,55 @@
+(** The chaos harness: run a {!Plan} against a simulated cluster and check
+    that the CO service survives it.
+
+    A run builds an [n]-entity cluster (instrumented into a metrics
+    registry), wires a seeded {!Injector.t} into the medium, schedules a
+    fixed workload plus the plan's fault script, arms the liveness
+    {!Watchdog}, drives the engine past the plan horizon to quiescence,
+    and then renders a verdict over the entities that are up at the end:
+
+    - {b safety}: no duplicate deliveries, per-source FIFO order, no
+      causal inversions (against the ground-truth happened-before
+      relation), and the recorded trace passes the {!Repro_check}
+      linter (which also rejects any delivery inside a declared crash
+      window);
+    - {b liveness after heal}: every broadcast data PDU is delivered at
+      every live entity, all live entities converge to the same
+      delivered set, and the cluster reaches protocol quiescence.
+
+    The outcome also reports the RET retry/backoff activity so callers
+    can assert the adaptive retransmission timer actually engaged. *)
+
+type outcome = {
+  plan : string;
+  seed : int;
+  live : int list;  (** Entity ids up at the end of the run. *)
+  expected : int;  (** Data PDUs the workload actually broadcast. *)
+  report : Repro_harness.Oracle.report;
+      (** Service-property report over the live entities; the report's
+          entity numbers are positions in [live]. *)
+  converged : bool;  (** All live entities delivered the same set. *)
+  quiescent : bool;  (** No outstanding protocol work at any live entity. *)
+  ret_retries : int;  (** RET retry-timer firings (backoff steps), summed. *)
+  backoff_samples : int;
+      (** Observations recorded in the [co_ret_backoff_us] histograms. *)
+  recoveries : int;  (** Watchdog kicks issued. *)
+  lint_issues : Repro_check.Trace_lint.issue list;
+  stats : Injector.stats;
+  ok : bool;  (** The full verdict above. *)
+}
+
+val run :
+  ?n:int ->
+  ?seed:int ->
+  ?per_entity:int ->
+  ?registry:Repro_obs.Registry.t ->
+  Plan.t ->
+  outcome
+(** [run plan] executes [plan] with [n] entities (default 4), [per_entity]
+    data submissions per entity (default 6) spread over the run's first
+    ~50ms, and the given [seed] (default 1). When [registry] is omitted a
+    private one is created; pass one to inspect the full telemetry
+    afterwards. @raise Invalid_argument if the plan fails
+    {!Plan.validate} against [n]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,56 @@
+(** The shared fault-injection state machine.
+
+    One injector instance holds the {e current} fault state (who is down,
+    the partition, the loss / corruption / duplication probabilities, the
+    per-entity stall factors) plus a seeded PRNG, and exposes it as the
+    per-copy hooks both transports understand:
+
+    - {!on_pdu} plugs into the simulator
+      ({!Repro_sim.Network.set_fault_hook}); corruption there round-trips
+      the PDU through {!Repro_pdu.Codec} with one random bit flipped, so a
+      corrupted copy survives only if the codec (checksum) fails to catch
+      it;
+    - {!on_datagram} is the same verdict over raw bytes for the UDP
+      transport ({!Repro_transport.Udp_cluster.set_fault_hook}); there a
+      corrupted datagram is passed through mangled and the receiver's
+      decode path rejects it;
+    - {!service_delay} plugs into
+      {!Repro_sim.Network.set_service_hook} to model slow-entity stalls.
+
+    Fault state changes by {!apply}ing {!Plan.action}s. [Crash]/[Restart]
+    only flip the injector's down flag (the medium stops carrying copies
+    to or from a dead NIC) — actually crashing the entity is the caller's
+    job ({!Chaos.run} pairs each with
+    {!Repro_core.Cluster.crash}/[restart]). *)
+
+type t
+
+type stats = {
+  crash_drops : int;  (** Copies dropped to/from a down entity. *)
+  partition_drops : int;
+  loss_drops : int;
+  corrupt_dropped : int;  (** Bit-flipped copies the codec rejected. *)
+  corrupt_passed : int;
+      (** Bit-flipped copies that still decoded (checksum miss) and were
+          delivered mangled. Expected 0 with the checksummed codec. *)
+  duplicated : int;  (** Copies delivered twice. *)
+}
+
+val create : n:int -> seed:int -> t
+val n : t -> int
+
+val apply : t -> Plan.action -> unit
+(** Update the fault state. [Stall]/[Unstall] take effect via
+    {!service_delay}; everything else via the copy hooks. *)
+
+val is_down : t -> int -> bool
+val stats : t -> stats
+val faults_active : t -> bool
+(** Any fault currently armed (entity down, partition installed, nonzero
+    probability, or stall in place)? False once a plan has fully healed. *)
+
+val on_pdu : t -> dst:int -> src:int -> Repro_pdu.Pdu.t -> Repro_pdu.Pdu.t list
+val on_datagram : t -> dst:int -> src:int -> bytes -> bytes list
+val service_delay : t -> dst:int -> Repro_sim.Simtime.t -> Repro_sim.Simtime.t
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,77 @@
+(** Deterministic fault plans.
+
+    A plan is a named, time-ordered script of fault actions applied to a
+    running cluster: entity crash-stop and restart, network partitions,
+    windows of iid loss / datagram corruption / duplication, and
+    slow-entity stalls. Plans carry no randomness themselves — the
+    probabilistic actions only set parameters of the seeded
+    {!Injector.t} — so a (plan, seed) pair replays bit-identically.
+
+    Every built-in plan heals all of its faults before {!t.horizon}; the
+    chaos runner ({!Chaos.run}) drives the cluster past the horizon to
+    quiescence and then checks the CO service properties over the
+    surviving entities. *)
+
+type action =
+  | Crash of int  (** Crash-stop an entity (checkpointing to stable storage). *)
+  | Restart of int  (** Rebuild it from the checkpoint and start catch-up. *)
+  | Partition of int list list
+      (** Install disjoint groups; copies crossing group boundaries are
+          dropped. Entities left out of every group are isolated. *)
+  | Heal  (** Remove the partition. *)
+  | Loss of float  (** Set the iid per-copy drop probability (0 heals). *)
+  | Corrupt of float
+      (** Set the per-copy bit-flip probability (0 heals). A corrupted
+          copy survives only if it still decodes — with the codec
+          checksum it is rejected and counted instead. *)
+  | Duplicate of float  (** Set the per-copy duplication probability. *)
+  | Stall of { entity : int; factor : int }
+      (** Multiply the entity's per-message service time by [factor]. *)
+  | Unstall of int  (** Restore normal service time. *)
+
+type event = { at : Repro_sim.Simtime.t; action : action }
+
+type t = {
+  name : string;
+  description : string;
+  events : event list;  (** Sorted by time, ascending. *)
+  horizon : Repro_sim.Simtime.t;
+      (** All faults are healed strictly before this instant; the runner
+          keeps its liveness watchdog armed until here and then lets the
+          run drain to quiescence. *)
+}
+
+val validate : n:int -> t -> unit
+(** @raise Invalid_argument if any event references an entity outside
+    [0..n-1], a probability outside [0,1], a stall factor < 1, partition
+    groups that overlap, unsorted events, or an event at/after the
+    horizon. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Built-in plans} — all designed for an [n = 4] cluster. *)
+
+val crash_restart : t
+(** Entity 1 crash-stops mid-run and rejoins from its checkpoint. *)
+
+val partition_heal : t
+(** The cluster splits \{0,1\} / \{2,3\} and later heals. *)
+
+val loss_burst : t
+(** A 30% iid loss window over the whole medium. *)
+
+val slow_stall : t
+(** Entity 2 serves messages 50x slower for a while. *)
+
+val corruption : t
+(** A window where 25% of copies take a random bit flip in transit. *)
+
+val duplication : t
+(** A window where 30% of copies arrive twice. *)
+
+val mayhem : t
+(** Loss, a crash and a partition overlapping — the kitchen sink. *)
+
+val all : t list
+val names : string list
+val find : string -> t option

@@ -1,0 +1,57 @@
+module Cluster = Repro_core.Cluster
+module Entity = Repro_core.Entity
+module Engine = Repro_sim.Engine
+
+type snapshot = { backlog : int; delivered : int; stalled_for : int }
+
+type t = {
+  cluster : Cluster.t;
+  stall_intervals : int;
+  last : snapshot array;
+  mutable recoveries : int;
+}
+
+let backlog e =
+  Entity.undelivered_data e + Entity.pending_count e + Entity.queued_requests e
+
+let check t =
+  List.iter
+    (fun id ->
+      (* Fetch through the cluster each tick: a restart replaces the
+         entity object (and resets its counters). *)
+      let e = Cluster.entity t.cluster id in
+      let now = { backlog = backlog e; delivered = (Entity.metrics e).delivered;
+                  stalled_for = 0 }
+      in
+      let prev = t.last.(id) in
+      if
+        now.backlog > 0
+        && now.delivered <= prev.delivered
+        && now.backlog >= prev.backlog
+      then begin
+        let stalled_for = prev.stalled_for + 1 in
+        if stalled_for >= t.stall_intervals then begin
+          t.recoveries <- t.recoveries + 1;
+          Entity.kick e;
+          t.last.(id) <- { now with stalled_for = 0 }
+        end
+        else t.last.(id) <- { now with stalled_for }
+      end
+      else t.last.(id) <- now)
+    (Cluster.live_ids t.cluster)
+
+let install ~cluster ~period ?(stall_intervals = 3) ~until () =
+  if stall_intervals < 1 then invalid_arg "Watchdog.install: stall_intervals";
+  let n = Cluster.size cluster in
+  let t =
+    {
+      cluster;
+      stall_intervals;
+      last = Array.make n { backlog = 0; delivered = 0; stalled_for = 0 };
+      recoveries = 0;
+    }
+  in
+  Engine.every (Cluster.engine cluster) ~period ~until (fun () -> check t);
+  t
+
+let recoveries t = t.recoveries

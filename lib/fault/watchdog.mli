@@ -1,0 +1,31 @@
+(** Liveness watchdog over a simulated cluster.
+
+    Samples every live entity on a fixed period and watches for a stalled
+    receipt ladder: an entity with outstanding work (undelivered accepted
+    data, parked out-of-sequence PDUs, or flow-blocked requests) whose
+    delivered count has not advanced and whose backlog has not shrunk for
+    [stall_intervals] consecutive samples. Such an entity is
+    {!Repro_core.Entity.kick}ed — CTL broadcast (triggering peer
+    anti-entropy), RETs re-issued for known gaps, heartbeat re-armed —
+    and the recovery is counted.
+
+    The watchdog is pure recovery-forcing: a kick only performs actions
+    the protocol could have taken on its own, so it can never violate
+    safety; it turns "stalled until some timer eventually fires" into
+    "stalled at most [period * stall_intervals]". *)
+
+type t
+
+val install :
+  cluster:Repro_core.Cluster.t ->
+  period:Repro_sim.Simtime.t ->
+  ?stall_intervals:int ->
+  until:Repro_sim.Simtime.t ->
+  unit ->
+  t
+(** Arm the watchdog on the cluster's engine. [stall_intervals] defaults
+    to 3. The periodic check disarms itself after [until] so the engine
+    can drain to quiescence. *)
+
+val recoveries : t -> int
+(** Number of kicks issued so far. *)

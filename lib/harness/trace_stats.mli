@@ -11,6 +11,7 @@ type per_entity = {
   dropped_overrun : int;
   dropped_injected : int;
   dropped_filtered : int;
+  dropped_faulted : int;  (** Discarded by the chaos fault-injection hook. *)
   delivered : int;
   mean_sojourn_ms : float;
       (** Mean time a transmission spent between arriving in the inbox and
@@ -27,7 +28,7 @@ val loss_rate : per_entity -> float
 
 val total_drops : Repro_sim.Trace.t -> int
 
-val drop_breakdown : Repro_sim.Trace.t -> int * int * int
-(** (overrun, injected, filtered). *)
+val drop_breakdown : Repro_sim.Trace.t -> int * int * int * int
+(** (overrun, injected, filtered, faulted). *)
 
 val pp_per_entity : Format.formatter -> per_entity -> unit

@@ -1,12 +1,14 @@
 type error =
   | Truncated
   | Bad_kind of int
+  | Bad_checksum
   | Trailing of int
   | Invalid of string
 
 let pp_error ppf = function
   | Truncated -> Format.pp_print_string ppf "truncated"
   | Bad_kind k -> Format.fprintf ppf "bad kind byte %d" k
+  | Bad_checksum -> Format.pp_print_string ppf "bad checksum"
   | Trailing n -> Format.fprintf ppf "%d trailing bytes" n
   | Invalid msg -> Format.fprintf ppf "invalid: %s" msg
 
@@ -14,7 +16,21 @@ let kind_data = 0
 let kind_ret = 1
 let kind_ctl = 2
 
+(* Every datagram carries a 4-byte FNV-1a trailer over the body, so a
+   bit-flipped wire copy is rejected as [Bad_checksum] instead of being
+   parsed into a plausible-but-wrong PDU. *)
+let checksum_size = 4
+
+let fnv1a buf ~len =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to len - 1 do
+    h := (!h lxor Bytes.get_uint8 buf i) * 0x01000193 land 0xFFFFFFFF
+  done;
+  !h
+
 let header_size ~kind ~n =
+  checksum_size
+  +
   match kind with
   | `Data -> 1 + 4 + 2 + 4 + 4 + 2 + (4 * n) + 4
   | `Ret -> 1 + 4 + 2 + 2 + 4 + 4 + 2 + (4 * n)
@@ -72,6 +88,7 @@ let encode t =
     w16 wr c.src;
     w32 wr c.buf;
     w_ack wr c.ack);
+  w32 wr (fnv1a wr.buf ~len:(wr.w));
   assert (wr.w = Bytes.length wr.buf);
   wr.buf
 
@@ -101,6 +118,9 @@ let r32 rd =
 
 let r_ack rd =
   let n = r16 rd in
+  (* Guard before allocating: a hostile length field must not cost a 256KiB
+     transient array when the buffer cannot possibly hold the vector. *)
+  need rd (4 * n);
   Array.init n (fun _ -> r32 rd)
 
 let r_payload rd =
@@ -112,7 +132,11 @@ let r_payload rd =
   s
 
 let decode buf =
-  let rd = { rbuf = buf; r = 0 } in
+  (* Structural errors (truncation, bad kind, trailing bytes) are reported
+     before the checksum verdict so fuzzers and tests see the most specific
+     failure; the checksum is the last gate before [Ok]. *)
+  let body_len = Bytes.length buf - checksum_size in
+  let rd = { rbuf = (if body_len >= 1 then Bytes.sub buf 0 body_len else Bytes.empty); r = 0 } in
   match
     let kind = r8 rd in
     let pdu =
@@ -146,7 +170,11 @@ let decode buf =
     (pdu, rd.r)
   with
   | pdu, consumed ->
-    if consumed < Bytes.length buf then Error (Trailing (Bytes.length buf - consumed))
+    if consumed < body_len then Error (Trailing (body_len - consumed))
+    else if
+      fnv1a buf ~len:body_len
+      <> Int32.to_int (Bytes.get_int32_be buf body_len) land 0xFFFFFFFF
+    then Error Bad_checksum
     else Ok pdu
   | exception Short -> Error Truncated
   | exception Invalid_argument msg -> (

@@ -1,17 +1,22 @@
 (** Binary wire codec for PDUs.
 
-    Big-endian, length-checked. The encoding substantiates the paper's §5
-    claim that PDU length is O(n): the header carries the full n-component
-    ACK vector (4 bytes per component).
+    Big-endian, length-checked, checksummed. The encoding substantiates the
+    paper's §5 claim that PDU length is O(n): the header carries the full
+    n-component ACK vector (4 bytes per component). Every datagram ends with
+    a 4-byte FNV-1a checksum over the body, so corrupted wire copies are
+    rejected rather than parsed into plausible-but-wrong PDUs; [decode]
+    never raises on hostile input.
 
     Layout (DT): kind(1) cid(4) src(2) seq(4) buf(4) n(2) ack(4·n)
-    len(4) payload(len).
-    Layout (RET): kind(1) cid(4) src(2) lsrc(2) lseq(4) buf(4) n(2) ack(4·n).
-    Layout (CTL): kind(1) cid(4) src(2) buf(4) n(2) ack(4·n). *)
+    len(4) payload(len) cksum(4).
+    Layout (RET): kind(1) cid(4) src(2) lsrc(2) lseq(4) buf(4) n(2) ack(4·n)
+    cksum(4).
+    Layout (CTL): kind(1) cid(4) src(2) buf(4) n(2) ack(4·n) cksum(4). *)
 
 type error =
   | Truncated  (** Fewer bytes than the layout requires. *)
   | Bad_kind of int  (** Unknown kind byte. *)
+  | Bad_checksum  (** Well-formed but the FNV-1a trailer does not match. *)
   | Trailing of int  (** Extra bytes after a well-formed PDU. *)
   | Invalid of string  (** Structurally valid but violates PDU invariants. *)
 
@@ -27,5 +32,5 @@ val encoded_size : Pdu.t -> int
 (** Byte length {!encode} will produce, without encoding. *)
 
 val header_size : kind:[ `Data | `Ret | `Ctl ] -> n:int -> int
-(** Header bytes (everything except DT payload) for cluster size [n] —
-    linear in [n], which experiment E5 tabulates. *)
+(** Header bytes (everything except DT payload, checksum trailer included)
+    for cluster size [n] — linear in [n], which experiment E5 tabulates. *)

@@ -24,6 +24,8 @@ type 'a t = {
   trace : Trace.t;
   mutable next_uid : int;
   mutable drop_filter : (dst:int -> src:int -> 'a -> bool) option;
+  mutable fault_hook : (dst:int -> src:int -> 'a -> 'a list) option;
+  mutable service_hook : (dst:int -> Simtime.t -> Simtime.t) option;
   mutable sent_copies : int;
   mutable lost_copies : int;
 }
@@ -59,6 +61,8 @@ let create engine config =
     trace = Trace.create ();
     next_uid = 0;
     drop_filter = None;
+    fault_hook = None;
+    service_hook = None;
     sent_copies = 0;
     lost_copies = 0;
   }
@@ -82,6 +86,9 @@ let rec start_service t ep =
   | Some m ->
     ep.busy <- true;
     let d = t.config.service_time m.payload in
+    let d =
+      match t.service_hook with Some f -> f ~dst:ep.id d | None -> d
+    in
     Engine.schedule_after t.engine ~delay:d (fun () ->
         (* The head may only be [m]: arrivals go to the tail. *)
         (match Repro_util.Ring_buffer.pop ep.inbox with
@@ -94,40 +101,57 @@ let rec start_service t ep =
         | None -> ());
         start_service t ep)
 
+let enqueue_copy t ~dst (m : 'a inflight) =
+  let now = Engine.now t.engine in
+  let ep = t.endpoints.(dst) in
+  let filtered =
+    match t.drop_filter with
+    | Some f -> f ~dst ~src:m.src m.payload
+    | None -> false
+  in
+  if filtered then begin
+    t.lost_copies <- t.lost_copies + 1;
+    Trace.record t.trace (Dropped { time = now; dst; uid = m.uid; reason = Filtered })
+  end
+  else if Repro_util.Prng.bernoulli t.rng ~p:t.config.loss_prob then begin
+    t.lost_copies <- t.lost_copies + 1;
+    Trace.record t.trace (Dropped { time = now; dst; uid = m.uid; reason = Injected })
+  end
+  else if not (Repro_util.Ring_buffer.push ep.inbox m) then begin
+    (* Inbox full: the buffer-overrun loss of the MC service. *)
+    t.lost_copies <- t.lost_copies + 1;
+    Trace.record t.trace (Dropped { time = now; dst; uid = m.uid; reason = Overrun })
+  end
+  else begin
+    Trace.record t.trace (Arrived { time = now; dst; uid = m.uid });
+    if not ep.busy then start_service t ep
+  end
+
 let arrive t ~dst (m : 'a inflight) =
   let now = Engine.now t.engine in
   let ep = t.endpoints.(dst) in
   if dst = m.src then begin
     (* Lossless loopback: the sender already holds the PDU in its sending
        log, so its own copy bypasses the bounded inbox and is handled at
-       arrival time with no service delay. *)
+       arrival time with no service delay. Faults never apply to loopback —
+       a crashed sender stops transmitting at the source instead. *)
     Trace.record t.trace (Arrived { time = now; dst; uid = m.uid });
     Trace.record t.trace (Handled { time = now; dst; uid = m.uid });
     match ep.handler with Some h -> h ~src:m.src m.payload | None -> ()
   end
   else begin
-    let filtered =
-      match t.drop_filter with
-      | Some f -> f ~dst ~src:m.src m.payload
-      | None -> false
-    in
-    if filtered then begin
-      t.lost_copies <- t.lost_copies + 1;
-      Trace.record t.trace (Dropped { time = now; dst; uid = m.uid; reason = Filtered })
-    end
-    else if Repro_util.Prng.bernoulli t.rng ~p:t.config.loss_prob then begin
-      t.lost_copies <- t.lost_copies + 1;
-      Trace.record t.trace (Dropped { time = now; dst; uid = m.uid; reason = Injected })
-    end
-    else if not (Repro_util.Ring_buffer.push ep.inbox m) then begin
-      (* Inbox full: the buffer-overrun loss of the MC service. *)
-      t.lost_copies <- t.lost_copies + 1;
-      Trace.record t.trace (Dropped { time = now; dst; uid = m.uid; reason = Overrun })
-    end
-    else begin
-      Trace.record t.trace (Arrived { time = now; dst; uid = m.uid });
-      if not ep.busy then start_service t ep
-    end
+    match t.fault_hook with
+    | None -> enqueue_copy t ~dst m
+    | Some hook -> (
+      match hook ~dst ~src:m.src m.payload with
+      | [] ->
+        t.lost_copies <- t.lost_copies + 1;
+        Trace.record t.trace
+          (Dropped { time = now; dst; uid = m.uid; reason = Faulted })
+      | copies ->
+        (* One entry passes the copy through (possibly corrupted); extra
+           entries model datagram duplication. *)
+        List.iter (fun payload -> enqueue_copy t ~dst { m with payload }) copies)
   end
 
 let send_copy t ~src ~dst ~uid payload =
@@ -164,6 +188,10 @@ let available_buffer t id = Repro_util.Ring_buffer.available t.endpoints.(id).in
 
 let set_drop_filter t f = t.drop_filter <- Some f
 let clear_drop_filter t = t.drop_filter <- None
+let set_fault_hook t f = t.fault_hook <- Some f
+let clear_fault_hook t = t.fault_hook <- None
+let set_service_hook t f = t.service_hook <- Some f
+let clear_service_hook t = t.service_hook <- None
 
 let transmissions t = t.sent_copies
 let losses t = t.lost_copies

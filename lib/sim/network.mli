@@ -67,6 +67,25 @@ val set_drop_filter : 'a t -> (dst:int -> src:int -> 'a -> bool) -> unit
 
 val clear_drop_filter : 'a t -> unit
 
+val set_fault_hook : 'a t -> (dst:int -> src:int -> 'a -> 'a list) -> unit
+(** [set_fault_hook net f]: every non-loopback arriving copy is first mapped
+    through [f ~dst ~src m], which returns the list of copies actually
+    offered to the endpoint: [[]] discards it (recorded as [Faulted]), [[m]]
+    passes it through, a mangled payload models corruption and more than one
+    entry models duplication. The surviving copies then face the normal drop
+    filter, iid loss and bounded inbox. This is the injection point of the
+    chaos layer ({!Repro_fault.Injector}). Replaces any previous hook. *)
+
+val clear_fault_hook : 'a t -> unit
+
+val set_service_hook : 'a t -> (dst:int -> Simtime.t -> Simtime.t) -> unit
+(** [set_service_hook net f] transforms each per-message service interval:
+    the endpoint [dst] about to spend [d] serving a message spends
+    [f ~dst d] instead. Used by the chaos layer to model slow-entity
+    stalls. Replaces any previous hook. *)
+
+val clear_service_hook : 'a t -> unit
+
 val transmissions : 'a t -> int
 (** Total copies put on the medium so far (n per broadcast). *)
 

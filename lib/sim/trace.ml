@@ -1,4 +1,4 @@
-type drop_reason = Overrun | Injected | Filtered
+type drop_reason = Overrun | Injected | Filtered | Faulted
 
 type event =
   | Submitted of { time : Simtime.t; src : int; tag : int }
@@ -7,6 +7,8 @@ type event =
   | Dropped of { time : Simtime.t; dst : int; uid : int; reason : drop_reason }
   | Handled of { time : Simtime.t; dst : int; uid : int }
   | Delivered of { time : Simtime.t; entity : int; tag : int }
+  | Crashed of { time : Simtime.t; entity : int }
+  | Restarted of { time : Simtime.t; entity : int }
   | Note of { time : Simtime.t; entity : int; label : string }
 
 type t = { mutable rev_events : event list; mutable len : int }
@@ -30,7 +32,7 @@ let deliveries t ~entity =
     (function
       | Delivered d when d.entity = entity -> Some (d.time, d.tag)
       | Submitted _ | Sent _ | Arrived _ | Dropped _ | Handled _ | Delivered _
-      | Note _ ->
+      | Crashed _ | Restarted _ | Note _ ->
         None)
     (events t)
 
@@ -38,7 +40,8 @@ let submissions t =
   List.filter_map
     (function
       | Submitted s -> Some (s.time, s.src, s.tag)
-      | Sent _ | Arrived _ | Dropped _ | Handled _ | Delivered _ | Note _ ->
+      | Sent _ | Arrived _ | Dropped _ | Handled _ | Delivered _ | Crashed _
+      | Restarted _ | Note _ ->
         None)
     (events t)
 
@@ -46,7 +49,8 @@ let drops t =
   List.filter_map
     (function
       | Dropped d -> Some d.reason
-      | Submitted _ | Sent _ | Arrived _ | Handled _ | Delivered _ | Note _ ->
+      | Submitted _ | Sent _ | Arrived _ | Handled _ | Delivered _ | Crashed _
+      | Restarted _ | Note _ ->
         None)
     (events t)
 
@@ -54,6 +58,7 @@ let pp_reason ppf = function
   | Overrun -> Format.pp_print_string ppf "overrun"
   | Injected -> Format.pp_print_string ppf "injected"
   | Filtered -> Format.pp_print_string ppf "filtered"
+  | Faulted -> Format.pp_print_string ppf "faulted"
 
 let pp_event ppf = function
   | Submitted e ->
@@ -69,6 +74,10 @@ let pp_event ppf = function
   | Delivered e ->
     Format.fprintf ppf "%a DELIVERED entity=%d tag=%d" Simtime.pp e.time
       e.entity e.tag
+  | Crashed e ->
+    Format.fprintf ppf "%a CRASHED entity=%d" Simtime.pp e.time e.entity
+  | Restarted e ->
+    Format.fprintf ppf "%a RESTARTED entity=%d" Simtime.pp e.time e.entity
   | Note e ->
     Format.fprintf ppf "%a NOTE entity=%d %s" Simtime.pp e.time e.entity e.label
 
@@ -83,11 +92,13 @@ let reason_token = function
   | Overrun -> "overrun"
   | Injected -> "injected"
   | Filtered -> "filtered"
+  | Faulted -> "faulted"
 
 let reason_of_token = function
   | "overrun" -> Overrun
   | "injected" -> Injected
   | "filtered" -> Filtered
+  | "faulted" -> Faulted
   | s -> failwith (Printf.sprintf "unknown drop reason %S" s)
 
 let save t ~file =
@@ -111,6 +122,10 @@ let save t ~file =
             Printf.fprintf oc "handled %d %d %d\n" time dst uid
           | Delivered { time; entity; tag } ->
             Printf.fprintf oc "deliver %d %d %d\n" time entity tag
+          | Crashed { time; entity } ->
+            Printf.fprintf oc "crash %d %d\n" time entity
+          | Restarted { time; entity } ->
+            Printf.fprintf oc "restart %d %d\n" time entity
           | Note { time; entity; label } ->
             Printf.fprintf oc "note %d %d %S\n" time entity label)
         (events t))
@@ -141,6 +156,10 @@ let parse_line line =
   | "deliver" ->
     Scanf.sscanf rest " %d %d %d" (fun time entity tag ->
         Delivered { time; entity; tag })
+  | "crash" ->
+    Scanf.sscanf rest " %d %d" (fun time entity -> Crashed { time; entity })
+  | "restart" ->
+    Scanf.sscanf rest " %d %d" (fun time entity -> Restarted { time; entity })
   | "note" ->
     Scanf.sscanf rest " %d %d %S" (fun time entity label ->
         Note { time; entity; label })

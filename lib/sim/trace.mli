@@ -9,6 +9,9 @@ type drop_reason =
   | Overrun  (** Receiver inbox was full — the MC network's organic loss. *)
   | Injected  (** iid loss injection. *)
   | Filtered  (** Deterministic test drop-filter. *)
+  | Faulted
+      (** Discarded by the chaos fault-injection hook (partition, loss
+          burst, corruption, crash). *)
 
 type event =
   | Submitted of { time : Simtime.t; src : int; tag : int }
@@ -27,6 +30,11 @@ type event =
   | Delivered of { time : Simtime.t; entity : int; tag : int }
       (** Application-level delivery of a logical message [tag] (recorded by
           the protocol harness, not the network). *)
+  | Crashed of { time : Simtime.t; entity : int }
+      (** The entity crash-stopped: no sends, receives or deliveries may be
+          stamped for it until a matching [Restarted]. *)
+  | Restarted of { time : Simtime.t; entity : int }
+      (** The entity rejoined (checkpoint restore + catch-up). *)
   | Note of { time : Simtime.t; entity : int; label : string }
 
 type t

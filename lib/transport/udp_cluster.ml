@@ -28,6 +28,8 @@ type t = {
   mutable dropped : int;
   mutable decode_errors : int;
   mutable closed : bool;
+  mutable fault_hook : (dst:int -> src:int -> bytes -> bytes list) option;
+  mutable faulted : int;
   registry : Registry.t option;
   lifecycle : Lifecycle.t option;
 }
@@ -121,6 +123,8 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
       dropped = 0;
       decode_errors = 0;
       closed = false;
+      fault_hook = None;
+      faulted = 0;
       registry;
       lifecycle =
         Option.map (fun reg -> Lifecycle.create ~registry:reg ()) registry;
@@ -143,6 +147,12 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
            skew between entities; gettimeofday steps would surface as
            order_errors rather than bogus samples). *)
         let now () = now_us t in
+        let backoff_h =
+          Registry.histogram reg
+            ~help:"RET retry delay after each backoff step, microseconds"
+            ~name:"co_ret_backoff_us"
+            [ ("entity", string_of_int id) ]
+        in
         Entity.set_probe node.entity
           {
             Entity.on_submit =
@@ -172,6 +182,7 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
               (fun d ->
                 Lifecycle.deliver lc ~entity:id ~src:d.src ~seq:d.seq
                   ~now:(now ()));
+            on_ret_backoff = (fun delay -> Registry.observe backoff_h delay);
           })
       t.nodes
   | _ -> ());
@@ -194,6 +205,26 @@ let fire_due_timers t =
   done;
   !fired
 
+(* Datagrams carry no entity id outside the payload; recover the sender
+   from its bound source address (every entity sends from its own bound
+   socket). -1 when the sender is not one of ours. *)
+let src_of_addr t from =
+  let rec scan i =
+    if i >= t.n then -1
+    else if t.nodes.(i).addr = from then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let offer t node datagram =
+  if t.loss > 0. && Repro_util.Prng.bernoulli t.rng ~p:t.loss then
+    t.dropped <- t.dropped + 1
+  else begin
+    match Codec.decode datagram with
+    | Ok pdu -> Entity.receive node.entity pdu
+    | Error _ -> t.decode_errors <- t.decode_errors + 1
+  end
+
 let drain_socket t node =
   let got = ref false in
   let continue = ref true in
@@ -201,15 +232,18 @@ let drain_socket t node =
     match Unix.recvfrom node.socket t.buf 0 (Bytes.length t.buf) [] with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       continue := false
-    | len, _from ->
+    | len, from ->
       got := true;
-      if t.loss > 0. && Repro_util.Prng.bernoulli t.rng ~p:t.loss then
-        t.dropped <- t.dropped + 1
-      else begin
-        match Codec.decode (Bytes.sub t.buf 0 len) with
-        | Ok pdu -> Entity.receive node.entity pdu
-        | Error _ -> t.decode_errors <- t.decode_errors + 1
-      end
+      let datagram = Bytes.sub t.buf 0 len in
+      let copies =
+        match t.fault_hook with
+        | None -> [ datagram ]
+        | Some f ->
+          let copies = f ~dst:node.id ~src:(src_of_addr t from) datagram in
+          if copies = [] then t.faulted <- t.faulted + 1;
+          copies
+      in
+      List.iter (offer t node) copies
   done;
   !got
 
@@ -275,8 +309,11 @@ let port t i =
   | Unix.ADDR_INET (_, port) -> port
   | Unix.ADDR_UNIX _ -> invalid_arg "Udp_cluster.port: not an inet socket"
 
+let set_fault_hook t f = t.fault_hook <- Some f
+let clear_fault_hook t = t.fault_hook <- None
 let datagrams_sent t = t.sent
 let datagrams_dropped t = t.dropped
+let datagrams_faulted t = t.faulted
 let decode_errors t = t.decode_errors
 let lifecycle t = t.lifecycle
 

@@ -56,8 +56,26 @@ val port : t -> int -> int
 (** UDP port entity [i] is bound to on 127.0.0.1 (e.g. to point an external
     packet source, or a test injecting hostile datagrams, at it). *)
 
+val set_fault_hook : t -> (dst:int -> src:int -> bytes -> bytes list) -> unit
+(** [set_fault_hook t f]: every incoming datagram is first mapped through
+    [f ~dst ~src dg] ([src] is the sending entity resolved from the
+    datagram's source address, or [-1] if external), which returns the
+    copies actually processed: [[]] discards it, a mangled copy models
+    in-flight corruption (the decode path then rejects it via the codec
+    checksum, counted in {!decode_errors}), several copies model
+    duplication. This is the same contract as the simulator's
+    {!Repro_sim.Network.set_fault_hook}, so one
+    {!Repro_fault.Injector.on_datagram} closure serves both transports.
+    Replaces any previous hook. *)
+
+val clear_fault_hook : t -> unit
+
 val datagrams_sent : t -> int
 val datagrams_dropped : t -> int
+
+val datagrams_faulted : t -> int
+(** Datagrams the fault hook discarded outright. *)
+
 val decode_errors : t -> int
 
 val lifecycle : t -> Repro_obs.Lifecycle.t option

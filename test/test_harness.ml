@@ -172,8 +172,9 @@ let test_trace_stats_loss_rate () =
     (Trace_stats.loss_rate stats.(0))
 
 let test_trace_stats_breakdown () =
-  let o, i, f = Trace_stats.drop_breakdown (synthetic_trace ()) in
+  let o, i, f, x = Trace_stats.drop_breakdown (synthetic_trace ()) in
   check (Alcotest.triple int_t int_t int_t) "breakdown" (1, 1, 0) (o, i, f);
+  check int_t "no faulted drops" 0 x;
   check int_t "total" 2 (Trace_stats.total_drops (synthetic_trace ()))
 
 let test_trace_stats_on_real_run () =

@@ -142,10 +142,9 @@ let test_codec_golden_bytes () =
       (fun i -> Bytes.get_uint8 b i)))
   in
   check Alcotest.string "DT golden"
-    "000000000100020000000300000007000300000004000000050000000600000002hi6869"
-    (let b = Codec.encode pdu in
-     (* kind cid src seq buf n ack*3 len payload; compare prefix + suffix *)
-     hex (Bytes.sub b 0 (Bytes.length b - 2)) ^ "hi" ^ hex (Bytes.sub b (Bytes.length b - 2) 2))
+    "0000000001000200000003000000070003000000040000000500000006000000026869d22b422f"
+    (* kind cid src seq buf n ack*3 len payload cksum *)
+    (hex (Codec.encode pdu))
 
 let test_codec_pp_error () =
   let s = Format.asprintf "%a" Codec.pp_error (Codec.Bad_kind 3) in
@@ -217,6 +216,18 @@ let prop_codec_corruption_no_raise =
       Bytes.set_uint8 b (pos mod Bytes.length b) value;
       match Codec.decode b with Ok _ | Error _ -> true | exception _ -> false)
 
+let prop_codec_bitflip_detected =
+  QCheck.Test.make ~name:"every single-bit flip is a clean Error" ~count:500
+    QCheck.(pair arb_pdu (int_bound 100_000))
+    (fun (pdu, bit) ->
+      let b = Codec.encode pdu in
+      let bit = bit mod (8 * Bytes.length b) in
+      let byte = bit / 8 in
+      Bytes.set_uint8 b byte (Bytes.get_uint8 b byte lxor (1 lsl (bit mod 8)));
+      (* The FNV-1a trailer covers the whole body, so no flipped copy may
+         parse as a (different) valid PDU. *)
+      match Codec.decode b with Ok _ -> false | Error _ -> true | exception _ -> false)
+
 let prop_codec_garbage_no_raise =
   QCheck.Test.make ~name:"arbitrary bytes never raise" ~count:500
     QCheck.(string_of_size (QCheck.Gen.int_range 0 128))
@@ -263,6 +274,7 @@ let () =
               prop_codec_size;
               prop_codec_truncation_total;
               prop_codec_corruption_no_raise;
+              prop_codec_bitflip_detected;
               prop_codec_garbage_no_raise;
             ] );
     ]

@@ -111,6 +111,32 @@ let test_garbage_datagrams_ignored () =
   check int_t "real message still delivered" 1
     (List.length (Udp.deliveries t ~entity:1))
 
+(* The chaos injector speaks the same hook contract as the simulator: wire
+   it into the UDP transport and corrupt datagrams in flight. The codec
+   checksum must reject every mangled datagram (counted as decode errors)
+   and the RET machinery must still converge once the fault heals. *)
+let test_fault_injected_corruption () =
+  let t = Udp.create ~config:fast_config ~seed:11 ~n:3 () in
+  Fun.protect ~finally:(fun () -> Udp.close t) @@ fun () ->
+  let inj = Repro_fault.Injector.create ~n:3 ~seed:11 in
+  Udp.set_fault_hook t (Repro_fault.Injector.on_datagram inj);
+  Repro_fault.Injector.apply inj (Repro_fault.Plan.Corrupt 0.4);
+  for k = 1 to 3 do
+    Udp.submit t ~src:0 (Printf.sprintf "a%d" k);
+    Udp.submit t ~src:1 (Printf.sprintf "b%d" k)
+  done;
+  Udp.run_for t ~seconds:0.3;
+  Repro_fault.Injector.apply inj (Repro_fault.Plan.Corrupt 0.);
+  check bool_t "quiescent after heal" true
+    (Udp.run_until_quiescent t ~max_seconds:20.);
+  for e = 0 to 2 do
+    check int_t (Printf.sprintf "entity %d delivered all" e) 6
+      (List.length (Udp.deliveries t ~entity:e))
+  done;
+  let s = Repro_fault.Injector.stats inj in
+  check bool_t "corruption injected" true (s.corrupt_dropped > 0);
+  check bool_t "checksum rejected them" true (Udp.decode_errors t > 0)
+
 let test_close_is_idempotent () =
   let t = Udp.create ~n:2 () in
   Udp.close t;
@@ -127,6 +153,8 @@ let () =
           Alcotest.test_case "larger cluster" `Quick test_larger_cluster;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "garbage datagrams" `Quick test_garbage_datagrams_ignored;
+          Alcotest.test_case "injected corruption" `Slow
+            test_fault_injected_corruption;
           Alcotest.test_case "close idempotent" `Quick test_close_is_idempotent;
         ] );
     ]
