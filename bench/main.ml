@@ -817,6 +817,141 @@ let loss_sweep () =
     (List.length points)
 
 (* ------------------------------------------------------------------ *)
+(* Throughput: sustained wall-clock delivery rate of one entity's      *)
+(* receive path (accept -> PACK/CPI -> ACK/deliver), n=8. Peers feed   *)
+(* in-order PDU rounds whose ACK vectors lag [lag] rounds behind, so   *)
+(* the PRL holds ~ (n-1)*lag PDUs in steady state — the deferred-      *)
+(* confirmation regime where receipt-log operations dominate. The      *)
+(* entity's own confirmations are looped back so minAL/minPAL advance  *)
+(* exactly as the protocol would on a live MC segment.                 *)
+
+let throughput_config =
+  {
+    Config.default with
+    Config.defer = Config.Immediate;
+    window = 64;
+    initial_buf = 4096;
+    retain_arl = false;
+    anti_entropy = false;
+  }
+
+type throughput_result = {
+  tp_delivered : int;
+  tp_expected : int;
+  tp_elapsed_s : float;
+  tp_accepted : int;
+  tp_peak_buffered : int;
+  tp_cpi_fastpath : int;
+  tp_deliver_batches : int;
+}
+
+let throughput_run ~n ~per_source ~lag =
+  let delivered = ref 0 in
+  let loopback = Queue.create () in
+  let actions =
+    {
+      Entity.broadcast = (fun pdu -> Queue.push pdu loopback);
+      unicast = (fun ~dst:_ _ -> ());
+      deliver = (fun _ -> incr delivered);
+      now = (fun () -> 0);
+      set_timer = (fun ~delay:_ _ -> ());
+      available_buffer = (fun () -> 4096);
+    }
+  in
+  let e = Entity.create ~config:throughput_config ~id:0 ~n ~actions in
+  let mk ~src ~seq ~ack ~payload =
+    match Pdu.data ~cid:0 ~src ~seq ~ack ~buf:4096 ~payload with
+    | Pdu.Data d -> d
+    | Pdu.Ret _ | Pdu.Ctl _ -> assert false
+  in
+  let drain_loopback () =
+    while not (Queue.is_empty loopback) do
+      Entity.receive e (Queue.pop loopback)
+    done
+  in
+  (* Peer j's ACK vector in round [s]: it has accepted every one of our
+     broadcasts (component 0 = our next seq — confirmations are cheap to
+     return promptly), its own stream up to s (self convention), and other
+     peers' streams only up to s - lag (deferred confirmations). *)
+  let round ~s ~ack_others ~payload =
+    for j = 1 to n - 1 do
+      let ack = Array.make n ack_others in
+      ack.(0) <- Entity.seq_next e;
+      ack.(j) <- s;
+      Entity.receive e (Pdu.Data (mk ~src:j ~seq:s ~ack ~payload))
+    done;
+    drain_loopback ()
+  in
+  let t0 = Unix.gettimeofday () in
+  for s = 1 to per_source do
+    round ~s ~ack_others:(max 1 (s - lag)) ~payload:"x"
+  done;
+  (* Flush: empty (confirmation) rounds with fully caught-up ACK vectors
+     drain the lagged tail out of RRL/PRL. Confirmations do not re-trigger
+     the entity's own immediate confirmation, so a CTL per round prompts it
+     to keep flushing its REQ vector (raising its own AL/PAL row). *)
+  for r = 1 to lag + 2 do
+    let s = per_source + r in
+    round ~s ~ack_others:s ~payload:"";
+    let ack = Array.make n s in
+    ack.(0) <- Entity.seq_next e;
+    ack.(1) <- s + 1;
+    Entity.receive e (Pdu.ctl ~cid:0 ~src:1 ~ack ~buf:4096);
+    drain_loopback ()
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let m = Entity.metrics e in
+  {
+    tp_delivered = !delivered;
+    tp_expected = (n - 1) * per_source;
+    tp_elapsed_s = elapsed;
+    tp_accepted = m.Metrics.accepted;
+    tp_peak_buffered = m.Metrics.peak_buffered;
+    tp_cpi_fastpath = m.Metrics.cpi_fastpath;
+    tp_deliver_batches = m.Metrics.deliver_batches;
+  }
+
+let throughput_json ~mode ~n ~per_source ~lag (r : throughput_result) =
+  let rate = float_of_int r.tp_delivered /. r.tp_elapsed_s in
+  String.concat ","
+    [
+      Printf.sprintf "\"scenario\":\"throughput\"";
+      Printf.sprintf "\"mode\":%S" mode;
+      Printf.sprintf "\"n\":%d" n;
+      Printf.sprintf "\"per_source\":%d" per_source;
+      Printf.sprintf "\"lag\":%d" lag;
+      Printf.sprintf "\"delivered\":%d" r.tp_delivered;
+      Printf.sprintf "\"expected\":%d" r.tp_expected;
+      Printf.sprintf "\"elapsed_s\":%.6f" r.tp_elapsed_s;
+      Printf.sprintf "\"deliveries_per_s\":%.1f" rate;
+      Printf.sprintf "\"accepted\":%d" r.tp_accepted;
+      Printf.sprintf "\"peak_buffered\":%d" r.tp_peak_buffered;
+      Printf.sprintf "\"cpi_fastpath\":%d" r.tp_cpi_fastpath;
+      Printf.sprintf "\"deliver_batches\":%d" r.tp_deliver_batches;
+    ]
+
+let throughput_scenario ~mode () =
+  Report.header
+    (Printf.sprintf "throughput — sustained delivery rate, n=8 (%s mode)" mode);
+  let n = 8 in
+  let per_source = if mode = "smoke" then 1_000 else 10_000 in
+  let lag = 32 in
+  let r = throughput_run ~n ~per_source ~lag in
+  let rate = float_of_int r.tp_delivered /. r.tp_elapsed_s in
+  Printf.printf
+    "delivered %d/%d data PDUs in %.3fs — %.0f deliveries/s (accepted %d, \
+     peak buffered %d)\n"
+    r.tp_delivered r.tp_expected r.tp_elapsed_s rate r.tp_accepted
+    r.tp_peak_buffered;
+  let body = throughput_json ~mode ~n ~per_source ~lag r in
+  Out_channel.with_open_bin "BENCH_throughput.json" (fun oc ->
+      Out_channel.output_string oc ("{" ^ body ^ "}\n"));
+  Printf.printf "wrote BENCH_throughput.json\n\n"
+
+let throughput () = throughput_scenario ~mode:"full" ()
+let throughput_smoke () = throughput_scenario ~mode:"smoke" ()
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (wall clock, Bechamel).                             *)
 
 let micro () =
@@ -864,10 +999,18 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The artifact set: "json" alone yields every BENCH_*.json a CI run
+   tracks, so the throughput scenario (smoke depth) rides along with the
+   simulator-driven summaries. *)
+let json () =
+  json ();
+  throughput_smoke ()
+
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("micro", micro); ("json", json);
-    ("loss_sweep", loss_sweep) ]
+    ("loss_sweep", loss_sweep); ("throughput", throughput);
+    ("throughput_smoke", throughput_smoke) ]
 
 let () =
   let requested =
@@ -883,6 +1026,8 @@ let () =
       match List.assoc_opt name all with
       | Some f -> f ()
       | None ->
-        Printf.eprintf "unknown experiment %S (expected e1..e8, micro, json, loss_sweep)\n"
+        Printf.eprintf
+          "unknown experiment %S (expected e1..e8, micro, json, loss_sweep, \
+           throughput, throughput_smoke)\n"
           name)
     requested

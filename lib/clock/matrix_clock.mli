@@ -31,7 +31,9 @@ val row : t -> int -> int array
 (** Fresh copy of a row. *)
 
 val col_min : t -> int -> int
-(** [col_min m k] = min over rows j of [m.(j).(k)] — the paper's [min AL_k]. *)
+(** [col_min m k] = min over rows j of [m.(j).(k)] — the paper's [min AL_k].
+    Cached incrementally: O(1) unless an update since the last query touched
+    the column's minimal cell, then one O(n) rescan. *)
 
 val col_min_all : t -> int array
 (** All column minima at once. *)

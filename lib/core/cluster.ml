@@ -205,6 +205,7 @@ let create (config : config) =
                 (fun d ->
                   Lifecycle.deliver lc ~entity:id ~src:d.src ~seq:d.seq
                     ~now:(now ()));
+              on_deliver_batch = (fun size -> Lifecycle.deliver_batch lc ~size);
               on_ret_backoff = (fun delay -> Registry.observe backoff_h delay);
             }
         | _ -> ());

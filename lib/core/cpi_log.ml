@@ -1,0 +1,156 @@
+open Repro_pdu
+
+(* Circular growable array of PDUs in causality-preserved order, plus the
+   pointwise maximum [maxack] of every admitted entry's witness vector (its
+   ACK by default, see [insert]). [maxack] is monotone (never lowered on
+   dequeue): domination over departed entries is implied for any PDU that
+   could still legitimately arrive after them, and keeping it monotone makes
+   the fast-path test independent of drain timing. *)
+type t = {
+  mutable slots : Pdu.data option array;
+  mutable head : int;
+  mutable len : int;
+  maxack : int array;
+  mutable fastpath : int;
+  mutable slowpath : int;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Cpi_log.create: n must be > 0";
+  {
+    slots = Array.make 16 None;
+    head = 0;
+    len = 0;
+    maxack = Array.make n 0;
+    fastpath = 0;
+    slowpath = 0;
+  }
+
+let length t = t.len
+let fastpath_count t = t.fastpath
+let slowpath_count t = t.slowpath
+
+let top t = if t.len = 0 then None else t.slots.(t.head)
+
+let dequeue t =
+  if t.len = 0 then None
+  else begin
+    let x = t.slots.(t.head) in
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.slots;
+    t.len <- t.len - 1;
+    x
+  end
+
+let get t i =
+  match t.slots.((t.head + i) mod Array.length t.slots) with
+  | Some p -> p
+  | None -> assert false
+
+let to_list t = List.init t.len (get t)
+
+let note_witness t (w : int array) =
+  let k = min (Array.length w) (Array.length t.maxack) in
+  for i = 0 to k - 1 do
+    if w.(i) > t.maxack.(i) then t.maxack.(i) <- w.(i)
+  done
+
+(* Tail-append test: no admitted entry's witness admits having seen
+   (p.src, p.seq). The caller guarantees of the order relation that
+   [p ≺ q] implies [witness(q).(p.src) > p.seq] — exact for the paper's
+   one-hop Theorem 4.1 test with [witness = ACK] (a successor's sender had
+   accepted [p], so its REQ for [p.src] had passed [p]), and for the
+   Transitive reach closure with [witness = reach + 1] pointwise. Note the
+   raw ACK is NOT a valid witness for the transitive relation: an entity
+   can accept [r] (which saw [p]) without having accepted [p] itself, so
+   [p ≺ r ≺ q] with [q.ack.(p.src) <= p.seq] is reachable. If every
+   admitted witness has [w.(p.src) <= p.seq], nothing in the log can follow
+   [p] and the causality-preserved position is the tail. Only the [p.src]
+   component matters: the other components trail [maxack] whenever
+   confirmations lag (the steady state under deferral), which is exactly
+   why full pointwise domination would almost never fire. *)
+let tail_clear t (p : Pdu.data) =
+  let n = Array.length t.maxack in
+  Array.length p.ack = n && p.src >= 0 && p.src < n && p.seq >= t.maxack.(p.src)
+
+let grow t =
+  let cap = Array.length t.slots in
+  let slots' = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    slots'.(i) <- t.slots.((t.head + i) mod cap)
+  done;
+  t.slots <- slots';
+  t.head <- 0
+
+let append ?witness t (p : Pdu.data) =
+  if t.len = Array.length t.slots then grow t;
+  t.slots.((t.head + t.len) mod Array.length t.slots) <- Some p;
+  t.len <- t.len + 1;
+  note_witness t (match witness with Some w -> w | None -> p.ack)
+
+(* In-place insertion at log position [pos]: shift whichever side of the
+   split is shorter (near-head insertions — the steady state for lagged
+   PDUs, whose successors are already resident — move only the short
+   prefix). *)
+let insert_at t pos (p : Pdu.data) witness =
+  if t.len = Array.length t.slots then grow t;
+  let cap = Array.length t.slots in
+  if 2 * pos <= t.len then begin
+    let head' = (t.head + cap - 1) mod cap in
+    for i = 0 to pos - 1 do
+      t.slots.((head' + i) mod cap) <- t.slots.((t.head + i) mod cap)
+    done;
+    t.head <- head'
+  end
+  else
+    for i = t.len - 1 downto pos do
+      t.slots.((t.head + i + 1) mod cap) <- t.slots.((t.head + i) mod cap)
+    done;
+  t.slots.((t.head + pos) mod cap) <- Some p;
+  t.len <- t.len + 1;
+  note_witness t witness
+
+(* Slow path: the lenient reference insertion ([cpi_insert_lenient]),
+   re-derived position-first on the array. The reference (a) walks to the
+   first resident successor, (b) scans the rest for a predecessor — a
+   non-transitive relation (Direct mode) or a corrupt log can put one
+   there — and places the newcomer after the last such predecessor instead
+   (never raising). A transitive irreflexive relation cannot reach (b) on a
+   causality-preserved log: a predecessor at or past the first successor
+   position would give [r ≺ p ≺ slots[first_succ]], hence by transitivity a
+   later-precedes-earlier pair (or [r ≺ r]) already in the log. [transitive]
+   asserts that, letting the scan stop at the first successor. *)
+let insert_slow ?(precedes = Precedence.precedes) ~transitive t p witness =
+  let first_succ = ref (-1) in
+  let i = ref 0 in
+  while !first_succ < 0 && !i < t.len do
+    if precedes p (get t !i) then first_succ := !i;
+    incr i
+  done;
+  let pos =
+    if !first_succ < 0 then t.len
+    else if transitive then !first_succ
+    else begin
+      let last_pred = ref (-1) in
+      let j = ref (t.len - 1) in
+      while !last_pred < 0 && !j >= !first_succ do
+        if precedes (get t !j) p then last_pred := !j;
+        decr j
+      done;
+      if !last_pred >= 0 then !last_pred + 1 else !first_succ
+    end
+  in
+  insert_at t pos p witness
+
+let insert ?precedes ?(transitive = false) ?witness t (p : Pdu.data) =
+  let w = match witness with Some w -> w | None -> p.ack in
+  if tail_clear t p then begin
+    append ~witness:w t p;
+    t.fastpath <- t.fastpath + 1;
+    true
+  end
+  else begin
+    insert_slow ?precedes ~transitive t p w;
+    t.slowpath <- t.slowpath + 1;
+    false
+  end

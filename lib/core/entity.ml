@@ -26,6 +26,7 @@ type probe = {
   on_preack : Pdu.data -> unit;
   on_ack : Pdu.data -> unit;
   on_deliver : Pdu.data -> unit;
+  on_deliver_batch : int -> unit;
   on_ret_backoff : Simtime.t -> unit;
 }
 
@@ -38,6 +39,7 @@ let probe_nop =
     on_preack = ignore;
     on_ack = ignore;
     on_deliver = ignore;
+    on_deliver_batch = ignore;
     on_ret_backoff = ignore;
   }
 
@@ -70,8 +72,11 @@ type t = {
   last_ctl_to : Simtime.t array; (* anti-entropy rate limiting *)
   mutable last_send_at : Simtime.t; (* spacing clock for deferred empties *)
   mutable last_ctl_broadcast_at : Simtime.t;
-  headers : (int * int, int array) Hashtbl.t; (* accepted (src,seq) -> ACK *)
-  reach_memo : (int * int, int array) Hashtbl.t; (* (src,seq) -> reach *)
+  headers : int array option array array;
+      (* accepted (src, seq) -> ACK; seq-indexed growable per source. The
+         CPI slow path probes a resident's header per comparison, so this
+         must be an array read, not a hash lookup. *)
+  reach_memo : int array option array array; (* (src, seq) -> reach *)
   mutable undelivered : int; (* accepted data PDUs not yet acknowledged *)
   metrics : Metrics.t;
   mutable observers : (event -> unit) list;
@@ -118,8 +123,8 @@ let create ~config ~id ~n ~actions =
     last_ctl_to = Array.make n (-1_000_000_000);
     last_send_at = -1_000_000_000;
     last_ctl_broadcast_at = -1_000_000_000;
-    headers = Hashtbl.create 256;
-    reach_memo = Hashtbl.create 256;
+    headers = Array.init n (fun _ -> Array.make 64 None);
+    reach_memo = Array.init n (fun _ -> Array.make 64 None);
     undelivered = 0;
     metrics = Metrics.create ();
     observers = [];
@@ -135,6 +140,24 @@ let set_probe t p = t.probe <- Some p
 
 let minal t k = Matrix_clock.col_min t.al k
 let minpal t k = Matrix_clock.col_min t.pal k
+
+(* Per-source seq-indexed stores (headers, reach memo). Sequence numbers
+   start at 1 and the stores are never pruned, so a plain growable array
+   beats a hashtable on the lookup-heavy paths. *)
+let store_get store src seq =
+  let a = store.(src) in
+  if seq < Array.length a then a.(seq) else None
+
+let store_set store src seq v =
+  let a = store.(src) in
+  let len = Array.length a in
+  if seq >= len then begin
+    let a' = Array.make (max (seq + 1) (2 * len)) None in
+    Array.blit a 0 a' 0 len;
+    a'.(seq) <- Some v;
+    store.(src) <- a'
+  end
+  else a.(seq) <- Some v
 
 (* Lowest sequence number some PEER still expects from us. The flow window
    slides on this rather than on [minal t t.id]: our own AL row is always
@@ -157,11 +180,11 @@ let minal_peers t =
    into the ACK self field). Returns [None] while some transitive
    predecessor has not been accepted yet — the PACK action then defers the
    PDU, so every vector that is ever memoized is exact. *)
-let rec reach_opt t ((_, _) as key) =
-  match Hashtbl.find_opt t.reach_memo key with
+let rec reach_opt t ~src ~seq =
+  match store_get t.reach_memo src seq with
   | Some r -> Some r
   | None -> (
-    match Hashtbl.find_opt t.headers key with
+    match store_get t.headers src seq with
     | None -> None
     | Some ack -> (
       let r = Array.make t.n 0 in
@@ -170,7 +193,7 @@ let rec reach_opt t ((_, _) as key) =
         let base = ack.(m) - 1 in
         if base > r.(m) then r.(m) <- base;
         if base >= 1 then begin
-          match reach_opt t (m, base) with
+          match reach_opt t ~src:m ~seq:base with
           | Some pr ->
             for l = 0 to t.n - 1 do
               if pr.(l) > r.(l) then r.(l) <- pr.(l)
@@ -180,7 +203,7 @@ let rec reach_opt t ((_, _) as key) =
       done;
       match !complete with
       | true ->
-        Hashtbl.replace t.reach_memo key r;
+        store_set t.reach_memo src seq r;
         Some r
       | false -> None))
 
@@ -190,7 +213,7 @@ let rec reach_opt t ((_, _) as key) =
 let reach_ready t (p : Pdu.data) =
   match t.config.causality_mode with
   | Config.Direct -> true
-  | Config.Transitive -> reach_opt t (Pdu.key p) <> None
+  | Config.Transitive -> reach_opt t ~src:p.src ~seq:p.seq <> None
 
 (* The causality-precedence test used for CPI ordering. *)
 let precedes_current t (p : Pdu.data) (q : Pdu.data) =
@@ -199,7 +222,7 @@ let precedes_current t (p : Pdu.data) (q : Pdu.data) =
   | Config.Transitive ->
     if p.src = q.src then p.seq < q.seq
     else (
-      match reach_opt t (Pdu.key q) with
+      match reach_opt t ~src:q.src ~seq:q.seq with
       | Some r -> r.(p.src) >= p.seq
       | None -> Precedence.precedes p q)
 
@@ -450,7 +473,7 @@ let accept t (q : Pdu.data) =
   t.ret_backoff.(j) <- t.config.ret_retry_timeout;
   Matrix_clock.set_row t.al ~row:j q.ack;
   note_buf t ~peer:j q.buf;
-  Hashtbl.replace t.headers (Pdu.key q) q.ack;
+  store_set t.headers j q.seq q.ack;
   Logs.Receipt.rrl_enqueue t.logs ~src:j q;
   if not (Pdu.is_confirmation q) then begin
     t.undelivered <- t.undelivered + 1;
@@ -505,9 +528,15 @@ let handle_ret t (r : Pdu.ret) =
     let lo = r.ack.(t.id) in
     let hi = min r.lseq (lo + (2 * t.config.window)) in
     let pdus = Logs.Sending.range t.sl ~lo ~hi in
-    List.iter (fun (g : Pdu.data) -> t.actions.broadcast (Pdu.Data g)) pdus;
-    t.metrics.retransmitted <- t.metrics.retransmitted + List.length pdus;
-    notify t (Ret_answered { dst = r.src; count = List.length pdus })
+    let count =
+      List.fold_left
+        (fun k (g : Pdu.data) ->
+          t.actions.broadcast (Pdu.Data g);
+          k + 1)
+        0 pdus
+    in
+    t.metrics.retransmitted <- t.metrics.retransmitted + count;
+    notify t (Ret_answered { dst = r.src; count })
   end
 
 let handle_ctl t (c : Pdu.ctl) =
@@ -531,18 +560,53 @@ let pack_scan t =
     | Some Config.Skip_cpi_order -> fun _ _ -> false
     | Some Config.Skip_minpal_gate | None -> precedes_current t
   in
+  (* The reach closure is transitive by construction (and the Skip_cpi_order
+     relation trivially so); only the Direct one-hop test needs the lenient
+     full-suffix scan. *)
+  let transitive =
+    match t.config.fault with
+    | Some Config.Skip_cpi_order -> true
+    | Some Config.Skip_minpal_gate | None ->
+      t.config.causality_mode = Config.Transitive
+  in
+  (* Fast-path witness: the reach closure orders pairs the raw ACK does not
+     reveal (an entity can accept [r] without [r]'s own causal past), so in
+     Transitive mode [maxack] must accumulate [reach + 1], not the ACK —
+     see {!Cpi_log}. [reach_ready] already gated the PDU, so the vector is
+     memoized; the [None] fallback mirrors [precedes_current]'s own
+     degradation to the one-hop test. *)
+  let witness_of (p : Pdu.data) =
+    match (t.config.fault, t.config.causality_mode) with
+    | Some Config.Skip_cpi_order, _ | _, Config.Direct -> None
+    | (Some Config.Skip_minpal_gate | None), Config.Transitive -> (
+      match reach_opt t ~src:p.src ~seq:p.seq with
+      | Some r -> Some (Array.map (fun x -> x + 1) r)
+      | None -> None)
+  in
   for j = 0 to t.n - 1 do
+    (* AL is not touched inside this loop, so the gate is a loop constant. *)
+    let bound = minal t j in
+    let last_ack = ref None in
     let continue = ref true in
     while !continue do
       match Logs.Receipt.rrl_top t.logs ~src:j with
-      | Some p when p.seq < minal t j && reach_ready t p ->
+      | Some p when p.seq < bound && reach_ready t p ->
         ignore (Logs.Receipt.rrl_dequeue t.logs ~src:j);
-        Matrix_clock.set_row t.pal ~row:j p.ack;
-        Logs.Receipt.prl_insert ~precedes t.logs p;
+        if
+          Logs.Receipt.prl_insert ~precedes ~transitive ?witness:(witness_of p)
+            t.logs p
+        then t.metrics.cpi_fastpath <- t.metrics.cpi_fastpath + 1;
+        last_ack := Some p.ack;
         (match t.probe with None -> () | Some pr -> pr.on_preack p);
         notify t (Preacknowledged p)
       | Some _ | None -> continue := false
-    done
+    done;
+    (* Same-source ACK vectors are pointwise monotone in SEQ (the sender's
+       REQ only grows), so one PAL row update with the last drained PDU's
+       vector equals updating per PDU — the coalesced-PAL batching. *)
+    match !last_ack with
+    | Some ack -> Matrix_clock.set_row t.pal ~row:j ack
+    | None -> ()
   done
 
 (* ACK action (§4.5): PRL tops whose SEQ < minPAL_src are acknowledged and,
@@ -553,11 +617,13 @@ let ack_scan t =
     | Some Config.Skip_minpal_gate -> true
     | Some Config.Skip_cpi_order | None -> p.seq < minpal t p.src
   in
+  let batch = ref 0 in
   let continue = ref true in
   while !continue do
     match Logs.Receipt.prl_top t.logs with
     | Some p when ack_gate p ->
       ignore (Logs.Receipt.prl_dequeue t.logs);
+      incr batch;
       if t.config.retain_arl then Logs.Receipt.arl_enqueue t.logs p;
       if not (Pdu.is_confirmation p) then begin
         t.undelivered <- t.undelivered - 1;
@@ -570,7 +636,14 @@ let ack_scan t =
       (match t.probe with None -> () | Some pr -> pr.on_ack p);
       notify t (Acknowledged p)
     | Some _ | None -> continue := false
-  done
+  done;
+  (* PAL does not move inside the drain, so every acknowledgment one scan
+     produces is one batch: the size distribution is the batching telemetry
+     (co_deliver_batch_size). *)
+  if !batch > 0 then begin
+    t.metrics.deliver_batches <- t.metrics.deliver_batches + 1;
+    match t.probe with None -> () | Some pr -> pr.on_deliver_batch !batch
+  end
 
 (* A confirmation is useful only while some data PDU is still unacknowledged
    here: once everything is acknowledged everywhere this entity could learn
@@ -738,6 +811,11 @@ let kick t =
 
 (* Inspection *)
 
+(* Hashtbl iteration order is unspecified, but the signature digest, the
+   checkpoint format and [pending_seqs] all need a canonical one. *)
+let sorted_keys tbl =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
 (* Canonical digest of every behavior-relevant piece of mutable state: the
    model checker's notion of "same state". Excludes the observers, the
    derived reach memo-table and pure counters; includes the control-flow
@@ -784,9 +862,7 @@ let signature t =
   List.iter add_pdu (Logs.Receipt.prl_to_list t.logs);
   for j = 0 to t.n - 1 do
     addi (-4);
-    List.iter addi
-      (List.sort compare
-         (Hashtbl.fold (fun k _ acc -> k :: acc) t.pending.(j) []))
+    List.iter addi (sorted_keys t.pending.(j))
   done;
   addi (-5);
   Queue.iter
@@ -837,8 +913,7 @@ let metrics t = t.metrics
 let config t = t.config
 let rrl_list t ~src = Logs.Receipt.rrl_to_list t.logs ~src
 
-let pending_seqs t ~src =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.pending.(src) [])
+let pending_seqs t ~src = sorted_keys t.pending.(src)
 
 let set_step_checker t f = t.step_checker <- Some f
 
@@ -899,25 +974,29 @@ let checkpoint t =
   wpdus (Logs.Receipt.prl_to_list t.logs);
   wpdus (Logs.Receipt.arl_to_list t.logs);
   for j = 0 to t.n - 1 do
-    let seqs =
-      List.sort compare
-        (Hashtbl.fold (fun k _ acc -> k :: acc) t.pending.(j) [])
-    in
+    let seqs = sorted_keys t.pending.(j) in
     wi (List.length seqs);
     List.iter (fun s -> wpdu (Hashtbl.find t.pending.(j) s)) seqs
   done;
   wi (Queue.length t.dt_queue);
   Queue.iter wblock t.dt_queue;
-  wi (Hashtbl.length t.headers);
-  let header_keys =
-    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.headers [])
-  in
-  List.iter
-    (fun ((src, seq) as key) ->
-      wi src;
-      wi seq;
-      Array.iter wi (Hashtbl.find t.headers key))
-    header_keys;
+  (* Seq-indexed iteration is already (src, seq)-ascending — the order the
+     hashtable-era format fixed by sorting its keys. *)
+  let nh = ref 0 in
+  Array.iter
+    (Array.iter (function Some _ -> incr nh | None -> ()))
+    t.headers;
+  wi !nh;
+  for src = 0 to t.n - 1 do
+    Array.iteri
+      (fun seq -> function
+        | Some ack ->
+          wi src;
+          wi seq;
+          Array.iter wi ack
+        | None -> ())
+      t.headers.(src)
+  done;
   Buffer.contents b
 
 exception Corrupt of string
@@ -980,10 +1059,10 @@ let restore ~config ~actions blob =
       List.iter (Logs.Receipt.rrl_enqueue t.logs ~src:j) (rpdus ())
     done;
     (* PRL order is part of the service guarantee: append in saved order
-       rather than re-running CPI, whose tie-breaks need not be unique. *)
-    List.iter
-      (Logs.Receipt.prl_insert ~precedes:(fun _ _ -> false) t.logs)
-      (rpdus ());
+       rather than re-running CPI, whose tie-breaks need not be unique. The
+       appends happen after the header section below is read, so Transitive
+       restores can seed the fast-path witness from reach closures. *)
+    let prl_pdus = rpdus () in
     List.iter (Logs.Receipt.arl_enqueue t.logs) (rpdus ());
     for j = 0 to n - 1 do
       List.iter
@@ -998,9 +1077,25 @@ let restore ~config ~actions blob =
     for _ = 1 to nh do
       let src = ri () in
       let seq = ri () in
-      Hashtbl.replace t.headers (src, seq) (rrow ())
+      if src < 0 || src >= n || seq < 1 then
+        fail "header key (%d,%d) out of range" src seq;
+      store_set t.headers src seq (rrow ())
     done;
     if !pos <> len then fail "%d trailing bytes" (len - !pos);
+    (* As in [pack_scan]: in Transitive mode [maxack] must accumulate
+       reach + 1, or a post-restore fast-path append could land after a
+       transitive successor the raw ACKs do not reveal. *)
+    let witness_of (p : Pdu.data) =
+      match (config.Config.fault, config.Config.causality_mode) with
+      | Some Config.Skip_cpi_order, _ | _, Config.Direct -> None
+      | (Some Config.Skip_minpal_gate | None), Config.Transitive -> (
+        match reach_opt t ~src:p.src ~seq:p.seq with
+        | Some r -> Some (Array.map (fun x -> x + 1) r)
+        | None -> None)
+    in
+    List.iter
+      (fun p -> Logs.Receipt.prl_append ?witness:(witness_of p) t.logs p)
+      prl_pdus;
     (* Derived state: data PDUs accepted but not yet acknowledged sit in
        the RRLs and the PRL. *)
     let count_data ps =

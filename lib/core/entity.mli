@@ -57,6 +57,9 @@ type probe = {
   on_deliver : Repro_pdu.Pdu.data -> unit;
       (** Fires just before [actions.deliver], i.e. before [on_ack] for the
           same PDU (delivery is part of the acknowledgment action). *)
+  on_deliver_batch : int -> unit;
+      (** An ACK scan finished having acknowledged this many PDUs (> 0);
+          fires after their individual [on_ack] stamps. *)
   on_ret_backoff : Repro_sim.Simtime.t -> unit;
       (** A RET retry timer fired for a still-open gap; the argument is the
           new (backed-off) retry delay that will gate the next attempt. *)

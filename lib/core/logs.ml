@@ -55,68 +55,61 @@ module Sending = struct
 end
 
 module Receipt = struct
+  module Ring = Repro_util.Ring_buffer
+
+  (* Hot-path representation: RRL/ARL are growable ring buffers (acceptance
+     order is FIFO per source), the PRL is the indexed CPI structure with
+     its O(1) in-order append fast path. The paper-literal list forms
+     remain available as [Precedence.cpi_insert_reference] and the
+     differential suite keeps this module honest against them. *)
   type t = {
-    rrl : Pdu.data Repro_util.Fifo.t array;
-    mutable prl : Pdu.data list; (* causality-preserved, earliest first *)
-    mutable prl_len : int;
-    mutable arl : Pdu.data Repro_util.Fifo.t;
+    rrl : Pdu.data Ring.t array;
+    prl : Cpi_log.t;
+    arl : Pdu.data Ring.t;
   }
 
   let create ~n =
     if n <= 0 then invalid_arg "Logs.Receipt.create: n must be > 0";
     {
-      rrl = Array.make n Repro_util.Fifo.empty;
-      prl = [];
-      prl_len = 0;
-      arl = Repro_util.Fifo.empty;
+      rrl = Array.init n (fun _ -> Ring.create ~capacity:32);
+      prl = Cpi_log.create ~n;
+      arl = Ring.create ~capacity:64;
     }
 
-  let rrl_enqueue t ~src p = t.rrl.(src) <- Repro_util.Fifo.enqueue t.rrl.(src) p
+  let rrl_enqueue t ~src p = Ring.push_grow t.rrl.(src) p
 
-  let rrl_top t ~src = Repro_util.Fifo.peek t.rrl.(src)
+  let rrl_top t ~src = Ring.peek t.rrl.(src)
 
-  let rrl_dequeue t ~src =
-    match Repro_util.Fifo.dequeue t.rrl.(src) with
-    | None -> None
-    | Some (p, rest) ->
-      t.rrl.(src) <- rest;
-      Some p
+  let rrl_dequeue t ~src = Ring.pop t.rrl.(src)
 
-  let rrl_length t ~src = Repro_util.Fifo.length t.rrl.(src)
+  let rrl_length t ~src = Ring.length t.rrl.(src)
 
-  let rrl_to_list t ~src = Repro_util.Fifo.to_list t.rrl.(src)
+  let rrl_to_list t ~src = Ring.to_list t.rrl.(src)
 
-  let prl_insert ?precedes t p =
-    t.prl <- Precedence.cpi_insert_lenient ?precedes t.prl p;
-    t.prl_len <- t.prl_len + 1
+  let prl_insert ?precedes ?transitive ?witness t p =
+    Cpi_log.insert ?precedes ?transitive ?witness t.prl p
 
-  let prl_top t = match t.prl with [] -> None | p :: _ -> Some p
+  let prl_append ?witness t p = Cpi_log.append ?witness t.prl p
 
-  let prl_dequeue t =
-    match t.prl with
-    | [] -> None
-    | p :: rest ->
-      t.prl <- rest;
-      t.prl_len <- t.prl_len - 1;
-      Some p
+  let prl_top t = Cpi_log.top t.prl
 
-  let prl_length t = t.prl_len
+  let prl_dequeue t = Cpi_log.dequeue t.prl
 
-  let prl_to_list t = t.prl
+  let prl_length t = Cpi_log.length t.prl
 
-  let arl_enqueue t p = t.arl <- Repro_util.Fifo.enqueue t.arl p
+  let prl_to_list t = Cpi_log.to_list t.prl
 
-  let arl_dequeue t =
-    match Repro_util.Fifo.dequeue t.arl with
-    | None -> None
-    | Some (p, rest) ->
-      t.arl <- rest;
-      Some p
+  let cpi_fastpath t = Cpi_log.fastpath_count t.prl
 
-  let arl_length t = Repro_util.Fifo.length t.arl
+  let arl_enqueue t p = Ring.push_grow t.arl p
 
-  let arl_to_list t = Repro_util.Fifo.to_list t.arl
+  let arl_dequeue t = Ring.pop t.arl
+
+  let arl_length t = Ring.length t.arl
+
+  let arl_to_list t = Ring.to_list t.arl
 
   let buffered t =
-    Array.fold_left (fun acc q -> acc + Repro_util.Fifo.length q) t.prl_len t.rrl
+    Array.fold_left (fun acc q -> acc + Ring.length q) (Cpi_log.length t.prl)
+      t.rrl
 end

@@ -59,13 +59,24 @@ module Receipt : sig
   (** PRL operations. *)
 
   val prl_insert :
-    ?precedes:(Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool) -> t
-    -> Repro_pdu.Pdu.data -> unit
-  (** CPI insertion ({!Precedence.cpi_insert}). *)
+    ?precedes:(Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool)
+    -> ?transitive:bool -> ?witness:int array -> t -> Repro_pdu.Pdu.data
+    -> bool
+  (** CPI insertion ({!Cpi_log.insert}, lenient semantics). Returns [true]
+      when the O(1) in-order fast path applied; [transitive] and [witness]
+      are {!Cpi_log.insert}'s assertions about [precedes] (a transitive
+      relation needs [witness = reach + 1] for fast-path soundness). *)
+
+  val prl_append : ?witness:int array -> t -> Repro_pdu.Pdu.data -> unit
+  (** Unconditional tail append ({!Cpi_log.append}) — checkpoint restore
+      only, where the saved order is part of the service guarantee. *)
 
   val prl_top : t -> Repro_pdu.Pdu.data option
   val prl_dequeue : t -> Repro_pdu.Pdu.data option
   val prl_length : t -> int
+
+  val cpi_fastpath : t -> int
+  (** PRL insertions that took the O(1) fast path since creation. *)
 
   val prl_to_list : t -> Repro_pdu.Pdu.data list
   (** Earliest (next to acknowledge) first. *)

@@ -11,6 +11,8 @@ type t = {
   mutable gaps_detected : int;
   mutable delivered : int;
   mutable flow_blocked : int;
+  mutable cpi_fastpath : int;
+  mutable deliver_batches : int;
   mutable peak_buffered : int;
 }
 
@@ -28,6 +30,8 @@ let create () =
     gaps_detected = 0;
     delivered = 0;
     flow_blocked = 0;
+    cpi_fastpath = 0;
+    deliver_batches = 0;
     peak_buffered = 0;
   }
 
@@ -44,6 +48,8 @@ let reset t =
   t.gaps_detected <- 0;
   t.delivered <- 0;
   t.flow_blocked <- 0;
+  t.cpi_fastpath <- 0;
+  t.deliver_batches <- 0;
   t.peak_buffered <- 0
 
 let total_pdus_sent t =
@@ -62,6 +68,8 @@ let add ~into t =
   into.gaps_detected <- into.gaps_detected + t.gaps_detected;
   into.delivered <- into.delivered + t.delivered;
   into.flow_blocked <- into.flow_blocked + t.flow_blocked;
+  into.cpi_fastpath <- into.cpi_fastpath + t.cpi_fastpath;
+  into.deliver_batches <- into.deliver_batches + t.deliver_batches;
   into.peak_buffered <- max into.peak_buffered t.peak_buffered
 
 let fields t =
@@ -78,6 +86,8 @@ let fields t =
     ("gaps_detected", t.gaps_detected);
     ("delivered", t.delivered);
     ("flow_blocked", t.flow_blocked);
+    ("cpi_fastpath", t.cpi_fastpath);
+    ("deliver_batches", t.deliver_batches);
     ("peak_buffered", t.peak_buffered);
   ]
 
@@ -109,7 +119,9 @@ let to_registry t reg ~labels =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>data_sent=%d confirmations=%d ctl=%d ret=%d rexmit=%d retries=%d@,\
-     accepted=%d dup=%d ooo=%d gaps=%d delivered=%d blocked=%d peak_buf=%d@]"
+     accepted=%d dup=%d ooo=%d gaps=%d delivered=%d blocked=%d cpi_fast=%d@,\
+     batches=%d peak_buf=%d@]"
     t.data_sent t.confirmations_sent t.ctl_sent t.ret_sent t.retransmitted
     t.ret_retries t.accepted t.duplicates t.out_of_order t.gaps_detected
-    t.delivered t.flow_blocked t.peak_buffered
+    t.delivered t.flow_blocked t.cpi_fastpath t.deliver_batches
+    t.peak_buffered

@@ -19,6 +19,12 @@ type t = {
   mutable gaps_detected : int;  (** Failure-condition firings (F1 + F2). *)
   mutable delivered : int;  (** Data PDUs handed to the application. *)
   mutable flow_blocked : int;  (** DT requests queued by the flow condition. *)
+  mutable cpi_fastpath : int;
+      (** PRL insertions that took the O(1) domination fast path
+          ({!Cpi_log}) rather than the fallback list insertion. *)
+  mutable deliver_batches : int;
+      (** ACK scans that acknowledged at least one PDU — [delivered /
+          deliver_batches] approximates the mean delivery batch size. *)
   mutable peak_buffered : int;  (** Max RRL+PRL occupancy observed. *)
 }
 

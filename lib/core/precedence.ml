@@ -58,6 +58,13 @@ let cpi_insert_lenient ?(precedes = precedes) log p =
     in
     place [] log
 
+(* The list-walking implementations above are the paper-literal reference:
+   the indexed hot-path structure (Cpi_log) must be observationally
+   identical to folding these, and the differential property suite checks
+   exactly that. Keep them intact when optimizing — they are the oracle. *)
+let cpi_insert_reference ?precedes log p = cpi_insert ?precedes log p
+let cpi_insert_lenient_reference ?precedes log p = cpi_insert_lenient ?precedes log p
+
 let is_causality_preserved ?(precedes = precedes) log =
   let rec check = function
     | [] -> true

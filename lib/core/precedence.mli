@@ -41,6 +41,20 @@ val cpi_insert_lenient :
     the newcomer is then placed after its last predecessor — reproducing,
     rather than crashing on, the misordering the Direct test permits. *)
 
+val cpi_insert_reference :
+  ?precedes:(Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool)
+  -> Repro_pdu.Pdu.data list -> Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data list
+(** The paper-literal list-walking CPI — identical to {!cpi_insert}, kept
+    under a stable name as the oracle for the indexed {!Cpi_log} hot path:
+    the differential property suite folds this over random schedules and
+    requires the indexed structure to produce the same log. *)
+
+val cpi_insert_lenient_reference :
+  ?precedes:(Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool)
+  -> Repro_pdu.Pdu.data list -> Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data list
+(** Reference for {!cpi_insert_lenient}, same purpose as
+    {!cpi_insert_reference}. *)
+
 val is_causality_preserved :
   ?precedes:(Repro_pdu.Pdu.data -> Repro_pdu.Pdu.data -> bool)
   -> Repro_pdu.Pdu.data list -> bool

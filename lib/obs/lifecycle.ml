@@ -12,6 +12,7 @@ type t = {
   h_preack : Registry.histo;
   h_ack : Registry.histo;
   h_deliver : Registry.histo;
+  h_batch : Registry.histo;
 }
 
 let stage_help =
@@ -42,6 +43,12 @@ let create ?registry () =
     h_preack = stage "preack";
     h_ack = stage "ack";
     h_deliver = stage "deliver";
+    h_batch =
+      Registry.histogram reg
+        ~help:
+          "Acknowledgments drained per ACK scan (a count, not seconds): the \
+           coalescing the batched minPAL drain achieves"
+        ~name:"co_deliver_batch_size" [];
   }
 
 let registry t = t.reg
@@ -113,6 +120,9 @@ let ack t ~entity ~src ~seq ~data ~now =
     else t.close_errs <- t.close_errs + 1
   end;
   stage_latency t t.h_ack ~src ~seq ~now
+
+let deliver_batch t ~size =
+  if size > 0 then Registry.observe t.h_batch size
 
 let deliver t ~entity ~src ~seq ~now =
   (* Delivery happens inside acknowledgment, so the span must still be

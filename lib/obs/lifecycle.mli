@@ -55,6 +55,11 @@ val ack : t -> entity:int -> src:int -> seq:int -> data:bool -> now:int -> unit
 
 val deliver : t -> entity:int -> src:int -> seq:int -> now:int -> unit
 
+val deliver_batch : t -> size:int -> unit
+(** One ACK-scan drain acknowledged [size] PDUs in a row. Feeds the
+    [co_deliver_batch_size] histogram (a count, not a latency); zero-sized
+    scans are not recorded. *)
+
 (** {2 Results} *)
 
 type ladder = {

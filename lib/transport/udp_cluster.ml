@@ -182,6 +182,7 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
               (fun d ->
                 Lifecycle.deliver lc ~entity:id ~src:d.src ~seq:d.seq
                   ~now:(now ()));
+            on_deliver_batch = (fun size -> Lifecycle.deliver_batch lc ~size);
             on_ret_backoff = (fun delay -> Registry.observe backoff_h delay);
           })
       t.nodes

@@ -1,5 +1,5 @@
 type 'a t = {
-  capacity : int;
+  mutable capacity : int;
   mutable slots : 'a option array;
   mutable head : int; (* index of oldest element *)
   mutable len : int;
@@ -23,6 +23,22 @@ let push b x =
     b.len <- b.len + 1;
     true
   end
+
+let grow b =
+  let cap' = b.capacity * 2 in
+  let slots' = Array.make cap' None in
+  for i = 0 to b.len - 1 do
+    slots'.(i) <- b.slots.((b.head + i) mod b.capacity)
+  done;
+  b.slots <- slots';
+  b.capacity <- cap';
+  b.head <- 0
+
+let push_grow b x =
+  if is_full b then grow b;
+  let tail = (b.head + b.len) mod b.capacity in
+  b.slots.(tail) <- Some x;
+  b.len <- b.len + 1
 
 let pop b =
   if b.len = 0 then None

@@ -23,6 +23,13 @@ val push : 'a t -> 'a -> bool
 (** [push b x] appends [x] and returns [true], or returns [false] (overrun)
     when [b] is full. *)
 
+val push_grow : 'a t -> 'a -> unit
+(** [push_grow b x] appends [x], doubling the backing store when full —
+    amortized O(1). A buffer used this way is an unbounded deque (the
+    protocol's receipt logs), not a bounded-inbox model: [capacity],
+    [is_full] and [available] then describe the current backing store, not
+    a protocol limit. *)
+
 val pop : 'a t -> 'a option
 (** [pop b] removes and returns the oldest element. *)
 

@@ -181,8 +181,8 @@ let test_receipt_prl_causal_order () =
   let logs = Logs.Receipt.create ~n:3 in
   let a = d ~src:0 ~seq:1 ~ack:[| 1; 1; 1 |] () in
   let b = d ~src:1 ~seq:1 ~ack:[| 2; 1; 1 |] () in
-  Logs.Receipt.prl_insert logs b;
-  Logs.Receipt.prl_insert logs a;
+  ignore (Logs.Receipt.prl_insert logs b : bool);
+  ignore (Logs.Receipt.prl_insert logs a : bool);
   (* a ≺ b so a must surface first despite insertion order. *)
   match Logs.Receipt.prl_dequeue logs with
   | Some p -> check int_t "a first" 0 p.src
@@ -200,7 +200,7 @@ let test_receipt_buffered () =
   let logs = Logs.Receipt.create ~n:3 in
   Logs.Receipt.rrl_enqueue logs ~src:0 (d ~src:0 ~seq:1 ());
   Logs.Receipt.rrl_enqueue logs ~src:2 (d ~src:2 ~seq:1 ());
-  Logs.Receipt.prl_insert logs (d ~src:1 ~seq:1 ());
+  ignore (Logs.Receipt.prl_insert logs (d ~src:1 ~seq:1 ()) : bool);
   check int_t "rrl+prl" 3 (Logs.Receipt.buffered logs);
   Logs.Receipt.arl_enqueue logs (d ~src:1 ~seq:2 ());
   check int_t "arl not counted" 3 (Logs.Receipt.buffered logs)

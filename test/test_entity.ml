@@ -207,6 +207,51 @@ let test_ret_timer_stops_when_recovered () =
   fire_timers h;
   check int_t "no further RET" 1 (List.length (rets h))
 
+let test_overlapping_ret_ranges () =
+  (* Two peers request overlapping slices of the sending log: each RET is
+     answered with exactly its own range (the shared PDU goes out twice —
+     selective repeat tolerates duplicates), and the metric counts both. *)
+  let h, e = make ~id:0 () in
+  List.iter (fun s -> ignore (Entity.submit e s)) [ "a"; "b"; "c"; "d"; "e" ];
+  let sent_before = List.length h.sent in
+  Entity.receive e
+    (Pdu.ret ~cid:0 ~src:1 ~lsrc:0 ~lseq:4 ~ack:[| 1; 1; 1 |] ~buf:4);
+  Entity.receive e
+    (Pdu.ret ~cid:0 ~src:2 ~lsrc:0 ~lseq:5 ~ack:[| 3; 1; 1 |] ~buf:4);
+  let rebroadcast = List.filteri (fun i _ -> i >= sent_before) h.sent in
+  let seqs = List.map (fun p -> (data_of p).Pdu.seq) rebroadcast in
+  check (Alcotest.list int_t) "each RET answered with its own slice"
+    [ 1; 2; 3; 3; 4 ] seqs;
+  check int_t "metric counts both answers" 5
+    (Entity.metrics e).Metrics.retransmitted
+
+let test_overlapping_repairs_accept_once () =
+  (* The receiver side of the same overlap: gaps at 1-2 and 4 leave 3 and 5
+     pending; two repair bursts whose ranges overlap ([1..3] and [3..5])
+     must drain the sorted pending set exactly once per sequence number. *)
+  let _h, e = make ~id:0 () in
+  Entity.receive e (dt ~src:1 ~seq:3 ~ack:[| 1; 3; 1 |] ());
+  Entity.receive e (dt ~src:1 ~seq:5 ~ack:[| 1; 5; 1 |] ());
+  check (Alcotest.list int_t) "pending sorted" [ 3; 5 ]
+    (Entity.pending_seqs e ~src:1);
+  List.iter
+    (fun seq -> Entity.receive e (dt ~src:1 ~seq ~ack:[| 1; seq; 1 |] ()))
+    [ 1; 2; 3 ];
+  check (Alcotest.list int_t) "first repair drains through 3" [ 5 ]
+    (Entity.pending_seqs e ~src:1);
+  List.iter
+    (fun seq -> Entity.receive e (dt ~src:1 ~seq ~ack:[| 1; seq; 1 |] ()))
+    [ 3; 4; 5 ];
+  check (Alcotest.list int_t) "second repair drains the rest" []
+    (Entity.pending_seqs e ~src:1);
+  check int_t "REQ advanced past 5" 6 (Entity.req e).(1);
+  (* The tail 3 of the first burst and the 3 and 5 of the second are
+     overlap duplicates (their seqs had already been drained). *)
+  check int_t "overlap counted as duplicates, not re-accepted" 3
+    (Entity.metrics e).Metrics.duplicates;
+  check int_t "each PDU accepted exactly once" 5
+    (Entity.metrics e).Metrics.accepted
+
 (* --- Pre-acknowledgment and acknowledgment (§4.4, §4.5) --- *)
 
 (* Drive a 3-cluster from the viewpoint of entity 0 to a full acknowledgment
@@ -594,6 +639,10 @@ let () =
           Alcotest.test_case "RET other entity" `Quick test_ret_for_other_entity_ignored;
           Alcotest.test_case "RET retry" `Quick test_ret_timer_reissues;
           Alcotest.test_case "RET retry stops" `Quick test_ret_timer_stops_when_recovered;
+          Alcotest.test_case "overlapping RET ranges" `Quick
+            test_overlapping_ret_ranges;
+          Alcotest.test_case "overlapping repairs accept once" `Quick
+            test_overlapping_repairs_accept_once;
         ] );
       ( "atomicity",
         [

@@ -301,6 +301,7 @@ let test_spans_under_exploration () =
               (fun d ->
                 Lifecycle.deliver lc ~entity:id ~src:d.Pdu.src ~seq:d.Pdu.seq
                   ~now:0);
+            on_deliver_batch = (fun size -> Lifecycle.deliver_batch lc ~size);
             on_ret_backoff = ignore;
           })
       entities

@@ -131,6 +131,34 @@ let test_cpi_rejects_corrupt_log () =
     (Invalid_argument "Precedence.cpi_insert: log not causality-preserved")
     (fun () -> ignore (Precedence.cpi_insert [ e; a ] c))
 
+let test_cpi_lenient_tolerates_corrupt_log () =
+  (* Same corrupt log: the lenient variant must not raise, and places the
+     newcomer after its last resident predecessor (a). *)
+  let log = Precedence.cpi_insert_lenient [ e; a ] c in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "after last predecessor" (keys [ e; a; c ]) (keys log)
+
+let test_cpi_lenient_direct_nontransitive () =
+  (* The one-hop Direct relation is not transitive: with x ≺ p ≺ y but not
+     x ≺ y, the log ⟨y x⟩ is Direct-preserved, yet inserting p finds its
+     first successor (y) BEFORE a predecessor (x). Strict insertion must
+     reject that; lenient insertion places p after x, reproducing the
+     misordering the Direct test permits rather than crashing. *)
+  let x = d ~src:0 ~seq:1 ~ack:[| 1; 1; 1 |] () in
+  let p = d ~src:1 ~seq:1 ~ack:[| 2; 1; 1 |] () in
+  let y = d ~src:2 ~seq:1 ~ack:[| 1; 2; 1 |] () in
+  check bool_t "x ≺ p" true (Precedence.precedes x p);
+  check bool_t "p ≺ y" true (Precedence.precedes p y);
+  check bool_t "not x ≺ y (non-transitive)" false (Precedence.precedes x y);
+  check bool_t "⟨y x⟩ is Direct-preserved" true
+    (Precedence.is_causality_preserved [ y; x ]);
+  Alcotest.check_raises "strict insert rejects"
+    (Invalid_argument "Precedence.cpi_insert: log not causality-preserved")
+    (fun () -> ignore (Precedence.cpi_insert [ y; x ] p));
+  let log = Precedence.cpi_insert_lenient [ y; x ] p in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "lenient places after last predecessor" (keys [ y; x; p ]) (keys log)
+
 let test_is_causality_preserved () =
   check bool_t "good log" true (Precedence.is_causality_preserved [ a; c; b; dd; e ]);
   check bool_t "bad log" false (Precedence.is_causality_preserved [ dd; c ]);
@@ -198,7 +226,7 @@ let gen_trace n steps seed =
 
 let prop_theorem41_sound =
   QCheck.Test.make ~name:"Theorem 4.1 order implies real happened-before"
-    ~count:60
+    ~count:1000
     QCheck.(int_bound 100000)
     (fun seed ->
       let pdus, causality, tag = gen_trace 4 60 seed in
@@ -215,7 +243,7 @@ let prop_theorem41_sound =
 let prop_cpi_preserves =
   QCheck.Test.make
     ~name:"CPI with the true (transitive) relation keeps the log preserved"
-    ~count:60
+    ~count:1000
     QCheck.(int_bound 100000)
     (fun seed ->
       let pdus, causality, tag = gen_trace 4 60 seed in
@@ -230,7 +258,7 @@ let prop_cpi_preserves =
 
 let prop_cpi_lenient_never_raises =
   QCheck.Test.make
-    ~name:"lenient CPI never raises, even with the Direct relation" ~count:60
+    ~name:"lenient CPI never raises, even with the Direct relation" ~count:1000
     QCheck.(int_bound 100000)
     (fun seed ->
       let pdus, _, _ = gen_trace 4 60 seed in
@@ -238,6 +266,94 @@ let prop_cpi_lenient_never_raises =
         List.fold_left (fun acc p -> Precedence.cpi_insert_lenient acc p) [] pdus
       in
       List.length log = List.length pdus)
+
+(* --- Lemma 4.2 on generated causal histories ---
+
+   Lemma 4.2's pointwise ACK monotonicity assumes causally-gated histories:
+   an entity accepts a PDU only once the PDU's whole causal past is accepted
+   locally (its REQ pointwise dominates the PDU's ACK). [gen_trace] above
+   deliberately does NOT gate — per-source FIFO alone permits accepting [r]
+   without [r]'s cross-source past, the very histories the Transitive-mode
+   fast path needed a reach witness for — so the Lemma props use this gated
+   variant. *)
+let gen_causal_trace n steps seed =
+  let rng = Repro_util.Prng.create ~seed in
+  let minis = Array.init n (fun _ -> { req = Array.make n 1; next = 1 }) in
+  let pdus = Hashtbl.create 64 in
+  let all = ref [] in
+  for _ = 1 to steps do
+    let actor = Repro_util.Prng.int rng n in
+    let m = minis.(actor) in
+    if Repro_util.Prng.bool rng then begin
+      let ack = Array.copy m.req in
+      ack.(actor) <- m.next;
+      let p = d ~src:actor ~seq:m.next ~ack () in
+      Hashtbl.replace pdus (actor, m.next) p;
+      all := p :: !all;
+      m.next <- m.next + 1;
+      m.req.(actor) <- m.next
+    end
+    else begin
+      let src = Repro_util.Prng.int rng n in
+      if src <> actor then begin
+        let seq = m.req.(src) in
+        match Hashtbl.find_opt pdus (src, seq) with
+        | Some (p : Pdu.data) ->
+          let past_accepted = ref true in
+          Array.iteri
+            (fun k a -> if k <> src && m.req.(k) < a then past_accepted := false)
+            p.ack;
+          if !past_accepted then m.req.(src) <- seq + 1
+        | None -> ()
+      end
+    end
+  done;
+  List.rev !all
+
+let prop_lemma42_on_causal_histories =
+  QCheck.Test.make
+    ~name:"Lemma 4.2: ack_consistent holds for every pair of a gated history"
+    ~count:1000
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let pdus = gen_causal_trace 4 60 seed in
+      List.for_all
+        (fun p -> List.for_all (Precedence.ack_consistent p) pdus)
+        pdus)
+
+let prop_lemma42_detects_mutation =
+  QCheck.Test.make
+    ~name:
+      "Lemma 4.2: lowering an unrelated ACK component of a successor is \
+       detected" ~count:1000
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let pdus = gen_causal_trace 4 60 seed in
+      (* For every ordered cross-source pair and every third component that
+         can legally be lowered (ACKs stay >= 1), dropping q.ack.(k) below
+         p.ack.(k) leaves p ≺ q intact (and q's self-ack untouched) but must
+         flip the verdict. *)
+      let ok = ref true in
+      List.iter
+        (fun (p : Pdu.data) ->
+          List.iter
+            (fun (q : Pdu.data) ->
+              if p.src <> q.src && Precedence.precedes p q then
+                List.iter
+                  (fun k ->
+                    if k <> p.src && k <> q.src && p.ack.(k) >= 2 then begin
+                      let ack' = Array.copy q.ack in
+                      ack'.(k) <- p.ack.(k) - 1;
+                      let q' = d ~src:q.src ~seq:q.seq ~ack:ack' () in
+                      if
+                        (not (Precedence.precedes p q'))
+                        || Precedence.ack_consistent p q'
+                      then ok := false
+                    end)
+                  [ 0; 1; 2; 3 ])
+            pdus)
+        pdus;
+      !ok)
 
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
@@ -259,7 +375,10 @@ let () =
             test_ack_consistent_detects_violation;
           Alcotest.test_case "vacuous when unordered" `Quick
             test_ack_consistent_trivial_when_unordered;
-        ] );
+        ]
+        @ qsuite
+            [ prop_lemma42_on_causal_histories; prop_lemma42_detects_mutation ]
+      );
       ( "cpi",
         [
           Alcotest.test_case "example 4.1 order" `Quick test_cpi_example_4_1;
@@ -268,6 +387,10 @@ let () =
           Alcotest.test_case "concurrent tail bias" `Quick
             test_cpi_concurrent_goes_after;
           Alcotest.test_case "rejects corrupt log" `Quick test_cpi_rejects_corrupt_log;
+          Alcotest.test_case "lenient tolerates corrupt log" `Quick
+            test_cpi_lenient_tolerates_corrupt_log;
+          Alcotest.test_case "lenient Direct non-transitive placement" `Quick
+            test_cpi_lenient_direct_nontransitive;
           Alcotest.test_case "is_causality_preserved" `Quick
             test_is_causality_preserved;
           Alcotest.test_case "sort_causal" `Quick test_sort_causal;
