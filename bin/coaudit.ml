@@ -1,0 +1,205 @@
+(* coaudit — domain-safety and protocol static analysis for the CO repo.
+
+   Three modes:
+     coaudit report [--format text|json] [--baseline FILE]
+       Full mutable-state inventory (classified domain-confined /
+       needs-atomic / needs-lock) plus protocol lint findings. With
+       --baseline, exits 1 when findings exceed the baseline.
+     coaudit check --baseline analysis/audit_baseline.json
+       The CI gate: diff unwaived findings against the committed
+       baseline; any new finding fails.
+     coaudit baseline [-o FILE]
+       Regenerate the baseline from the current tree, carrying over
+       existing "why" annotations for surviving entries.
+
+   Exit codes: 0 clean, 1 new findings, 2 unusable input (parse or
+   baseline errors). *)
+
+module Audit = Repro_analysis.Audit
+module Baseline = Repro_analysis.Baseline
+module Finding = Repro_analysis.Finding
+module Jsonx = Repro_analysis.Jsonx
+module Outfmt = Repro_analysis.Outfmt
+open Cmdliner
+
+let config root dirs entries =
+  let base = Audit.default_config ~root in
+  {
+    base with
+    Audit.dirs = (if dirs = [] then base.Audit.dirs else dirs);
+    entries = (if entries = [] then base.Audit.entries else entries);
+  }
+
+let load_baseline = function
+  | None -> Ok None
+  | Some file -> (
+    match Baseline.load file with
+    | Ok b -> Ok (Some b)
+    | Error msg -> Error (Printf.sprintf "baseline %s: %s" file msg))
+
+let with_report root dirs entries k =
+  let report = Audit.run (config root dirs entries) in
+  if report.Audit.parse_errors <> [] then begin
+    List.iter
+      (fun (rel, msg) -> Printf.eprintf "coaudit: %s: %s\n" rel msg)
+      report.Audit.parse_errors;
+    2
+  end
+  else k report
+
+let fresh_json fresh =
+  Jsonx.List (List.map Finding.to_json fresh)
+
+let report_cmd root dirs entries baseline format =
+  match load_baseline baseline with
+  | Error msg ->
+    Printf.eprintf "coaudit: %s\n" msg;
+    2
+  | Ok baseline ->
+    with_report root dirs entries (fun report ->
+        Outfmt.print format
+          ~text:(fun () -> Audit.render_text report)
+          ~json:(fun () -> Audit.to_json report);
+        match baseline with
+        | None -> 0
+        | Some b ->
+          let o = Audit.check ~baseline:b report in
+          if o.Audit.fresh = [] then 0 else 1)
+
+let check_cmd root dirs entries baseline_file format =
+  match Baseline.load baseline_file with
+  | Error msg ->
+    Printf.eprintf "coaudit: baseline %s: %s\n" baseline_file msg;
+    2
+  | Ok baseline ->
+    with_report root dirs entries (fun report ->
+        let o = Audit.check ~baseline report in
+        let ok = o.Audit.fresh = [] in
+        Outfmt.print format
+          ~text:(fun () ->
+            let b = Buffer.create 512 in
+            List.iter
+              (fun f ->
+                Buffer.add_string b
+                  (Format.asprintf "NEW %a@." Finding.pp f))
+              o.Audit.fresh;
+            List.iter
+              (fun (e : Baseline.entry) ->
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "stale baseline entry (prune with 'coaudit \
+                      baseline'): %s\n"
+                     e.Baseline.key))
+              o.Audit.stale;
+            Buffer.add_string b
+              (Printf.sprintf
+                 "coaudit: %d findings checked against %s: %d new, %d \
+                  stale\n"
+                 o.Audit.checked baseline_file
+                 (List.length o.Audit.fresh)
+                 (List.length o.Audit.stale));
+            Buffer.contents b)
+          ~json:(fun () ->
+            Jsonx.Obj
+              [
+                ("checked", Jsonx.Int o.Audit.checked);
+                ("new_findings", fresh_json o.Audit.fresh);
+                ( "stale",
+                  Jsonx.List
+                    (List.map
+                       (fun (e : Baseline.entry) ->
+                         Jsonx.String e.Baseline.key)
+                       o.Audit.stale) );
+                ("ok", Jsonx.Bool ok);
+              ]);
+        if ok then 0 else 1)
+
+let baseline_cmd root dirs entries out =
+  with_report root dirs entries (fun report ->
+      let old =
+        match Baseline.load out with Ok b -> b | Error _ -> Baseline.empty
+      in
+      let b = Baseline.of_findings ~old (Audit.unwaived report) in
+      Baseline.save out b;
+      Printf.printf "coaudit: wrote %s (%d entries)\n" out
+        (List.length b.Baseline.entries);
+      0)
+
+let root_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to audit.")
+
+let dirs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Subdirectory to scan, relative to --root (repeatable; default \
+           lib and bin).")
+
+let entries_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "entry" ] ~docv:"MODULE"
+        ~doc:
+          "Cross-domain entry-point module basename (repeatable; default \
+           Cluster, Udp_cluster, Registry).")
+
+let baseline_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:"Baseline to diff against (report exits 1 on new findings).")
+
+let baseline_req_arg =
+  Arg.(
+    value
+    & opt string "analysis/audit_baseline.json"
+    & info [ "baseline" ] ~docv:"FILE" ~doc:"Committed baseline to gate on.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "analysis/audit_baseline.json"
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the baseline.")
+
+let report_term =
+  Term.(
+    const report_cmd $ root_arg $ dirs_arg $ entries_arg $ baseline_opt_arg
+    $ Outfmt.term)
+
+let check_term =
+  Term.(
+    const check_cmd $ root_arg $ dirs_arg $ entries_arg $ baseline_req_arg
+    $ Outfmt.term)
+
+let baseline_term =
+  Term.(const baseline_cmd $ root_arg $ dirs_arg $ entries_arg $ out_arg)
+
+let cmds =
+  [
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Inventory and classify every mutable-state site; run the \
+            protocol lints.")
+      report_term;
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:"Gate: fail on any finding not in the committed baseline.")
+      check_term;
+    Cmd.v
+      (Cmd.info "baseline" ~doc:"Regenerate the committed baseline.")
+      baseline_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "coaudit" ~version:"1.0"
+      ~doc:
+        "Domain-safety and protocol static analysis for the CO protocol \
+         repo"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

@@ -12,6 +12,9 @@
        line format, declared types, no NaN or negative counters, monotone
        cumulative histogram buckets.
 
+   Every mode takes --format (text|json) — shared with coaudit — so both
+   tools are scriptable the same way.
+
    Exit codes: 0 clean, 1 violation found, 2 unusable input or truncated
    (incomplete) exploration. *)
 
@@ -19,28 +22,54 @@ module Explorer = Repro_check.Explorer
 module Trace_lint = Repro_check.Trace_lint
 module Trace = Repro_sim.Trace
 module Config = Repro_core.Config
+module Jsonx = Repro_analysis.Jsonx
+module Outfmt = Repro_analysis.Outfmt
 open Cmdliner
 
-let trace_cmd file complete n =
+let trace_cmd file complete n format =
   match Trace.load ~file with
   | Error msg ->
     Printf.eprintf "colint: %s\n" msg;
     2
-  | Ok trace -> (
+  | Ok trace ->
     let n = if n = 0 then None else Some n in
-    match Trace_lint.lint_trace ~complete ?n trace with
-    | [] ->
-      Printf.printf "colint: %d events, no issues\n" (Trace.length trace);
-      0
-    | first :: _ as issues ->
-      List.iter (fun i -> Format.printf "%a@." Trace_lint.pp_issue i) issues;
-      Printf.printf
-        "colint: %d issue(s); first violating prefix ends at event %d of %d\n"
-        (List.length issues) first.Trace_lint.index (Trace.length trace);
-      1)
+    let issues = Trace_lint.lint_trace ~complete ?n trace in
+    Outfmt.print format
+      ~text:(fun () ->
+        match issues with
+        | [] ->
+          Printf.sprintf "colint: %d events, no issues\n" (Trace.length trace)
+        | first :: _ ->
+          String.concat ""
+            (List.map
+               (fun i -> Format.asprintf "%a@." Trace_lint.pp_issue i)
+               issues)
+          ^ Printf.sprintf
+              "colint: %d issue(s); first violating prefix ends at event \
+               %d of %d\n"
+              (List.length issues) first.Trace_lint.index
+              (Trace.length trace))
+      ~json:(fun () ->
+        Jsonx.Obj
+          [
+            ("events", Jsonx.Int (Trace.length trace));
+            ( "issues",
+              Jsonx.List
+                (List.map
+                   (fun (i : Trace_lint.issue) ->
+                     Jsonx.Obj
+                       [
+                         ("index", Jsonx.Int i.Trace_lint.index);
+                         ("entity", Jsonx.Int i.Trace_lint.entity);
+                         ("message", Jsonx.String i.Trace_lint.message);
+                       ])
+                   issues) );
+            ("ok", Jsonx.Bool (issues = []));
+          ]);
+    if issues = [] then 0 else 1
 
 let explore_cmd n broadcasts drops fires max_states max_depth fault defer
-    no_por =
+    no_por format =
   match
     match (fault, defer) with
     | "none", _ -> Ok None
@@ -81,33 +110,71 @@ let explore_cmd n broadcasts drops fires max_states max_depth fault defer
     in
     let t0 = Sys.time () in
     let o = Explorer.run cfg in
-    Format.printf "%a@." Explorer.pp_outcome o;
-    Printf.printf
-      "(n=%d broadcasts=%d drops<=%d fires<=%d defer=%s por=%b fault=%s, \
-       %.1fs cpu)\n"
-      n broadcasts drops fires defer (not no_por)
-      (match fault with
+    let fault_name =
+      match fault with
       | None -> "none"
       | Some Config.Skip_minpal_gate -> "skip-minpal"
-      | Some Config.Skip_cpi_order -> "skip-cpi")
-      (Sys.time () -. t0);
+      | Some Config.Skip_cpi_order -> "skip-cpi"
+    in
+    Outfmt.print format
+      ~text:(fun () ->
+        Format.asprintf "%a@." Explorer.pp_outcome o
+        ^ Printf.sprintf
+            "(n=%d broadcasts=%d drops<=%d fires<=%d defer=%s por=%b \
+             fault=%s, %.1fs cpu)\n"
+            n broadcasts drops fires defer (not no_por) fault_name
+            (Sys.time () -. t0))
+      ~json:(fun () ->
+        Jsonx.Obj
+          [
+            ("states", Jsonx.Int o.Explorer.states);
+            ("transitions", Jsonx.Int o.Explorer.transitions);
+            ("max_depth_seen", Jsonx.Int o.Explorer.max_depth_seen);
+            ("truncated", Jsonx.Bool o.Explorer.truncated);
+            ( "violation",
+              match o.Explorer.violation with
+              | None -> Jsonx.Null
+              | Some v ->
+                Jsonx.String
+                  (Format.asprintf "%a" Repro_check.Invariants.pp_violation
+                     v.Explorer.violation) );
+            ("fault", Jsonx.String fault_name);
+          ]);
     if o.Explorer.violation <> None then 1 else if o.Explorer.truncated then 2
     else 0
 
-let metrics_cmd file =
+let metrics_cmd file format =
   match In_channel.with_open_bin file In_channel.input_all with
   | exception Sys_error msg ->
     Printf.eprintf "colint: %s\n" msg;
     2
-  | text -> (
-    match Repro_obs.Exporter.lint text with
-    | Ok samples ->
-      Printf.printf "colint: %d sample lines, no issues\n" samples;
-      0
-    | Error issues ->
-      List.iter (fun i -> Printf.printf "%s\n" i) issues;
-      Printf.printf "colint: %d issue(s)\n" (List.length issues);
-      1)
+  | text ->
+    let result = Repro_obs.Exporter.lint text in
+    Outfmt.print format
+      ~text:(fun () ->
+        match result with
+        | Ok samples ->
+          Printf.sprintf "colint: %d sample lines, no issues\n" samples
+        | Error issues ->
+          String.concat "" (List.map (fun i -> i ^ "\n") issues)
+          ^ Printf.sprintf "colint: %d issue(s)\n" (List.length issues))
+      ~json:(fun () ->
+        match result with
+        | Ok samples ->
+          Jsonx.Obj
+            [
+              ("samples", Jsonx.Int samples);
+              ("issues", Jsonx.List []);
+              ("ok", Jsonx.Bool true);
+            ]
+        | Error issues ->
+          Jsonx.Obj
+            [
+              ( "issues",
+                Jsonx.List (List.map (fun i -> Jsonx.String i) issues) );
+              ("ok", Jsonx.Bool false);
+            ]);
+    (match result with Ok _ -> 0 | Error _ -> 1)
 
 let file_arg =
   Arg.(
@@ -180,7 +247,8 @@ let no_por_arg =
     value & flag
     & info [ "no-por" ] ~doc:"Disable the sleep-set partial-order reduction.")
 
-let trace_term = Term.(const trace_cmd $ file_arg $ complete_arg $ lint_n_arg)
+let trace_term =
+  Term.(const trace_cmd $ file_arg $ complete_arg $ lint_n_arg $ Outfmt.term)
 
 let metrics_file_arg =
   Arg.(
@@ -189,12 +257,13 @@ let metrics_file_arg =
     & info [] ~docv:"FILE"
         ~doc:"Prometheus text file written by cosim run --metrics-out.")
 
-let metrics_term = Term.(const metrics_cmd $ metrics_file_arg)
+let metrics_term = Term.(const metrics_cmd $ metrics_file_arg $ Outfmt.term)
 
 let explore_term =
   Term.(
     const explore_cmd $ n_arg $ broadcasts_arg $ drops_arg $ fires_arg
-    $ max_states_arg $ max_depth_arg $ fault_arg $ defer_arg $ no_por_arg)
+    $ max_states_arg $ max_depth_arg $ fault_arg $ defer_arg $ no_por_arg
+    $ Outfmt.term)
 
 let cmds =
   [

@@ -111,7 +111,7 @@ let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
   in
   let registry =
     if metrics_out <> None || metrics_interval_ms > 0 then
-      Some (Registry.create ())
+      Some (Registry.global ())
     else None
   in
   let snapshot_table =
@@ -307,7 +307,7 @@ let chaos_cmd plan_name list_plans n seed per_entity metrics_out =
             ("unknown plan " ^ name ^ " (cosim chaos --list shows them)");
           exit 2)
     in
-    let registry = Registry.create () in
+    let registry = Registry.global () in
     let outcomes =
       List.map
         (fun plan ->

@@ -1,0 +1,157 @@
+type config = {
+  root : string;
+  dirs : string list;
+  entries : string list;
+  protocol_modules : string list;
+}
+
+let default_config ~root =
+  {
+    root;
+    dirs = [ "lib"; "bin" ];
+    entries = [ "Cluster"; "Udp_cluster"; "Registry" ];
+    protocol_modules = Lint.default_protocol_modules;
+  }
+
+type report = {
+  sites : Finding.t list;
+  lints : Finding.t list;
+  reachable : string list;
+  scanned : int;
+  parse_errors : (string * string) list;
+}
+
+let apply_waivers waivers findings =
+  List.map
+    (fun (f : Finding.t) ->
+      match Waiver.find waivers ~line:f.Finding.line with
+      | Some reason -> { f with Finding.waiver = Some reason }
+      | None -> f)
+    findings
+
+let run config =
+  let sources, parse_errors =
+    Source.walk ~root:config.root ~dirs:config.dirs
+  in
+  let graph = Modgraph.build sources in
+  let reach = Modgraph.reachable graph ~entries:config.entries in
+  let sites = ref [] and lints = ref [] in
+  List.iter
+    (fun src ->
+      match src.Source.ast with
+      | Source.Signature _ -> ()
+      | Source.Structure structure ->
+        let module_name = Source.module_name src in
+        let view =
+          {
+            Mutability.reachable = Hashtbl.mem reach module_name;
+            has_mli = Modgraph.has_interface graph ~module_name;
+            exported =
+              (fun name ->
+                List.mem name (Modgraph.exports graph ~module_name));
+            abstract =
+              (fun type_name ->
+                Modgraph.abstract_in_interface graph ~module_name ~type_name);
+          }
+        in
+        let waivers = Waiver.collect structure in
+        let file = src.Source.rel in
+        sites :=
+          !sites
+          @ apply_waivers waivers (Mutability.scan ~file ~view structure);
+        lints :=
+          !lints
+          @ apply_waivers waivers
+              (Lint.scan ~file
+                 ~protocol_modules:config.protocol_modules structure))
+    sources;
+  {
+    sites = List.sort Finding.compare !sites;
+    lints = List.sort Finding.compare !lints;
+    reachable =
+      Hashtbl.fold (fun m () acc -> m :: acc) reach []
+      |> List.sort String.compare;
+    scanned = List.length sources;
+    parse_errors;
+  }
+
+let unwaived report =
+  List.filter
+    (fun f -> not (Finding.is_waived f))
+    (report.sites @ report.lints)
+
+let classification_counts report =
+  let bump acc c =
+    let n = try List.assoc c acc with Not_found -> 0 in
+    (c, n + 1) :: List.remove_assoc c acc
+  in
+  let rank = function
+    | Finding.Domain_confined -> 0
+    | Finding.Needs_atomic -> 1
+    | Finding.Needs_lock -> 2
+  in
+  List.fold_left
+    (fun acc (f : Finding.t) ->
+      match f.Finding.classification with
+      | Some c -> bump acc c
+      | None -> acc)
+    [] report.sites
+  |> List.sort (fun (a, _) (b, _) -> Int.compare (rank a) (rank b))
+
+let to_json report =
+  Jsonx.Obj
+    [
+      ("scanned", Jsonx.Int report.scanned);
+      ( "reachable",
+        Jsonx.List (List.map (fun m -> Jsonx.String m) report.reachable) );
+      ( "classification_totals",
+        Jsonx.Obj
+          (List.map
+             (fun (c, n) -> (Finding.classification_name c, Jsonx.Int n))
+             (classification_counts report)) );
+      ("sites", Jsonx.List (List.map Finding.to_json report.sites));
+      ("lints", Jsonx.List (List.map Finding.to_json report.lints));
+      ( "parse_errors",
+        Jsonx.List
+          (List.map
+             (fun (rel, msg) ->
+               Jsonx.Obj
+                 [ ("file", Jsonx.String rel); ("error", Jsonx.String msg) ])
+             report.parse_errors) );
+    ]
+
+let render_text report =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "coaudit: %d files scanned, %d mutable-state sites, %d lint findings"
+    report.scanned (List.length report.sites) (List.length report.lints);
+  line "reachable from entry points: %s" (String.concat " " report.reachable);
+  List.iter
+    (fun (c, n) ->
+      line "  %-15s %d" (Finding.classification_name c) n)
+    (classification_counts report);
+  let dump title findings =
+    if findings <> [] then begin
+      line "";
+      line "%s:" title;
+      List.iter (fun f -> line "  %s" (Format.asprintf "%a" Finding.pp f)) findings
+    end
+  in
+  dump "mutable-state inventory" report.sites;
+  dump "lint findings" report.lints;
+  List.iter
+    (fun (rel, msg) -> line "parse error: %s: %s" rel msg)
+    report.parse_errors;
+  Buffer.contents b
+
+type check_outcome = {
+  fresh : Finding.t list;
+  stale : Baseline.entry list;
+  checked : int;
+}
+
+let check ~baseline report =
+  let findings = unwaived report in
+  let d = Baseline.diff baseline findings in
+  { fresh = d.Baseline.fresh; stale = d.Baseline.stale;
+    checked = List.length findings }

@@ -1,0 +1,45 @@
+(** The full audit: walk the tree, build the module graph, run the
+    mutable-state inventory and the protocol lints, apply waivers, and
+    render or gate the result. This is what [bin/coaudit] drives. *)
+
+type config = {
+  root : string;  (** Repo root; paths in findings are relative to it. *)
+  dirs : string list;  (** Default [["lib"; "bin"]]. *)
+  entries : string list;
+      (** Cross-domain entry-point module basenames; default
+          [["Cluster"; "Udp_cluster"; "Registry"]] — the UDP/sim cluster
+          drivers and the metrics registry shared with scrapers. *)
+  protocol_modules : string list;  (** See {!Lint.scan}. *)
+}
+
+val default_config : root:string -> config
+
+type report = {
+  sites : Finding.t list;  (** Mutable-state inventory, source order. *)
+  lints : Finding.t list;
+  reachable : string list;  (** Modules reachable from [entries], sorted. *)
+  scanned : int;  (** Files parsed. *)
+  parse_errors : (string * string) list;
+}
+
+val run : config -> report
+
+val unwaived : report -> Finding.t list
+(** Sites and lints without a [[\@coaudit.allow]] waiver — the set the
+    baseline diff operates on. *)
+
+val classification_counts : report -> (Finding.classification * int) list
+
+(** {2 Rendering} *)
+
+val to_json : report -> Jsonx.t
+val render_text : report -> string
+
+type check_outcome = {
+  fresh : Finding.t list;
+  stale : Baseline.entry list;
+  checked : int;  (** Unwaived findings diffed against the baseline. *)
+}
+
+val check : baseline:Baseline.t -> report -> check_outcome
+(** Empty [fresh] means the gate passes. *)

@@ -1,0 +1,108 @@
+type entry = { key : string; count : int; why : string }
+type t = { version : int; entries : entry list }
+
+let empty = { version = 1; entries = [] }
+
+let to_json t =
+  Jsonx.Obj
+    [
+      ("version", Jsonx.Int t.version);
+      ( "entries",
+        Jsonx.List
+          (List.map
+             (fun e ->
+               Jsonx.Obj
+                 [
+                   ("key", Jsonx.String e.key);
+                   ("count", Jsonx.Int e.count);
+                   ("why", Jsonx.String e.why);
+                 ])
+             t.entries) );
+    ]
+
+let of_json json =
+  let version =
+    Option.bind (Jsonx.member "version" json) Jsonx.int_value
+    |> Option.value ~default:0
+  in
+  if version <> 1 then Error (Printf.sprintf "unsupported baseline version %d" version)
+  else
+    let entries =
+      Jsonx.member "entries" json |> Option.value ~default:(Jsonx.List [])
+      |> Jsonx.to_list
+      |> List.filter_map (fun e ->
+             match
+               ( Option.bind (Jsonx.member "key" e) Jsonx.string_value,
+                 Option.bind (Jsonx.member "count" e) Jsonx.int_value )
+             with
+             | Some key, Some count ->
+               let why =
+                 Option.bind (Jsonx.member "why" e) Jsonx.string_value
+                 |> Option.value ~default:""
+               in
+               Some { key; count; why }
+             | _ -> None)
+    in
+    Ok { version; entries }
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> Result.bind (Jsonx.of_string text) of_json
+
+let save path t =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Jsonx.to_string (to_json t));
+      Out_channel.output_string oc "\n")
+
+let counts_by_key findings =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let key = Finding.key f in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    findings;
+  counts
+
+let of_findings ?(old = empty) findings =
+  let old_why = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace old_why e.key e.why) old.entries;
+  let counts = counts_by_key findings in
+  let entries =
+    Hashtbl.fold
+      (fun key count acc ->
+        let why =
+          Option.value ~default:"" (Hashtbl.find_opt old_why key)
+        in
+        { key; count; why } :: acc)
+      counts []
+    |> List.sort (fun a b -> String.compare a.key b.key)
+  in
+  { version = 1; entries }
+
+type diff = { fresh : Finding.t list; stale : entry list }
+
+let diff baseline findings =
+  let allowed = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace allowed e.key e.count) baseline.entries;
+  let counts = counts_by_key findings in
+  (* Findings in source order; the first [baseline count] occurrences of
+     each key are accepted, the remainder are fresh. *)
+  let seen = Hashtbl.create 64 in
+  let fresh =
+    List.filter
+      (fun f ->
+        let key = Finding.key f in
+        let prior = Option.value ~default:0 (Hashtbl.find_opt seen key) in
+        Hashtbl.replace seen key (prior + 1);
+        prior >= Option.value ~default:0 (Hashtbl.find_opt allowed key))
+      (List.sort Finding.compare findings)
+  in
+  let stale =
+    List.filter
+      (fun e ->
+        Option.value ~default:0 (Hashtbl.find_opt counts e.key) < e.count)
+      baseline.entries
+  in
+  { fresh; stale }

@@ -1,0 +1,34 @@
+(** The committed audit baseline ([analysis/audit_baseline.json]): the
+    set of accepted, annotated findings that CI diffs against.
+
+    The baseline stores one entry per finding {e key} (file + rule +
+    detail — no line numbers, see {!Finding.key}) with an occurrence
+    count and a free-text annotation. [check] fails iff some key's
+    current unwaived count exceeds its baseline count ("new finding");
+    counts that shrank are reported as stale so the baseline can be
+    pruned, but do not fail — deleting code must never break CI. *)
+
+type entry = { key : string; count : int; why : string }
+type t = { version : int; entries : entry list }
+
+val empty : t
+
+val load : string -> (t, string) result
+val save : string -> t -> unit
+
+val of_findings : ?old:t -> Finding.t list -> t
+(** Build a baseline from the current unwaived findings, carrying over
+    [why] annotations from [old] for keys that survive. *)
+
+type diff = {
+  fresh : Finding.t list;
+      (** Findings beyond the baselined count for their key, i.e. what
+          [check] fails on. For a key with baseline count [b] and current
+          count [c > b], the last [c - b] occurrences in source order. *)
+  stale : entry list;
+      (** Baseline entries whose count shrank or hit zero. *)
+}
+
+val diff : t -> Finding.t list -> diff
+(** [diff baseline findings] — waived findings must already be filtered
+    out by the caller. *)

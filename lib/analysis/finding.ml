@@ -1,0 +1,72 @@
+type classification = Domain_confined | Needs_atomic | Needs_lock
+
+let classification_name = function
+  | Domain_confined -> "domain-confined"
+  | Needs_atomic -> "needs-atomic"
+  | Needs_lock -> "needs-lock"
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  detail : string;
+  classification : classification option;
+  waiver : string option;
+}
+
+let make ?classification ?waiver ~rule ~file ~(loc : Location.t) detail =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    detail;
+    classification;
+    waiver;
+  }
+
+let key t = t.file ^ "|" ^ t.rule ^ "|" ^ t.detail
+let is_waived t = t.waiver <> None
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.detail;
+  (match t.classification with
+  | Some c -> Format.fprintf ppf " -> %s" (classification_name c)
+  | None -> ());
+  match t.waiver with
+  | Some reason -> Format.fprintf ppf " (waived: %s)" reason
+  | None -> ()
+
+let to_json t =
+  let base =
+    [
+      ("rule", Jsonx.String t.rule);
+      ("file", Jsonx.String t.file);
+      ("line", Jsonx.Int t.line);
+      ("col", Jsonx.Int t.col);
+      ("detail", Jsonx.String t.detail);
+    ]
+  in
+  let cls =
+    match t.classification with
+    | Some c -> [ ("classification", Jsonx.String (classification_name c)) ]
+    | None -> []
+  in
+  let waiver =
+    match t.waiver with
+    | Some reason -> [ ("waiver", Jsonx.String reason) ]
+    | None -> []
+  in
+  Jsonx.Obj (base @ cls @ waiver)

@@ -1,0 +1,51 @@
+(** One audit finding: a mutable-state site from the inventory pass or a
+    protocol-lint violation. The {!key} deliberately excludes line and
+    column so a finding keeps its baseline identity when unrelated edits
+    move it; the baseline stores a per-key occurrence count instead. *)
+
+type classification =
+  | Domain_confined
+      (** Not reachable from any cross-domain entry point, or provably
+          per-invocation scratch: stays correct with one domain per
+          entity. *)
+  | Needs_atomic
+      (** Single-word state (scalar [ref], [Atomic], immediate mutable
+          field) reachable from an entry point: a candidate for
+          [Atomic.t] in the multicore refactor. *)
+  | Needs_lock
+      (** Multi-word structure (Hashtbl, Buffer, Bytes, ring, compound
+          record) reachable from an entry point: needs a lock, a
+          domain-local copy, or a redesign before domains share it. *)
+
+val classification_name : classification -> string
+
+type t = {
+  rule : string;  (** ["mutable-site"] or a lint rule id. *)
+  file : string;  (** Path relative to the audit root. *)
+  line : int;
+  col : int;
+  detail : string;  (** Human description; stable across line drift. *)
+  classification : classification option;  (** Inventory findings only. *)
+  waiver : string option;
+      (** Reason from an enclosing [[\@coaudit.allow "reason"]]. *)
+}
+
+val make :
+  ?classification:classification ->
+  ?waiver:string ->
+  rule:string ->
+  file:string ->
+  loc:Location.t ->
+  string ->
+  t
+
+val key : t -> string
+(** Baseline identity: [file ^ "|" ^ rule ^ "|" ^ detail]. *)
+
+val is_waived : t -> bool
+
+val compare : t -> t -> int
+(** Order by file, then line, then column, then rule — report order. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Jsonx.t

@@ -1,0 +1,31 @@
+(** Minimal JSON tree: just enough for the audit baseline and [--format
+    json] output, so the analysis library needs no dependency beyond the
+    compiler's own libraries. Ints round-trip exactly; floats are emitted
+    with [%.17g]. Strings are escaped per RFC 8259 (the parser accepts
+    [\uXXXX] for the ASCII range and rejects surrogates — all strings we
+    produce are plain OCaml source excerpts). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default true) pretty-prints objects and arrays one entry
+    per line, two-space indent — the committed-baseline format, chosen to
+    diff well under git. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. The
+    error string carries a byte offset. *)
+
+(** {2 Accessors} — all total; [None]/[[]] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list
+val string_value : t -> string option
+val int_value : t -> int option

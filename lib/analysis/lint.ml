@@ -1,0 +1,216 @@
+open Parsetree
+open Ast_iterator
+
+let rules =
+  [
+    "poly-compare";
+    "catch-all-exn";
+    "obj-magic";
+    "hashtbl-iter-mutation";
+    "stdout-in-lib";
+  ]
+
+let default_protocol_modules =
+  [
+    "Matrix_clock";
+    "Vector_clock";
+    "Lamport";
+    "Causality";
+    "Pdu";
+    "Codec";
+    "Cpi_log";
+    "Logs";
+    "Precedence";
+  ]
+
+let flatten_ident e =
+  match e.pexp_desc with
+  | Pexp_ident lid -> Some (Longident.flatten lid.Location.txt)
+  | _ -> None
+
+(* Does [e] syntactically mention one of the protocol modules — as a
+   qualified identifier, constructor, record field or type annotation?
+   Returns the first module mentioned, for the finding detail. *)
+let protocol_mention ~protocol_modules e =
+  let found = ref None in
+  let check lid =
+    if !found = None then
+      List.iter
+        (fun comp ->
+          if !found = None && List.mem comp protocol_modules then
+            found := Some comp)
+        (Longident.flatten lid)
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident lid | Pexp_construct (lid, _) | Pexp_field (_, lid) ->
+      check lid.Location.txt
+    | _ -> ());
+    super.expr it e
+  in
+  let typ it ty =
+    (match ty.ptyp_desc with
+    | Ptyp_constr (lid, _) -> check lid.Location.txt
+    | _ -> ());
+    super.typ it ty
+  in
+  let it = { super with expr; typ } in
+  it.expr it e;
+  !found
+
+(* Files that define their own top-level [compare] shadow the stdlib
+   one, so a bare [compare] there is the module's own, not polymorphic. *)
+let defines_toplevel_compare structure =
+  List.exists
+    (fun si ->
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.exists
+          (fun vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { Location.txt = "compare"; _ } -> true
+            | _ -> false)
+          vbs
+      | _ -> false)
+    structure
+
+let mentions_raise e =
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match flatten_ident e with
+    | Some ([ ("raise" | "raise_notrace") ] | [ "Printexc"; "raise_with_backtrace" ]) ->
+      found := true
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it e;
+  !found
+
+let stdout_heads =
+  [
+    [ "print_string" ];
+    [ "print_endline" ];
+    [ "print_newline" ];
+    [ "print_char" ];
+    [ "print_int" ];
+    [ "print_float" ];
+    [ "Printf"; "printf" ];
+    [ "Format"; "printf" ];
+    [ "Format"; "print_string" ];
+    [ "Format"; "print_newline" ];
+  ]
+
+let hashtbl_mutators =
+  [ "add"; "remove"; "replace"; "reset"; "clear"; "filter_map_inplace" ]
+
+(* Inside the body of an [iter]/[fold] closure, find Hashtbl mutations
+   whose table argument prints identically to the iterated table. *)
+let mutations_on ~table_text body =
+  let hits = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, (_, tbl) :: _) -> (
+      match flatten_ident f with
+      | Some [ "Hashtbl"; op ] when List.mem op hashtbl_mutators ->
+        if Pprintast.string_of_expression tbl = table_text then
+          hits := (e.pexp_loc, op) :: !hits
+      | _ -> ())
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it body;
+  List.rev !hits
+
+let scan ~file ?(protocol_modules = default_protocol_modules) structure =
+  let in_lib = String.length file >= 4 && String.sub file 0 4 = "lib/" in
+  let skip_bare_compare = defines_toplevel_compare structure in
+  let findings = ref [] in
+  let add ~rule ~loc detail =
+    findings := Finding.make ~rule ~file ~loc detail :: !findings
+  in
+  let catch_all_case (case : case) =
+    match (case.pc_lhs.ppat_desc, case.pc_guard) with
+    | (Ppat_any | Ppat_var _), None when not (mentions_raise case.pc_rhs) ->
+      add ~rule:"catch-all-exn" ~loc:case.pc_lhs.ppat_loc
+        "catch-all exception handler swallows all exceptions (narrow to \
+         the exceptions meant, or re-raise)"
+    | _ -> ()
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident lid -> (
+      match Longident.flatten lid.Location.txt with
+      | [ "compare" ] when not skip_bare_compare ->
+        add ~rule:"poly-compare" ~loc:e.pexp_loc
+          "bare polymorphic compare (use the element module's compare)"
+      | [ "Stdlib"; "compare" ] ->
+        add ~rule:"poly-compare" ~loc:e.pexp_loc
+          "Stdlib.compare is polymorphic (use the element module's compare)"
+      | [ "Hashtbl"; "hash" ] ->
+        add ~rule:"poly-compare" ~loc:e.pexp_loc
+          "polymorphic Hashtbl.hash (hash the module's canonical form \
+           instead)"
+      | [ "Obj"; "magic" ] ->
+        add ~rule:"obj-magic" ~loc:e.pexp_loc "use of Obj.magic"
+      | head ->
+        if in_lib && List.mem head stdout_heads then
+          add ~rule:"stdout-in-lib" ~loc:e.pexp_loc
+            (Printf.sprintf
+               "direct stdout output (%s) in lib/ (route through Obs or \
+                return a string)"
+               (String.concat "." head)))
+    | Pexp_apply (op, [ (_, a); (_, b) ]) -> (
+      match flatten_ident op with
+      | Some [ (("=" | "<>") as sym) ] -> (
+        let mention =
+          match protocol_mention ~protocol_modules a with
+          | Some m -> Some m
+          | None -> protocol_mention ~protocol_modules b
+        in
+        match mention with
+        | Some m ->
+          add ~rule:"poly-compare" ~loc:e.pexp_loc
+            (Printf.sprintf
+               "polymorphic %s on a %s value (use %s.equal/compare)" sym m m)
+        | None -> ())
+      | _ -> ())
+    | Pexp_try (_, cases) -> List.iter catch_all_case cases
+    | Pexp_match (_, cases) ->
+      List.iter
+        (fun (case : case) ->
+          match case.pc_lhs.ppat_desc with
+          | Ppat_exception
+              { ppat_desc = Ppat_any | Ppat_var _; ppat_loc; _ }
+            when case.pc_guard = None && not (mentions_raise case.pc_rhs) ->
+            add ~rule:"catch-all-exn" ~loc:ppat_loc
+              "catch-all exception handler swallows all exceptions \
+               (narrow to the exceptions meant, or re-raise)"
+          | _ -> ())
+        cases
+    | _ -> ());
+    (match e.pexp_desc with
+    | Pexp_apply (f, (_, closure) :: (_, tbl) :: _) -> (
+      match flatten_ident f with
+      | Some [ "Hashtbl"; ("iter" | "fold") ] ->
+        let table_text = Pprintast.string_of_expression tbl in
+        List.iter
+          (fun (loc, op) ->
+            add ~rule:"hashtbl-iter-mutation" ~loc
+              (Printf.sprintf
+                 "Hashtbl.%s on '%s' inside Hashtbl iteration over the \
+                  same table"
+                 op table_text))
+          (mutations_on ~table_text closure)
+      | _ -> ())
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it structure;
+  List.sort Finding.compare !findings

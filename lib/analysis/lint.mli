@@ -1,0 +1,36 @@
+(** Protocol lint rules over a parsed compilation unit. All rules are
+    syntactic (parsetree, no typing), so each is stated with its
+    heuristic; over- and under-approximation notes live in
+    [docs/static-analysis.md].
+
+    - [poly-compare] — bare polymorphic [compare] / [Stdlib.compare] /
+      [Hashtbl.hash] anywhere (skipped in files that define their own
+      top-level [compare]); and [=] / [<>] where an operand syntactically
+      mentions a protocol module (clock, PDU, log types must go through
+      the module's own [equal]/[compare]).
+    - [catch-all-exn] — [try ... with _ ->] or [with e ->] binding every
+      exception without re-raising: swallows protocol errors, asserts and
+      [Out_of_memory] alike.
+    - [obj-magic] — any use of [Obj.magic].
+    - [hashtbl-iter-mutation] — [Hashtbl.add]/[remove]/[replace]/...
+      applied to table [t] inside [Hashtbl.iter]/[fold] over the same
+      [t]: unspecified behavior.
+    - [stdout-in-lib] — [print_string]/[Printf.printf]/[Format.printf]
+      and friends inside [lib/]: protocol code must report through [Obs]
+      or return strings; direct stdout is reserved for [bin/]. *)
+
+val rules : string list
+(** The rule identifiers above, in report order. *)
+
+val default_protocol_modules : string list
+(** The repo's clock/PDU/log modules whose values must not meet
+    polymorphic comparison. *)
+
+val scan :
+  file:string ->
+  ?protocol_modules:string list ->
+  Parsetree.structure ->
+  Finding.t list
+(** [file] decides the [lib/] rules (paths under ["lib/"]).
+    [protocol_modules] defaults to the repo's clock/PDU/log modules.
+    Waivers are applied by the caller. *)

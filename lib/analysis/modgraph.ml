@@ -1,0 +1,153 @@
+open Parsetree
+open Ast_iterator
+
+type iface = {
+  vals : string list;
+  abstract_types : string list;  (** declared with no manifest and no kind *)
+}
+
+type t = {
+  nodes : (string, unit) Hashtbl.t;
+  edges : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  ifaces : (string, iface) Hashtbl.t;
+}
+
+let add_edge t src dst =
+  if src <> dst then begin
+    let succs =
+      match Hashtbl.find_opt t.edges src with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.add t.edges src s;
+        s
+    in
+    Hashtbl.replace succs dst ()
+  end
+
+(* Every capitalized component of every longident in the AST; membership
+   in [nodes] filters stdlib/external modules out afterwards. *)
+let lid_components acc lid =
+  List.iter
+    (fun comp ->
+      if String.length comp > 0 && comp.[0] >= 'A' && comp.[0] <= 'Z' then
+        acc := comp :: !acc)
+    (Longident.flatten lid)
+
+let refs_of_structure structure =
+  let acc = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident lid
+    | Pexp_construct (lid, _)
+    | Pexp_field (_, lid)
+    | Pexp_setfield (_, lid, _)
+    | Pexp_new lid ->
+      lid_components acc lid.Location.txt
+    | Pexp_record (fields, _) ->
+      List.iter (fun (lid, _) -> lid_components acc lid.Location.txt) fields
+    | _ -> ());
+    super.expr it e
+  in
+  let pat it p =
+    (match p.ppat_desc with
+    | Ppat_construct (lid, _) -> lid_components acc lid.Location.txt
+    | Ppat_record (fields, _) ->
+      List.iter (fun (lid, _) -> lid_components acc lid.Location.txt) fields
+    | _ -> ());
+    super.pat it p
+  in
+  let typ it ty =
+    (match ty.ptyp_desc with
+    | Ptyp_constr (lid, _) | Ptyp_class (lid, _) ->
+      lid_components acc lid.Location.txt
+    | _ -> ());
+    super.typ it ty
+  in
+  let module_expr it me =
+    (match me.pmod_desc with
+    | Pmod_ident lid -> lid_components acc lid.Location.txt
+    | _ -> ());
+    super.module_expr it me
+  in
+  let open_description it od =
+    lid_components acc od.popen_expr.Location.txt;
+    super.open_description it od
+  in
+  let it =
+    { super with expr; pat; typ; module_expr; open_description }
+  in
+  it.structure it structure;
+  !acc
+
+let iface_of_signature signature =
+  let vals = ref [] and abstract_types = ref [] in
+  List.iter
+    (fun item ->
+      match item.psig_desc with
+      | Psig_value vd -> vals := vd.pval_name.Location.txt :: !vals
+      | Psig_type (_, decls) ->
+        List.iter
+          (fun d ->
+            match (d.ptype_kind, d.ptype_manifest) with
+            | Ptype_abstract, None ->
+              abstract_types := d.ptype_name.Location.txt :: !abstract_types
+            | _ -> ())
+          decls
+      | _ -> ())
+    signature;
+  { vals = !vals; abstract_types = !abstract_types }
+
+let build sources =
+  let t =
+    {
+      nodes = Hashtbl.create 64;
+      edges = Hashtbl.create 64;
+      ifaces = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun src -> Hashtbl.replace t.nodes (Source.module_name src) ())
+    sources;
+  List.iter
+    (fun src ->
+      let name = Source.module_name src in
+      match src.Source.ast with
+      | Source.Signature sg -> Hashtbl.replace t.ifaces name (iface_of_signature sg)
+      | Source.Structure st ->
+        List.iter
+          (fun comp ->
+            if Hashtbl.mem t.nodes comp then add_edge t name comp)
+          (refs_of_structure st))
+    sources;
+  t
+
+let known t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.nodes []
+  |> List.sort String.compare
+
+let reachable t ~entries =
+  let seen = Hashtbl.create 64 in
+  let rec visit m =
+    if Hashtbl.mem t.nodes m && not (Hashtbl.mem seen m) then begin
+      Hashtbl.add seen m ();
+      match Hashtbl.find_opt t.edges m with
+      | None -> ()
+      | Some succs -> Hashtbl.iter (fun dst () -> visit dst) succs
+    end
+  in
+  List.iter visit entries;
+  seen
+
+let exports t ~module_name =
+  match Hashtbl.find_opt t.ifaces module_name with
+  | Some iface -> iface.vals
+  | None -> []
+
+let has_interface t ~module_name = Hashtbl.mem t.ifaces module_name
+
+let abstract_in_interface t ~module_name ~type_name =
+  match Hashtbl.find_opt t.ifaces module_name with
+  | Some iface -> List.mem type_name iface.abstract_types
+  | None -> false

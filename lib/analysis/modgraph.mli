@@ -1,0 +1,35 @@
+(** Conservative module-reference graph over the scanned sources, used to
+    decide which modules are reachable from the cross-domain entry points
+    ([Cluster], [Udp_cluster], [Obs.Registry] by default).
+
+    Nodes are module basenames ([matrix_clock.ml] -> [Matrix_clock]).
+    There is an edge [A -> B] whenever any longident anywhere in [A]'s
+    implementation mentions [B] as a path component — this resolves
+    through library-wrapper prefixes ([Repro_clock.Matrix_clock]) and
+    through local aliases ([module M = Repro_clock.Matrix_clock]) for
+    free, at the cost of over-approximation (a mention in dead code still
+    creates an edge). Over-approximation errs exactly the way a
+    domain-safety audit should: toward "shared". *)
+
+type t
+
+val build : Source.t list -> t
+
+val known : t -> string list
+(** All module basenames in the scan, sorted. *)
+
+val reachable : t -> entries:string list -> (string, unit) Hashtbl.t
+(** Transitive closure of the edge relation from [entries] (module
+    basenames; unknown names are ignored). Includes the entry points
+    themselves. *)
+
+val exports : t -> module_name:string -> string list
+(** [val] names declared in the module's [.mli]; all bindings are
+    considered exported when the module has no interface file. *)
+
+val has_interface : t -> module_name:string -> bool
+
+val abstract_in_interface : t -> module_name:string -> type_name:string -> bool
+(** The [.mli] declares [type_name] abstract (no manifest, no visible
+    representation) — mutation can only happen through the module's own
+    functions. *)

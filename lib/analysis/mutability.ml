@@ -1,0 +1,287 @@
+open Parsetree
+open Ast_iterator
+
+type module_view = {
+  reachable : bool;
+  has_mli : bool;
+  exported : string -> bool;
+  abstract : string -> bool;
+}
+
+let confined_view =
+  {
+    reachable = false;
+    has_mli = true;
+    exported = (fun _ -> false);
+    abstract = (fun _ -> false);
+  }
+
+let shared_view =
+  {
+    reachable = true;
+    has_mli = false;
+    exported = (fun _ -> true);
+    abstract = (fun _ -> false);
+  }
+
+let rule = "mutable-site"
+
+type kind =
+  | Ref of bool  (** scalar (single-word) initializer *)
+  | Hashtbl_create
+  | Buffer_create
+  | Bytes_alloc
+  | Atomic_make
+
+let kind_name = function
+  | Ref _ -> "ref"
+  | Hashtbl_create -> "Hashtbl.create"
+  | Buffer_create -> "Buffer.create"
+  | Bytes_alloc -> "Bytes alloc"
+  | Atomic_make -> "Atomic.make"
+
+let single_word = function Ref scalar -> scalar | Atomic_make -> true | _ -> false
+
+let head_ident e =
+  match e.pexp_desc with
+  | Pexp_ident lid -> Some (Longident.flatten lid.Location.txt)
+  | _ -> None
+
+let rec peel e =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _) -> peel inner
+  | _ -> e
+
+(* Single-word initializer: the resulting ref can become an [Atomic.t]
+   without a representation change. *)
+let scalar_init e =
+  match (peel e).pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct ({ Location.txt = Longident.Lident name; _ }, None) ->
+    List.mem name [ "true"; "false"; "None"; "()"; "[]" ]
+  | _ -> false
+
+let creator_of_apply f args =
+  match head_ident f with
+  | Some [ "ref" ] -> (
+    match args with
+    | (_, init) :: _ -> Some (Ref (scalar_init init))
+    | [] -> None)
+  | Some [ "Hashtbl"; "create" ] -> Some Hashtbl_create
+  | Some [ "Buffer"; "create" ] -> Some Buffer_create
+  | Some [ "Bytes"; ("create" | "make" | "init" | "of_string") ] ->
+    Some Bytes_alloc
+  | Some [ "Atomic"; "make" ] -> Some Atomic_make
+  | _ -> None
+
+(* Heads whose module-level application we accept as pure. Operators
+   (non-letter heads) are always accepted: arithmetic and concatenation
+   at module level build constants. *)
+let pure_head = function
+  | [ "Printf"; "sprintf" ]
+  | [ "Format"; "asprintf" ]
+  | [ "String"; _ ]
+  | [ "Filename"; _ ]
+  | [ "List"; "init" ] ->
+    true
+  | [ name ] when String.length name > 0 -> (
+    match name.[0] with 'a' .. 'z' | '_' -> false | _ -> true)
+  | _ -> false
+
+type scope = Toplevel | Instance | Local
+
+let scope_name = function
+  | Toplevel -> "module-level"
+  | Instance -> "instance"
+  | Local -> "local"
+
+let classify ~(view : module_view) ~scope ~single_word =
+  if not view.reachable then Finding.Domain_confined
+  else
+    match scope with
+    | Local -> Finding.Domain_confined
+    | Toplevel | Instance ->
+      if single_word then Finding.Needs_atomic else Finding.Needs_lock
+
+(* Names that appear directly as record-field values anywhere in the
+   file: a creator let-bound to such a name is treated as instance
+   state (e.g. [let tbl = Hashtbl.create 8 in { tbl; ... }]). *)
+let record_value_names structure =
+  let names = Hashtbl.create 16 in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_record (fields, _) ->
+      List.iter
+        (fun (_, v) ->
+          match (peel v).pexp_desc with
+          | Pexp_ident { Location.txt = Longident.Lident name; _ } ->
+            Hashtbl.replace names name ()
+          | _ -> ())
+        fields
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it structure;
+  names
+
+let immediate_core_type ty =
+  match ty.ptyp_desc with
+  | Ptyp_constr ({ Location.txt = lid; _ }, []) -> (
+    match Longident.flatten lid with
+    | [ ("int" | "bool" | "char") ] -> true
+    | _ -> false)
+  | _ -> false
+
+let scan ~file ~view structure =
+  let in_lib = String.length file >= 4 && String.sub file 0 4 = "lib/" in
+  let findings = ref [] in
+  let add ?classification ~loc detail =
+    findings := Finding.make ?classification ~rule ~file ~loc detail :: !findings
+  in
+  let record_names = record_value_names structure in
+  let fun_depth = ref 0 in
+  let binder = ref None in
+  let in_record_field = ref false in
+  let creator_site ~loc kind =
+    let scope =
+      if !fun_depth = 0 then Toplevel
+      else if !in_record_field then Instance
+      else
+        match !binder with
+        | Some name when Hashtbl.mem record_names name -> Instance
+        | _ -> Local
+    in
+    let name = match !binder with Some n -> n | None -> "_" in
+    let encap =
+      if scope = Toplevel && view.has_mli && not (view.exported name) then
+        " (not exported)"
+      else ""
+    in
+    let classification =
+      classify ~view ~scope ~single_word:(single_word kind)
+    in
+    add ~classification ~loc
+      (Printf.sprintf "%s '%s' (%s%s)" (kind_name kind) name
+         (scope_name scope) encap)
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+      match creator_of_apply f args with
+      | Some kind -> creator_site ~loc:e.pexp_loc kind
+      | None -> ())
+    | _ -> ());
+    in_record_field := false;
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ ->
+      incr fun_depth;
+      super.expr it e;
+      decr fun_depth
+    | Pexp_let (_, vbs, body) ->
+      List.iter
+        (fun vb ->
+          let saved = !binder in
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var { Location.txt = name; _ } -> binder := Some name
+          | _ -> ());
+          it.pat it vb.pvb_pat;
+          it.expr it vb.pvb_expr;
+          binder := saved)
+        vbs;
+      it.expr it body
+    | Pexp_record (fields, base) ->
+      Option.iter (it.expr it) base;
+      List.iter
+        (fun (_, v) ->
+          in_record_field := true;
+          it.expr it v;
+          in_record_field := false)
+        fields
+    | _ -> super.expr it e
+  in
+  let handle_toplevel_binding vb =
+    let saved = !binder in
+    let name =
+      match vb.pvb_pat.ppat_desc with
+      | Ppat_var { Location.txt = name; _ } -> Some name
+      | _ -> None
+    in
+    binder := name;
+    let rhs = peel vb.pvb_expr in
+    (* Module-level effectful right-hand sides (beyond the creators,
+       which are reported on their own): [let () = ...] initialization
+       effects in lib/, and applications of non-whitelisted functions. *)
+    (match (vb.pvb_pat.ppat_desc, rhs.pexp_desc) with
+    | Ppat_construct ({ Location.txt = Longident.Lident "()"; _ }, None), _
+      when in_lib ->
+      add
+        ~classification:
+          (if view.reachable then Finding.Needs_lock
+           else Finding.Domain_confined)
+        ~loc:vb.pvb_loc "module-level 'let ()' initialization effect"
+    | Ppat_var { Location.txt = name; _ }, Pexp_apply (f, args) -> (
+      match (creator_of_apply f args, head_ident f) with
+      | Some _, _ -> () (* the creator site itself is the finding *)
+      | None, Some head when not (pure_head head) ->
+        add
+          ~classification:
+            (if view.reachable then Finding.Needs_lock
+             else Finding.Domain_confined)
+          ~loc:vb.pvb_loc
+          (Printf.sprintf "module-level effectful binding '%s' (calls %s)"
+             name
+             (String.concat "." head))
+      | _ -> ())
+    | _ -> ());
+    binder := saved;
+    name
+  in
+  let structure_item it si =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) when !fun_depth = 0 ->
+      List.iter
+        (fun vb ->
+          let name = handle_toplevel_binding vb in
+          let saved = !binder in
+          binder := name;
+          it.pat it vb.pvb_pat;
+          it.expr it vb.pvb_expr;
+          binder := saved)
+        vbs
+    | Pstr_type (_, decls) ->
+      List.iter
+        (fun decl ->
+          let type_name = decl.ptype_name.Location.txt in
+          match decl.ptype_kind with
+          | Ptype_record labels ->
+            List.iter
+              (fun ld ->
+                match ld.pld_mutable with
+                | Immutable -> ()
+                | Mutable ->
+                  let immediate = immediate_core_type ld.pld_type in
+                  let encap =
+                    if view.has_mli && view.abstract type_name then
+                      " (encapsulated)"
+                    else ""
+                  in
+                  let classification =
+                    if not view.reachable then Finding.Domain_confined
+                    else if immediate then Finding.Needs_atomic
+                    else Finding.Needs_lock
+                  in
+                  add ~classification ~loc:ld.pld_loc
+                    (Printf.sprintf "mutable field '%s.%s'%s" type_name
+                       ld.pld_name.Location.txt encap))
+              labels
+          | _ -> ())
+        decls;
+      super.structure_item it si
+    | _ -> super.structure_item it si
+  in
+  let it = { super with expr; structure_item } in
+  it.structure it structure;
+  List.sort Finding.compare !findings

@@ -1,0 +1,45 @@
+(** Mutable-state inventory: every site in a compilation unit that
+    creates or declares mutable state, classified for the multicore
+    refactor.
+
+    Site kinds: [ref] cells, [mutable] record fields, [Hashtbl.create],
+    [Buffer.create], [Bytes] allocation, [Atomic.make], and module-level
+    [let]s whose right-hand side is an effectful application (a
+    module-level [let () = ...] in [lib/] counts too — initialization
+    effects are hidden global state).
+
+    Classification lattice (conservative, syntactic):
+
+    - a site in a module {e not} reachable from the entry points is
+      {e domain-confined} — no cross-domain caller can touch it;
+    - in a reachable module, {e module-level} sites and {e instance}
+      sites (creator stored in a record the module hands out — detected
+      as "creator is a record-field value, or its [let]-binder appears as
+      one somewhere in the file") are {e needs-atomic} when single-word
+      (scalar-initialized [ref], [Atomic.make], immediate [mutable]
+      field) and {e needs-lock} otherwise;
+    - remaining function-local sites are {e domain-confined}
+      (per-invocation scratch).
+
+    The file-granularity binder check over-approximates — a binder name
+    reused for an unrelated record field still promotes the site to
+    instance state. Over-approximation is the audit's stated bias. *)
+
+type module_view = {
+  reachable : bool;
+      (** Module transitively referenced from a cross-domain entry point. *)
+  has_mli : bool;
+  exported : string -> bool;  (** [val] name present in the [.mli]. *)
+  abstract : string -> bool;  (** Type abstract in the [.mli]. *)
+}
+
+val confined_view : module_view
+(** [reachable = false], nothing exported — fixture-test convenience. *)
+
+val shared_view : module_view
+(** [reachable = true], no interface (everything escapes). *)
+
+val scan :
+  file:string -> view:module_view -> Parsetree.structure -> Finding.t list
+(** Findings all carry [rule = "mutable-site"] and a classification,
+    sorted in source order. Waivers are applied by the caller. *)

@@ -1,0 +1,21 @@
+type t = Text | Json
+
+let format_conv =
+  Cmdliner.Arg.enum [ ("text", Text); ("json", Json) ]
+[@@coaudit.allow "static CLI flag spec, built once at module load"]
+
+let term =
+  Cmdliner.Arg.(
+    value & opt format_conv Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text) for humans, $(b,json) for scripts.")
+
+let print t ~text ~json =
+  match t with
+  | Text -> print_string (text ())
+  | Json ->
+    print_string (Jsonx.to_string (json ()));
+    print_newline ()
+[@@coaudit.allow
+  "the shared --format printer: stdout is the CLI contract for both \
+   colint and coaudit"]

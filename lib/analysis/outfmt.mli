@@ -1,0 +1,13 @@
+(** The shared [--format (text|json)] CLI flag, so every repo tool
+    ([coaudit], [colint]) is scriptable the same way: text for humans,
+    one JSON document on stdout for pipelines, non-zero exit on
+    findings either way. *)
+
+type t = Text | Json
+
+val term : t Cmdliner.Term.t
+(** [--format (text|json)], default [Text]. *)
+
+val print : t -> text:(unit -> string) -> json:(unit -> Jsonx.t) -> unit
+(** Render and print the chosen representation (with trailing newline);
+    the unchosen thunk is not forced. *)

@@ -1,0 +1,64 @@
+type ast =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+type t = { rel : string; ast : ast }
+
+let module_name t =
+  Filename.basename t.rel |> Filename.remove_extension
+  |> String.capitalize_ascii
+
+let is_ml t = match t.ast with Structure _ -> true | Signature _ -> false
+
+let parse_string ~filename text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf filename;
+  match
+    if Filename.check_suffix filename ".mli" then
+      Signature (Parse.interface lexbuf)
+    else Structure (Parse.implementation lexbuf)
+  with
+  | ast -> Ok { rel = filename; ast }
+  | exception (exn
+      [@coaudit.allow
+        "the parser raises several exception families (Syntaxerr.Error, \
+         Lexer.Error, ...); any of them means unparseable input, which \
+         the audit reports rather than crashes on"]) ->
+    Error
+      (Printf.sprintf "%s: parse error: %s" filename (Printexc.to_string exn))
+
+let load ~root ~rel =
+  let path = Filename.concat root rel in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> parse_string ~filename:rel text
+  | exception Sys_error msg -> Error msg
+
+let rec files_under ~root rel_dir =
+  let abs = Filename.concat root rel_dir in
+  match Sys.readdir abs with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.sort String.compare names;
+    Array.fold_left
+      (fun acc name ->
+        if String.length name = 0 || name.[0] = '.' || name = "_build" then
+          acc
+        else
+          let rel = rel_dir ^ "/" ^ name in
+          if Sys.is_directory (Filename.concat root rel) then
+            acc @ files_under ~root rel
+          else if
+            Filename.check_suffix name ".ml"
+            || Filename.check_suffix name ".mli"
+          then acc @ [ rel ]
+          else acc)
+      [] names
+
+let walk ~root ~dirs =
+  let rels = List.concat_map (files_under ~root) dirs in
+  List.fold_left
+    (fun (oks, errs) rel ->
+      match load ~root ~rel with
+      | Ok src -> (oks @ [ src ], errs)
+      | Error msg -> (oks, errs @ [ (rel, msg) ]))
+    ([], []) rels

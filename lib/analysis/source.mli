@@ -1,0 +1,29 @@
+(** Source discovery and parsing. Files are parsed with the compiler's
+    own parser ([compiler-libs]), so the audit sees exactly the parsetree
+    the build sees — no regexp scraping, no ppx. *)
+
+type ast =
+  | Structure of Parsetree.structure  (** [.ml] *)
+  | Signature of Parsetree.signature  (** [.mli] *)
+
+type t = {
+  rel : string;  (** Path relative to the audit root, '/'-separated. *)
+  ast : ast;
+}
+
+val module_name : t -> string
+(** Module basename: [lib/clock/matrix_clock.ml] -> ["Matrix_clock"]. *)
+
+val is_ml : t -> bool
+
+val parse_string : filename:string -> string -> (t, string) result
+(** Parse source text as the contents of [filename] ([.mli] suffix
+    selects the interface grammar). Used by the fixture tests. *)
+
+val load : root:string -> rel:string -> (t, string) result
+
+val walk :
+  root:string -> dirs:string list -> t list * (string * string) list
+(** All [.ml]/[.mli] files under [root]/[dirs], recursively, in sorted
+    order, skipping dot-directories and [_build]. Returns parsed sources
+    and [(rel, message)] parse failures. *)

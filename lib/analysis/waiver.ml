@@ -1,0 +1,98 @@
+open Parsetree
+open Ast_iterator
+
+let attribute_name = "coaudit.allow"
+
+(* start line, end line, reason — inclusive span of the attributed node. *)
+type t = { spans : (int * int * string) list }
+
+let reason_of_payload = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    s
+  | _ -> "waived"
+
+let span_of_loc (loc : Location.t) =
+  (loc.loc_start.Lexing.pos_lnum, loc.loc_end.Lexing.pos_lnum)
+
+let collect structure =
+  let spans = ref [] in
+  let note ~(loc : Location.t) attrs =
+    List.iter
+      (fun attr ->
+        if attr.attr_name.Location.txt = attribute_name then begin
+          let lo, hi = span_of_loc loc in
+          spans := (lo, hi, reason_of_payload attr.attr_payload) :: !spans
+        end)
+      attrs
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    note ~loc:e.pexp_loc e.pexp_attributes;
+    super.expr it e
+  in
+  let value_binding it vb =
+    note ~loc:vb.pvb_loc vb.pvb_attributes;
+    super.value_binding it vb
+  in
+  let type_declaration it td =
+    note ~loc:td.ptype_loc td.ptype_attributes;
+    super.type_declaration it td
+  in
+  let label_declaration (ld : label_declaration) =
+    note ~loc:ld.pld_loc ld.pld_attributes;
+    note ~loc:ld.pld_loc ld.pld_type.ptyp_attributes
+  in
+  let type_declaration it td =
+    (match td.ptype_kind with
+    | Ptype_record labels -> List.iter label_declaration labels
+    | _ -> ());
+    type_declaration it td
+  in
+  let module_binding it mb =
+    note ~loc:mb.pmb_loc mb.pmb_attributes;
+    super.module_binding it mb
+  in
+  let pat it p =
+    note ~loc:p.ppat_loc p.ppat_attributes;
+    super.pat it p
+  in
+  let structure_item it si =
+    (match si.pstr_desc with
+    | Pstr_attribute attr ->
+      if attr.attr_name.Location.txt = attribute_name then
+        spans := (1, max_int, reason_of_payload attr.attr_payload) :: !spans
+    | _ -> ());
+    super.structure_item it si
+  in
+  let it =
+    {
+      super with
+      expr;
+      value_binding;
+      type_declaration;
+      module_binding;
+      pat;
+      structure_item;
+    }
+  in
+  it.structure it structure;
+  { spans = !spans }
+
+let find t ~line =
+  List.fold_left
+    (fun best (lo, hi, reason) ->
+      if line < lo || line > hi then best
+      else
+        match best with
+        | Some (blo, bhi, _) when bhi - blo <= hi - lo -> best
+        | _ -> Some (lo, hi, reason))
+    None t.spans
+  |> Option.map (fun (_, _, reason) -> reason)

@@ -1,0 +1,20 @@
+(** [[\@coaudit.allow "reason"]] waiver collection.
+
+    A waiver is an ordinary OCaml attribute (no ppx involved — the
+    compiler ignores namespaced attributes it does not know). It can sit
+    on an expression, a [let] binding ([[\@\@coaudit.allow]]), a type
+    declaration, a record field, or a module binding; a floating
+    [[\@\@\@coaudit.allow "reason"]] waives the whole file. A finding is
+    waived when its position falls inside the source span of an
+    attributed node; the narrowest enclosing span wins, so a targeted
+    waiver's reason is reported rather than a surrounding blanket one. *)
+
+type t
+
+val collect : Parsetree.structure -> t
+
+val find : t -> line:int -> string option
+(** Reason of the narrowest waiver whose span contains [line]. *)
+
+val attribute_name : string
+(** ["coaudit.allow"]. *)

@@ -96,7 +96,9 @@ let make_sys cfg =
   let inflight = Array.make cfg.n [] in
   let timers = Array.init cfg.n (fun _ -> Queue.create ()) in
   let monitor = Invariants.Monitor.create ~n:cfg.n in
-  let put ~dst s = inflight.(dst) <- List.merge compare [ s ] inflight.(dst) in
+  let put ~dst s =
+    inflight.(dst) <- List.merge String.compare [ s ] inflight.(dst)
+  in
   let entities =
     Array.init cfg.n (fun id ->
         let actions =

@@ -30,7 +30,9 @@ let send_stamp t msg = Hashtbl.find_opt t.send_stamps msg
 let msg_precedes t p q =
   let sp = Hashtbl.find t.send_stamps p in
   let sq = Hashtbl.find t.send_stamps q in
-  Vector_clock.compare_partial sp sq = Vector_clock.Before
+  match Vector_clock.compare_partial sp sq with
+  | Vector_clock.Before -> true
+  | Vector_clock.After | Vector_clock.Equal | Vector_clock.Concurrent -> false
 
 let msg_concurrent t p q =
   p <> q && (not (msg_precedes t p q)) && not (msg_precedes t q p)

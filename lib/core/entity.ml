@@ -814,7 +814,7 @@ let kick t =
 (* Hashtbl iteration order is unspecified, but the signature digest, the
    checkpoint format and [pending_seqs] all need a canonical one. *)
 let sorted_keys tbl =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
 
 (* Canonical digest of every behavior-relevant piece of mutable state: the
    model checker's notion of "same state". Excludes the observers, the

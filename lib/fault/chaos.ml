@@ -62,7 +62,7 @@ let backoff_samples reg =
     0 (Registry.samples reg)
 
 let sorted_tags keys ~tag_of =
-  List.sort_uniq compare (List.map tag_of keys)
+  List.sort_uniq Int.compare (List.map tag_of keys)
 
 let run ?(n = 4) ?(seed = 1) ?(per_entity = 6) ?registry (plan : Plan.t) =
   Plan.validate ~n plan;

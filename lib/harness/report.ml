@@ -18,8 +18,12 @@ let factor a b =
 let header s =
   let bar = String.make (String.length s + 4) '=' in
   Printf.printf "\n%s\n= %s =\n%s\n\n" bar s bar
+[@@coaudit.allow
+  "harness report renderer: stdout is this module's contract for bench \
+   and cosim output"]
 
 let para s = Printf.printf "%s\n\n" s
+[@@coaudit.allow "harness report renderer: stdout is this module's contract"]
 
 let ladder_table ?(title = "Receipt ladder (first send -> stage)")
     (ladder : Repro_obs.Lifecycle.ladder) =

@@ -27,6 +27,24 @@ type histo = Histogram.t
 
 let create () = { families = Hashtbl.create 32; rev_names = [] }
 
+(* The one sanctioned module-level mutable cell in lib/obs: every other
+   access to a process-wide registry must go through [global] so the
+   multicore refactor has a single point to make domain-safe (and the
+   static auditor a single waiver to check). *)
+let global_cell : t option ref =
+  ref None
+[@@coaudit.allow
+  "the single documented process-global registry cell; all global \
+   metric state funnels through Registry.global"]
+
+let global () =
+  match !global_cell with
+  | Some t -> t
+  | None ->
+    let t = create () in
+    global_cell := Some t;
+    t
+
 let name_ok name =
   String.length name > 0
   && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)

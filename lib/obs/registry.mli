@@ -22,6 +22,16 @@ type histo
 
 val create : unit -> t
 
+val global : unit -> t
+(** The process-wide default registry, created lazily on first use and
+    shared by every caller thereafter. This is the {e only} module-level
+    mutable state in [lib/obs], and the single place the multicore
+    refactor must make domain-safe — code that wants process-global
+    metrics (the CLIs, long-lived exporters) must come through here
+    rather than stashing its own [create ()] result in a global.
+    Harness code that needs per-run isolation (benches sweeping
+    parameters, tests) should keep using {!create}. *)
+
 (** {2 Registration} *)
 
 val counter : t -> ?help:string -> name:string -> labels -> counter

@@ -6,7 +6,7 @@ let of_ms ms = ms * 1000
 let of_ms_f ms = int_of_float (ms *. 1000.)
 let to_ms t = float_of_int t /. 1000.
 let add = Stdlib.( + )
-let compare = Stdlib.compare
+let compare = Int.compare
 let ( + ) = Stdlib.( + )
 let ( - ) = Stdlib.( - )
 

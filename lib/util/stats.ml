@@ -37,14 +37,14 @@ let percentile_sorted sorted q =
 
 let percentile xs q =
   let sorted = Array.of_list xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted q
 
 let summarize = function
   | [] -> summary_empty
   | xs ->
     let sorted = Array.of_list xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let n = Array.length sorted in
     {
       count = n;

@@ -69,6 +69,9 @@ let print t =
   print_string (render t);
   print_newline ();
   print_newline ()
+[@@coaudit.allow
+  "CLI table renderer: stdout is this function's contract; protocol code \
+   uses render"]
 
 let fmt_float ?(digits = 2) x = Printf.sprintf "%.*f" digits x
 

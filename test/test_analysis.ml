@@ -1,0 +1,307 @@
+(* Fixture tests for the coaudit static-analysis pass, plus the
+   self-audit: the repo's own lib/ and bin/ trees must hold zero
+   findings beyond the annotated baseline. Each lint rule and each cell
+   of the classification lattice gets a minimal fixture snippet that
+   must fire exactly where expected — and a near-miss that must not. *)
+
+module Source = Repro_analysis.Source
+module Lint = Repro_analysis.Lint
+module Mutability = Repro_analysis.Mutability
+module Finding = Repro_analysis.Finding
+module Waiver = Repro_analysis.Waiver
+module Audit = Repro_analysis.Audit
+module Baseline = Repro_analysis.Baseline
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let parse ~filename src =
+  match Source.parse_string ~filename src with
+  | Error msg -> Alcotest.failf "fixture did not parse: %s" msg
+  | Ok { Source.ast = Source.Structure s; _ } -> s
+  | Ok _ -> Alcotest.fail "fixture parsed as an interface"
+
+let lint ?(file = "lib/fixture/fixture.ml") src =
+  Lint.scan ~file (parse ~filename:file src)
+
+let rules fs = List.map (fun f -> f.Finding.rule) fs
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* {2 poly-compare} *)
+
+let poly_compare () =
+  check (Alcotest.list string_t) "= on annotated protocol operand"
+    [ "poly-compare" ]
+    (rules (lint "let eq a b = (a : Pdu.t) = b"));
+  check (Alcotest.list string_t) "<> via protocol ident operand"
+    [ "poly-compare" ]
+    (rules (lint "let ne a = a <> Matrix_clock.zero ~n:2"));
+  check int_t "= on plain ints is fine" 0
+    (List.length (lint "let eq (a : int) b = a = b"));
+  check (Alcotest.list string_t) "bare compare" [ "poly-compare" ]
+    (rules (lint "let sort l = List.sort compare l"));
+  check int_t "own toplevel compare shadows the polymorphic one" 0
+    (List.length
+       (lint "let compare a b = Int.compare a b\nlet sort l = List.sort compare l"));
+  check (Alcotest.list string_t) "Stdlib.compare always flagged"
+    [ "poly-compare" ]
+    (rules (lint "let sort l = List.sort Stdlib.compare l"));
+  check (Alcotest.list string_t) "Hashtbl.hash" [ "poly-compare" ]
+    (rules (lint "let h x = Hashtbl.hash x"))
+
+(* {2 catch-all-exn} *)
+
+let catch_all () =
+  check (Alcotest.list string_t) "try-with wildcard" [ "catch-all-exn" ]
+    (rules (lint "let f g = try g () with _ -> 0"));
+  check (Alcotest.list string_t) "match exception wildcard"
+    [ "catch-all-exn" ]
+    (rules (lint "let f g = match g () with x -> x | exception _ -> 0"));
+  check int_t "narrow handler is fine" 0
+    (List.length (lint "let f g = try g () with Not_found -> 0"));
+  check int_t "re-raising handler is fine" 0
+    (List.length (lint "let f g = try g () with e -> Printf.eprintf \"!\"; raise e"))
+
+(* {2 obj-magic} *)
+
+let obj_magic () =
+  check (Alcotest.list string_t) "Obj.magic" [ "obj-magic" ]
+    (rules (lint "let f x = Obj.magic x"));
+  check int_t "Obj.repr alone not flagged by this rule" 0
+    (List.length (lint "let f x = Obj.repr x"))
+
+(* {2 hashtbl-iter-mutation} *)
+
+let hashtbl_iter_mutation () =
+  check (Alcotest.list string_t) "remove inside iter over same table"
+    [ "hashtbl-iter-mutation" ]
+    (rules (lint "let f t = Hashtbl.iter (fun k _ -> Hashtbl.remove t k) t"));
+  check (Alcotest.list string_t) "replace inside fold over same table"
+    [ "hashtbl-iter-mutation" ]
+    (rules
+       (lint
+          "let f t = Hashtbl.fold (fun k v () -> Hashtbl.replace t k v) t ()"));
+  check int_t "mutating a different table is fine" 0
+    (List.length
+       (lint "let f t u = Hashtbl.iter (fun k v -> Hashtbl.replace u k v) t"))
+
+(* {2 stdout-in-lib} *)
+
+let stdout_in_lib () =
+  check (Alcotest.list string_t) "print_endline in lib/" [ "stdout-in-lib" ]
+    (rules (lint "let f () = print_endline \"x\""));
+  check (Alcotest.list string_t) "Printf.printf in lib/" [ "stdout-in-lib" ]
+    (rules (lint "let f () = Printf.printf \"%d\" 3"));
+  check int_t "same code in bin/ is fine" 0
+    (List.length
+       (lint ~file:"bin/fixture.ml" "let f () = print_endline \"x\""));
+  check int_t "eprintf is fine (stderr)" 0
+    (List.length (lint "let f () = Printf.eprintf \"%d\" 3"))
+
+(* {2 mutable-state classification} *)
+
+let mut ?(file = "lib/fixture/fixture.ml") ~view src =
+  Mutability.scan ~file ~view (parse ~filename:file src)
+
+let classification f =
+  match f.Finding.classification with
+  | Some c -> c
+  | None -> Alcotest.failf "site without classification: %s" f.Finding.detail
+
+let class_t =
+  Alcotest.testable
+    (fun ppf c -> Format.pp_print_string ppf (Finding.classification_name c))
+    ( = )
+
+let one = function
+  | [ f ] -> f
+  | fs -> Alcotest.failf "expected exactly one site, got %d" (List.length fs)
+
+let classify () =
+  let shared = Mutability.shared_view in
+  let confined = Mutability.confined_view in
+  (* module-level scalar ref in a reachable module: single word *)
+  check class_t "module-level scalar ref" Finding.Needs_atomic
+    (classification (one (mut ~view:shared "let count = ref 0")));
+  (* module-level Hashtbl: multi-word *)
+  check class_t "module-level Hashtbl" Finding.Needs_lock
+    (classification (one (mut ~view:shared "let cache = Hashtbl.create 16")));
+  (* unreachable module: whatever it holds stays on one domain *)
+  check class_t "unreachable module is confined" Finding.Domain_confined
+    (classification (one (mut ~view:confined "let cache = Hashtbl.create 16")));
+  (* function-local scratch *)
+  check class_t "function-local ref" Finding.Domain_confined
+    (classification
+       (one (mut ~view:shared "let f xs = let acc = ref 0 in\n  List.iter (fun x -> acc := !acc + x) xs; !acc")));
+  (* mutable record fields: immediate vs boxed *)
+  (match
+     mut ~view:shared "type t = { mutable seq : int; mutable buf : Buffer.t }"
+   with
+  | [ seq; buf ] ->
+    check class_t "immediate mutable field" Finding.Needs_atomic
+      (classification seq);
+    check class_t "boxed mutable field" Finding.Needs_lock
+      (classification buf)
+  | fs -> Alcotest.failf "expected two field sites, got %d" (List.length fs));
+  (* instance state: creator stored in a record the module hands out *)
+  let inst =
+    one
+      (mut ~view:shared
+         "type t = { tbl : (int, int) Hashtbl.t }\n\
+          let create () = { tbl = Hashtbl.create 8 }")
+  in
+  check class_t "instance Hashtbl" Finding.Needs_lock (classification inst);
+  check Alcotest.bool "instance detail says so" true
+    (contains ~sub:"instance" inst.Finding.detail);
+  (* module-level effectful binding in lib/ *)
+  let eff = mut ~view:shared "let t0 = Unix.gettimeofday ()" in
+  check int_t "module-level effectful let is a site" 1 (List.length eff);
+  check Alcotest.bool "effectful detail names the call" true
+    (contains ~sub:"Unix.gettimeofday" (one eff).Finding.detail)
+
+(* {2 waivers} *)
+
+let waivers () =
+  let structure =
+    parse ~filename:"lib/fixture/fixture.ml"
+      "[@@@coaudit.allow \"whole file\"]\n\
+       let a = ref 0\n\
+       let b = ref 1 [@@coaudit.allow \"targeted\"]\n"
+  in
+  let w = Waiver.collect structure in
+  check (Alcotest.option string_t) "floating waiver covers the file"
+    (Some "whole file") (Waiver.find w ~line:2);
+  check (Alcotest.option string_t) "narrowest enclosing waiver wins"
+    (Some "targeted") (Waiver.find w ~line:3);
+  let no_waiver = Waiver.collect (parse ~filename:"lib/f.ml" "let a = ref 0") in
+  check (Alcotest.option string_t) "no waiver, no reason" None
+    (Waiver.find no_waiver ~line:1)
+
+(* {2 self-audit: the repo holds zero unwaived findings beyond baseline} *)
+
+(* dune runtest runs in [_build/default/test], whose parent holds the
+   copied source tree (declared as deps in [test/dune]); dune exec may
+   run from the workspace root. Walk up to the first directory holding
+   a [dune-project] next to [lib/]. *)
+let repo_root =
+  let looks_like_root d =
+    Sys.file_exists (Filename.concat d "dune-project")
+    && Sys.file_exists (Filename.concat d "lib")
+  in
+  let rec up d depth =
+    if depth > 6 then Alcotest.fail "cannot locate the repo root"
+    else if looks_like_root d then d
+    else up (Filename.concat d Filename.parent_dir_name) (depth + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let run_self_audit () = Audit.run (Audit.default_config ~root:repo_root)
+
+let self_audit () =
+  let report = run_self_audit () in
+  (match report.Audit.parse_errors with
+  | [] -> ()
+  | (f, m) :: _ -> Alcotest.failf "parse error in %s: %s" f m);
+  check Alcotest.bool "scanned a real tree" true (report.Audit.scanned > 50);
+  List.iter
+    (fun f ->
+      if f.Finding.classification = None then
+        Alcotest.failf "unclassified mutable site %s:%d (%s)" f.Finding.file
+          f.Finding.line f.Finding.detail)
+    report.Audit.sites;
+  match Baseline.load (Filename.concat repo_root "analysis/audit_baseline.json") with
+  | Error msg -> Alcotest.failf "baseline: %s" msg
+  | Ok baseline ->
+    let out = Audit.check ~baseline report in
+    (match out.Audit.fresh with
+    | [] -> ()
+    | f :: _ as fresh ->
+      Alcotest.failf "%d finding(s) beyond baseline; first: %s:%d [%s] %s"
+        (List.length fresh) f.Finding.file f.Finding.line f.Finding.rule
+        f.Finding.detail);
+    (match out.Audit.stale with
+    | [] -> ()
+    | e :: _ as stale ->
+      Alcotest.failf
+        "%d stale baseline entr(y/ies) — prune with coaudit baseline; \
+         first: %s"
+        (List.length stale) e.Baseline.key);
+    check Alcotest.bool "baseline is non-trivial" true (out.Audit.checked > 100)
+
+(* Spot-checks pinning the classification of known lib/obs and lib/core
+   sites — the report must keep calling these out the same way. *)
+let self_audit_spot_checks () =
+  let report = run_self_audit () in
+  let sites_in file =
+    List.filter (fun f -> f.Finding.file = file) report.Audit.sites
+  in
+  let find_detail file sub =
+    match
+      List.find_opt (fun f -> contains ~sub f.Finding.detail) (sites_in file)
+    with
+    | Some f -> f
+    | None -> Alcotest.failf "no site in %s matching %S" file sub
+  in
+  (* Registry.global's backing cell: the one documented process-global,
+     waived at its definition, single word. *)
+  let cell = find_detail "lib/obs/registry.ml" "global_cell" in
+  check class_t "registry global cell" Finding.Needs_atomic
+    (classification cell);
+  check Alcotest.bool "registry global cell is waived" true
+    (Finding.is_waived cell);
+  (* The per-registry family table is instance state behind Registry.t:
+     multi-word, reachable, so needs a lock (or a domain-local copy). *)
+  check class_t "registry family table" Finding.Needs_lock
+    (classification (find_detail "lib/obs/registry.ml" "Hashtbl.create 'create'"));
+  (* Entity sequence counter is an immediate mutable field. *)
+  check class_t "entity seq counter" Finding.Needs_atomic
+    (classification (find_detail "lib/core/entity.ml" "'t.seq'"));
+  (* Observer list is a boxed mutable field. *)
+  check class_t "entity observer list" Finding.Needs_lock
+    (classification (find_detail "lib/core/entity.ml" "'t.observers'"));
+  (* Every Registry/Entity module-level or instance site must be
+     classified shared (atomic or lock) — Registry and Cluster are entry
+     points, Entity is reachable from Cluster. *)
+  List.iter
+    (fun f ->
+      if
+        contains ~sub:"(instance)" f.Finding.detail
+        || contains ~sub:"module-level" f.Finding.detail
+        || contains ~sub:"mutable field" f.Finding.detail
+      then
+        match classification f with
+        | Finding.Needs_atomic | Finding.Needs_lock -> ()
+        | Finding.Domain_confined ->
+          Alcotest.failf "shared-looking site classified confined: %s:%d %s"
+            f.Finding.file f.Finding.line f.Finding.detail)
+    (sites_in "lib/obs/registry.ml" @ sites_in "lib/core/entity.ml")
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "poly-compare" `Quick poly_compare;
+          Alcotest.test_case "catch-all-exn" `Quick catch_all;
+          Alcotest.test_case "obj-magic" `Quick obj_magic;
+          Alcotest.test_case "hashtbl-iter-mutation" `Quick
+            hashtbl_iter_mutation;
+          Alcotest.test_case "stdout-in-lib" `Quick stdout_in_lib;
+        ] );
+      ( "mutability",
+        [
+          Alcotest.test_case "classification lattice" `Quick classify;
+          Alcotest.test_case "waivers" `Quick waivers;
+        ] );
+      ( "self-audit",
+        [
+          Alcotest.test_case "zero findings beyond baseline" `Quick self_audit;
+          Alcotest.test_case "spot-check lib/obs + lib/core" `Quick
+            self_audit_spot_checks;
+        ] );
+    ]
