@@ -285,7 +285,7 @@ let compare_cmd n per_entity interval_ms loss seed =
     cb_stalled;
   0
 
-let chaos_cmd plan_name list_plans n seed per_entity metrics_out =
+let chaos_cmd plan_name list_plans n seed per_entity wire metrics_out =
   if list_plans then begin
     print_endline "built-in fault plans (cosim chaos <name>):";
     List.iter
@@ -307,11 +307,20 @@ let chaos_cmd plan_name list_plans n seed per_entity metrics_out =
             ("unknown plan " ^ name ^ " (cosim chaos --list shows them)");
           exit 2)
     in
+    let wire =
+      match wire with
+      | "default" -> Config.default.Config.wire
+      | "v1" -> Config.V1
+      | "v2" -> Config.V2
+      | other ->
+        prerr_endline ("unknown wire version " ^ other ^ " (v1 or v2)");
+        exit 2
+    in
     let registry = Registry.global () in
     let outcomes =
       List.map
         (fun plan ->
-          let o = Repro_fault.Chaos.run ~n ~seed ~per_entity ~registry plan in
+          let o = Repro_fault.Chaos.run ~n ~seed ~per_entity ~wire ~registry plan in
           Format.printf "%a@.@." Repro_fault.Chaos.pp_outcome o;
           o)
         plans
@@ -429,10 +438,18 @@ let list_plans_arg =
 let chaos_per_entity_arg =
   Arg.(value & opt int 6 & info [ "per-entity" ] ~doc:"Messages per entity.")
 
+let chaos_wire_arg =
+  Arg.(
+    value & opt string "default"
+    & info [ "wire" ] ~docv:"VERSION"
+        ~doc:
+          "Codec the cluster frames with: $(b,v1) or $(b,v2). Two runs \
+           differing only here must be observationally identical.")
+
 let chaos_term =
   Term.(
     const chaos_cmd $ plan_arg $ list_plans_arg $ n_arg $ seed_arg
-    $ chaos_per_entity_arg $ metrics_out_arg)
+    $ chaos_per_entity_arg $ chaos_wire_arg $ metrics_out_arg)
 
 let examples_term = Term.(const examples_cmd $ const ())
 

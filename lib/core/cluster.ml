@@ -85,6 +85,22 @@ let create (config : config) =
   in
   let down = Array.make config.n false in
   let incarnation = Array.make config.n 0 in
+  (* Every transmission round-trips through the configured wire codec
+     before it enters the medium, so the simulated cluster exercises the
+     same encode/decode pair as the UDP transport: a codec bug shows up
+     in every sim test, and the wire-version switch is observable to the
+     differential suite. The round-trip is the identity on any PDU the
+     entities can legally produce. *)
+  let frame =
+    match config.protocol.Config.wire with
+    | Config.V1 -> Codec.encode
+    | Config.V2 -> Codec.encode_v2
+  in
+  let wire_roundtrip pdu =
+    match Codec.decode_any (frame pdu) with
+    | Ok [ p ] -> p
+    | Ok _ | Error _ -> invalid_arg "Cluster: wire round-trip failed"
+  in
   let build_entity checkpoint id =
         let record_first_send pdu =
           match pdu with
@@ -111,10 +127,12 @@ let create (config : config) =
           {
             Entity.broadcast =
               (fun pdu ->
+                let pdu = wire_roundtrip pdu in
                 record_first_send pdu;
                 ignore (Network.broadcast net ~src:id pdu));
             unicast =
-              (fun ~dst pdu -> ignore (Network.unicast net ~src:id ~dst pdu));
+              (fun ~dst pdu ->
+                ignore (Network.unicast net ~src:id ~dst (wire_roundtrip pdu)));
             deliver =
               (fun d ->
                 let now = Engine.now engine in

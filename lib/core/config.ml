@@ -9,6 +9,10 @@ type check_level = Off | Cheap | Paranoid
 
 type fault = Skip_minpal_gate | Skip_cpi_order
 
+type wire_version = V1 | V2
+
+let wire_name = function V1 -> "v1" | V2 -> "v2"
+
 type t = {
   cid : int;
   window : int;
@@ -24,6 +28,7 @@ type t = {
   causality_mode : causality_mode;
   check_level : check_level;
   fault : fault option;
+  wire : wire_version;
 }
 
 let default =
@@ -42,6 +47,7 @@ let default =
     causality_mode = Transitive;
     check_level = Off;
     fault = None;
+    wire = V2;
   }
 
 let validate t =

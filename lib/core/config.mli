@@ -56,6 +56,19 @@ type fault =
     assertions, [colint]) actually catch violations. Never set outside
     negative tests. *)
 
+type wire_version =
+  | V1
+      (** PR-3 fixed-width big-endian codec: 4 bytes per ACK component,
+          one PDU per datagram. Kept for rollout interoperability; the
+          ingress path decodes either version regardless of this switch. *)
+  | V2
+      (** Compressed codec (DESIGN.md §14): varint fields, delta-encoded
+          ACK vectors, multiple DATA PDUs batched per datagram under one
+          shared header. Default. *)
+
+val wire_name : wire_version -> string
+(** ["v1"] / ["v2"], for artifact and metric labels. *)
+
 type t = {
   cid : int;  (** Cluster identifier stamped on every PDU. *)
   window : int;  (** [W], per-source send window. *)
@@ -91,12 +104,18 @@ type t = {
   causality_mode : causality_mode;
   check_level : check_level;
   fault : fault option;  (** Fault injection for checker self-tests. *)
+  wire : wire_version;
+      (** Which codec this node {e encodes} with; decoding always accepts
+          both versions, so mixed-wire clusters interoperate during a
+          rollout. The switch never changes protocol decisions — the
+          differential wire-equivalence suite holds v1 and v2 runs
+          observationally equal. *)
 }
 
 val default : t
 (** cid 0, W = 8, H = 1, deferred confirmation with 5ms timeout, 20ms RET
     retry doubling up to 320ms with 20% jitter, anti-entropy on, initial
-    buffer 64, checking off, no fault. *)
+    buffer 64, checking off, no fault, v2 wire. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical parameters. *)

@@ -418,7 +418,16 @@ let rec arm_ret_timer t lsrc =
           | Some p -> p.on_ret_backoff t.ret_backoff.(lsrc));
           send_ret t ~lsrc ~lseq:hi;
           arm_ret_timer t lsrc
-        | None -> t.ret_backoff.(lsrc) <- t.config.ret_retry_timeout)
+        | None -> (
+          (* [retry_due] answers [None] both when the gap closed and when the
+             timer simply fired early (a later [observe] refreshed
+             [requested_at], pushing the due time past this firing). Only the
+             first may drop the timer: while the gap is outstanding the timer
+             must stay armed, or a lost RET is never re-requested and the
+             missing PDU stalls forever. *)
+          match Failure.outstanding t.fails ~lsrc with
+          | None -> t.ret_backoff.(lsrc) <- t.config.ret_retry_timeout
+          | Some _ -> arm_ret_timer t lsrc))
   end
 
 (* Failure conditions F(1)/F(2): evidence that PDUs from [lsrc] strictly
@@ -429,7 +438,12 @@ let check_gap t ~lsrc ~bound =
       Failure.observe t.fails ~now:(t.actions.now ())
         ~retry_after:t.config.ret_retry_timeout ~lsrc ~req:t.req.(lsrc) ~bound
     with
-    | Failure.No_gap | Failure.Already_requested -> ()
+    | Failure.No_gap -> ()
+    | Failure.Already_requested ->
+      (* The request is in flight, but the retry timer may have died (its
+         last firing found the retry not yet due). Re-arming is guarded by
+         [ret_timer_armed], so this is a no-op when the timer is live. *)
+      arm_ret_timer t lsrc
     | Failure.Request { lo; hi } ->
       t.metrics.gaps_detected <- t.metrics.gaps_detected + 1;
       notify t (Gap_detected { lsrc; lo; hi });
@@ -750,20 +764,42 @@ let after_processing t =
   | Config.Never -> t.prompted <- false);
   check_step t
 
+let ours t pdu =
+  match pdu with
+  | Pdu.Data d -> d.cid = t.config.cid
+  | Pdu.Ret r -> r.cid = t.config.cid
+  | Pdu.Ctl c -> c.cid = t.config.cid
+
+let handle t pdu =
+  match pdu with
+  | Pdu.Data d -> handle_data t d
+  | Pdu.Ret r -> handle_ret t r
+  | Pdu.Ctl c -> handle_ctl t c
+
 let receive t pdu =
-  let ours =
-    match pdu with
-    | Pdu.Data d -> d.cid = t.config.cid
-    | Pdu.Ret r -> r.cid = t.config.cid
-    | Pdu.Ctl c -> c.cid = t.config.cid
-  in
-  if ours then begin
-    (match pdu with
-    | Pdu.Data d -> handle_data t d
-    | Pdu.Ret r -> handle_ret t r
-    | Pdu.Ctl c -> handle_ctl t c);
+  if ours t pdu then begin
+    handle t pdu;
     after_processing t
   end
+
+(* A datagram burst shares one [after_processing]: the PACK/ACK scans, the
+   sending-log prune, the pump and (in Immediate mode) the confirmation
+   are all idempotent drains whose cost the per-PDU path pays once per
+   PDU, so coalescing them across a batch is where the v2 wire's batched
+   datagrams turn into receive-path throughput. Handlers only mutate
+   RRL/pending/AL state, exactly as when the same PDUs arrive back to
+   back, so the observable protocol behavior is unchanged — one (possibly
+   empty) confirmation answers the whole burst instead of one each. *)
+let receive_batch t pdus =
+  let handled = ref false in
+  List.iter
+    (fun pdu ->
+      if ours t pdu then begin
+        handled := true;
+        handle t pdu
+      end)
+    pdus;
+  if !handled then after_processing t
 
 let submit t payload =
   (match t.probe with None -> () | Some p -> p.on_submit ());

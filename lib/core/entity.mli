@@ -93,6 +93,14 @@ val receive : t -> Repro_pdu.Pdu.t -> unit
 (** Feed a PDU from the network (including this entity's own loopback copy,
     which the MC medium always delivers). *)
 
+val receive_batch : t -> Repro_pdu.Pdu.t list -> unit
+(** Feed a datagram burst, in order, under a single post-processing pass:
+    the PACK/ACK scans, prune, pump and confirmation logic run once for
+    the whole batch instead of once per PDU. Observationally equivalent to
+    {!receive} per PDU except that Immediate mode answers the burst with
+    one confirmation rather than one per data PDU; the transport feeds
+    each decoded v2 batch datagram through here. *)
+
 val kick : t -> unit
 (** Force recovery: broadcast a CTL carrying the current REQ vector (so
     peers' anti-entropy answers with what this entity missed), re-issue RETs

@@ -11,8 +11,10 @@ module Registry = Repro_obs.Registry
 type outcome = {
   plan : string;
   seed : int;
+  wire : Repro_core.Config.wire_version;
   live : int list;
   expected : int;
+  delivery_orders : (int * int) list array;
   report : Oracle.report;
   converged : bool;
   quiescent : bool;
@@ -64,13 +66,16 @@ let backoff_samples reg =
 let sorted_tags keys ~tag_of =
   List.sort_uniq Int.compare (List.map tag_of keys)
 
-let run ?(n = 4) ?(seed = 1) ?(per_entity = 6) ?registry (plan : Plan.t) =
+let run ?(n = 4) ?(seed = 1) ?(per_entity = 6)
+    ?(wire = Repro_core.Config.default.Repro_core.Config.wire) ?registry
+    (plan : Plan.t) =
   Plan.validate ~n plan;
   let reg = match registry with Some r -> r | None -> Registry.create () in
   let cfg = Cluster.default_config ~n in
-  let cfg = { cfg with seed; instrument = Some reg } in
+  let protocol = { cfg.Cluster.protocol with Repro_core.Config.wire } in
+  let cfg = { cfg with seed; instrument = Some reg; protocol } in
   let cluster = Cluster.create cfg in
-  let injector = Injector.create ~n ~seed in
+  let injector = Injector.create ~wire ~n ~seed () in
   Network.set_fault_hook (Cluster.network cluster) (Injector.on_pdu injector);
   Network.set_service_hook (Cluster.network cluster)
     (Injector.service_delay injector);
@@ -131,8 +136,12 @@ let run ?(n = 4) ?(seed = 1) ?(per_entity = 6) ?registry (plan : Plan.t) =
   {
     plan = plan.name;
     seed;
+    wire;
     live;
     expected = List.length expected_tags;
+    delivery_orders =
+      Array.of_list
+        (List.map (fun id -> Cluster.delivery_keys cluster ~entity:id) live);
     report;
     converged;
     quiescent;

@@ -22,8 +22,13 @@
 type outcome = {
   plan : string;
   seed : int;
+  wire : Repro_core.Config.wire_version;  (** Codec the run framed with. *)
   live : int list;  (** Entity ids up at the end of the run. *)
   expected : int;  (** Data PDUs the workload actually broadcast. *)
+  delivery_orders : (int * int) list array;
+      (** Per live entity (positions follow [live]): the exact (src, seq)
+          delivery order — the observational trace the wire-equivalence
+          suite compares across codec versions. *)
   report : Repro_harness.Oracle.report;
       (** Service-property report over the live entities; the report's
           entity numbers are positions in [live]. *)
@@ -42,14 +47,18 @@ val run :
   ?n:int ->
   ?seed:int ->
   ?per_entity:int ->
+  ?wire:Repro_core.Config.wire_version ->
   ?registry:Repro_obs.Registry.t ->
   Plan.t ->
   outcome
 (** [run plan] executes [plan] with [n] entities (default 4), [per_entity]
     data submissions per entity (default 6) spread over the run's first
-    ~50ms, and the given [seed] (default 1). When [registry] is omitted a
-    private one is created; pass one to inspect the full telemetry
-    afterwards. @raise Invalid_argument if the plan fails
-    {!Plan.validate} against [n]. *)
+    ~50ms, and the given [seed] (default 1). [wire] (default
+    {!Repro_core.Config.default}'s) selects the codec version the cluster
+    and injector frame with; two runs differing only in [wire] must be
+    observationally identical — the wire-equivalence suite asserts it.
+    When [registry] is omitted a private one is created; pass one to
+    inspect the full telemetry afterwards. @raise Invalid_argument if the
+    plan fails {!Plan.validate} against [n]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

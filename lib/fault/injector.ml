@@ -3,8 +3,11 @@ module Simtime = Repro_sim.Simtime
 module Pdu = Repro_pdu.Pdu
 module Codec = Repro_pdu.Codec
 
+module Config = Repro_core.Config
+
 type t = {
   n : int;
+  wire : Config.wire_version;
   rng : Prng.t;
   down : bool array;
   mutable group : int array option;  (** group id per entity; -1 = isolated *)
@@ -29,10 +32,11 @@ type stats = {
   duplicated : int;
 }
 
-let create ~n ~seed =
+let create ?(wire = Config.default.Config.wire) ~n ~seed () =
   if n < 2 then invalid_arg "Injector.create: n must be >= 2";
   {
     n;
+    wire;
     rng = Prng.create ~seed:(seed lxor 0xfa017);
     down = Array.make n false;
     group = None;
@@ -127,14 +131,21 @@ let on_pdu t ~dst ~src pdu =
   | Corrupted -> begin
     (* Round-trip through the wire format with one bit flipped: the
        codec's checksum is what stands between a flipped bit and the
-       protocol, so let it render the verdict. *)
-    match Codec.decode (flip_random_bit t (Codec.encode pdu)) with
+       protocol, so let it render the verdict. The frame matches the
+       configured wire version; decoding dispatches on the version byte
+       as the real ingress path does. *)
+    let frame =
+      match t.wire with
+      | Config.V1 -> Codec.encode
+      | Config.V2 -> Codec.encode_v2
+    in
+    match Codec.decode_any (flip_random_bit t (frame pdu)) with
     | Error _ ->
       t.corrupt_dropped <- t.corrupt_dropped + 1;
       []
     | Ok mangled ->
       t.corrupt_passed <- t.corrupt_passed + 1;
-      [ mangled ]
+      mangled
   end
   | Pass 1 -> [ pdu ]
   | Pass _ ->

@@ -36,7 +36,12 @@ type stats = {
   duplicated : int;  (** Copies delivered twice. *)
 }
 
-val create : n:int -> seed:int -> t
+val create :
+  ?wire:Repro_core.Config.wire_version -> n:int -> seed:int -> unit -> t
+(** [wire] (default {!Repro_core.Config.default}'s) selects the codec the
+    corruption path frames with; the verdict is wire-independent because
+    both codecs' checksums reject every single-bit flip. *)
+
 val n : t -> int
 
 val apply : t -> Plan.action -> unit

@@ -1,0 +1,48 @@
+type t = {
+  wire : string;
+  mutable datagrams : int;
+  mutable pdus : int;
+  mutable wire_bytes : int;
+  mutable payload_bytes : int;
+}
+[@@coaudit.allow
+  "egress accounting owned by the single-threaded transport loop that frames \
+   the datagrams; readers only see it between steps"]
+
+let create ~wire = { wire; datagrams = 0; pdus = 0; wire_bytes = 0; payload_bytes = 0 }
+
+let record t ~pdus ~bytes ~payload_bytes =
+  if pdus < 0 || bytes < 0 || payload_bytes < 0 || payload_bytes > bytes then
+    invalid_arg "Wirestats.record";
+  t.datagrams <- t.datagrams + 1;
+  t.pdus <- t.pdus + pdus;
+  t.wire_bytes <- t.wire_bytes + bytes;
+  t.payload_bytes <- t.payload_bytes + payload_bytes
+
+let wire t = t.wire
+let datagrams t = t.datagrams
+let pdus t = t.pdus
+let wire_bytes t = t.wire_bytes
+let payload_bytes t = t.payload_bytes
+let header_bytes t = t.wire_bytes - t.payload_bytes
+
+let header_bytes_per_pdu t =
+  if t.pdus = 0 then Float.nan
+  else float_of_int (header_bytes t) /. float_of_int t.pdus
+
+let pdus_per_datagram t =
+  if t.datagrams = 0 then Float.nan
+  else float_of_int t.pdus /. float_of_int t.datagrams
+
+let to_registry t reg =
+  let labels = [ ("wire", t.wire) ] in
+  let c ~help name v =
+    Registry.counter_set (Registry.counter reg ~help ~name labels) v
+  in
+  c ~help:"Datagrams framed by the wire codec" "co_wire_datagrams_total"
+    t.datagrams;
+  c ~help:"PDUs carried inside framed datagrams" "co_wire_pdus_total" t.pdus;
+  c ~help:"Total framed bytes put on the wire" "co_wire_bytes_total"
+    t.wire_bytes;
+  c ~help:"Framing overhead: framed bytes minus application payload bytes"
+    "co_wire_header_bytes_total" (header_bytes t)

@@ -1,0 +1,38 @@
+(** Wire-level framing accounting for one transport endpoint set.
+
+    Tracks, per codec version, how many datagrams and PDUs were framed and
+    how many of the bytes were protocol header versus application payload —
+    the "header bytes per delivery" series that makes the v2 compression
+    win visible in [BENCH_*.json] artifacts and in the metrics registry.
+    Header bytes are defined as framed bytes minus payload bytes, so the
+    checksum trailer and batch framing count as header. *)
+
+type t
+
+val create : wire:string -> t
+(** [wire] is the label stamped on every exported sample (["v1"]/["v2"]). *)
+
+val record : t -> pdus:int -> bytes:int -> payload_bytes:int -> unit
+(** Account one framed datagram carrying [pdus] PDUs, [bytes] total and
+    [payload_bytes] of application payload. @raise Invalid_argument on
+    negative counts or [payload_bytes > bytes]. *)
+
+val wire : t -> string
+val datagrams : t -> int
+val pdus : t -> int
+val wire_bytes : t -> int
+val payload_bytes : t -> int
+
+val header_bytes : t -> int
+(** [wire_bytes - payload_bytes]. *)
+
+val header_bytes_per_pdu : t -> float
+(** Mean framing overhead per carried PDU; [nan] before any traffic. *)
+
+val pdus_per_datagram : t -> float
+(** Mean batch occupancy; [nan] before any traffic. *)
+
+val to_registry : t -> Registry.t -> unit
+(** Export the counters ([co_wire_datagrams_total], [co_wire_pdus_total],
+    [co_wire_bytes_total], [co_wire_header_bytes_total]) labelled with the
+    wire version. *)

@@ -7,11 +7,17 @@
     rejected rather than parsed into plausible-but-wrong PDUs; [decode]
     never raises on hostile input.
 
-    Layout (DT): kind(1) cid(4) src(2) seq(4) buf(4) n(2) ack(4·n)
+    v1 layout (DT): kind(1) cid(4) src(2) seq(4) buf(4) n(2) ack(4·n)
     len(4) payload(len) cksum(4).
-    Layout (RET): kind(1) cid(4) src(2) lsrc(2) lseq(4) buf(4) n(2) ack(4·n)
-    cksum(4).
-    Layout (CTL): kind(1) cid(4) src(2) buf(4) n(2) ack(4·n) cksum(4). *)
+    v1 layout (RET): kind(1) cid(4) src(2) lsrc(2) lseq(4) buf(4) n(2)
+    ack(4·n) cksum(4).
+    v1 layout (CTL): kind(1) cid(4) src(2) buf(4) n(2) ack(4·n) cksum(4).
+
+    The v2 format (version byte 0xB2, DESIGN.md §14) replaces the
+    fixed-width fields with LEB128 varints, delta-encodes ACK vectors
+    against a chained base, and batches multiple DATA PDUs per datagram
+    under one shared header; {!decode_any} dispatches on the first byte so
+    both formats coexist on one wire during rollout. *)
 
 type error =
   | Truncated  (** Fewer bytes than the layout requires. *)
@@ -19,11 +25,15 @@ type error =
   | Bad_checksum  (** Well-formed but the FNV-1a trailer does not match. *)
   | Trailing of int  (** Extra bytes after a well-formed PDU. *)
   | Invalid of string  (** Structurally valid but violates PDU invariants. *)
+  | Bad_version of int  (** v2 frame whose version byte is not 0xB2. *)
+  | Stale_base
+      (** A v2 delta chain reconstructed an ACK component below 1: the
+          sender compressed against a base the frame does not establish. *)
 
 val pp_error : Format.formatter -> error -> unit
 
 val encode : Pdu.t -> bytes
-(** Fresh buffer containing exactly the encoded PDU. *)
+(** Fresh buffer containing exactly the encoded PDU (v1 format). *)
 
 val decode : bytes -> (Pdu.t, error) result
 (** Inverse of {!encode}; rejects trailing garbage. *)
@@ -32,5 +42,39 @@ val encoded_size : Pdu.t -> int
 (** Byte length {!encode} will produce, without encoding. *)
 
 val header_size : kind:[ `Data | `Ret | `Ctl ] -> n:int -> int
-(** Header bytes (everything except DT payload, checksum trailer included)
-    for cluster size [n] — linear in [n], which experiment E5 tabulates. *)
+(** v1 header bytes (everything except DT payload, checksum trailer
+    included) for cluster size [n] — linear in [n], which experiment E5
+    tabulates. *)
+
+(** {2 v2 wire format}
+
+    Frame: [0xB2 kind body cksum(4)]; the FNV-1a checksum is folded into
+    the single write pass over a preallocated [Bytes] cursor. DATA frames
+    carry a batch: a shared header (cid, n, count, base ACK vector in
+    varint components) followed by per-item sparse deltas — an item's ACK
+    vector is the running base plus its deltas, and then becomes the base
+    for the next item. Decoding reads the datagram in place and never
+    raises on hostile input. *)
+
+val encode_v2 : Pdu.t -> bytes
+(** One-PDU v2 frame (a DATA PDU becomes a batch of one). *)
+
+val encode_data_batch_v2 : Pdu.data list -> bytes
+(** One datagram carrying the whole batch under a shared ACK header, in
+    order. @raise Invalid_argument on an empty batch or mixed cid /
+    cluster size. *)
+
+val decode_v2 : bytes -> (Pdu.t list, error) result
+(** Inverse of {!encode_v2} / {!encode_data_batch_v2}: the PDUs of the
+    frame in batch order (singleton for RET/CTL). Rejects non-canonical
+    varints, out-of-order or zero deltas ([Invalid]), reconstructed ACK
+    components below 1 ([Stale_base]), trailing bytes and checksum
+    mismatches; never raises. *)
+
+val decode_any : bytes -> (Pdu.t list, error) result
+(** Version dispatch on the first byte: 0xB2 frames go to {!decode_v2},
+    anything else to the v1 {!decode} (v1 kind bytes are 0/1/2, so the
+    formats cannot collide). The mixed-version ingress path. *)
+
+val encoded_size_v2 : Pdu.t -> int
+(** Byte length {!encode_v2} will produce, without encoding. *)

@@ -5,16 +5,30 @@ module Codec = Repro_pdu.Codec
 module Simtime = Repro_sim.Simtime
 module Lifecycle = Repro_obs.Lifecycle
 module Registry = Repro_obs.Registry
+module Wirestats = Repro_obs.Wirestats
 
 type timer = { at : Simtime.t; fn : unit -> unit }
+
+(* Where a queued PDU is headed. [All] fans out to every peer (and a
+   loopback self-copy); [One] is a point-to-point send — to self it is a
+   pure in-process delivery. *)
+type dest = All | One of int
 
 type node = {
   id : int;
   socket : Unix.file_descr;
   addr : Unix.sockaddr;
   entity : Entity.t;
+  wire : Config.wire_version;  (** Codec this node frames egress with. *)
+  out : (dest * Pdu.t) Queue.t;  (** Egress queue, drained by [flush]. *)
   mutable rev_delivered : Pdu.data list;
 }
+
+(* Egress batching caps: a run of DATA PDUs to the same destination is
+   packed into one v2 datagram up to these bounds. Both keep a batch
+   well under the 64KiB UDP limit even with maximal ACK vectors. *)
+let max_batch_pdus = 16
+let max_batch_payload = 1024
 
 type t = {
   n : int;
@@ -24,6 +38,7 @@ type t = {
   loss : float;
   started_at : float; (* Unix.gettimeofday at creation *)
   buf : Bytes.t;
+  wirestats : Wirestats.t;
   mutable sent : int;
   mutable dropped : int;
   mutable decode_errors : int;
@@ -38,11 +53,94 @@ type t = {
    Simtime. *)
 let now_us t = int_of_float ((Unix.gettimeofday () -. t.started_at) *. 1e6)
 
-let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
-    =
+let payload_bytes = function
+  | Pdu.Data d -> String.length d.Pdu.payload
+  | Pdu.Ret _ | Pdu.Ctl _ -> 0
+
+let frame_one wire pdu =
+  match wire with Config.V1 -> Codec.encode pdu | Config.V2 -> Codec.encode_v2 pdu
+
+let send_datagram t node ~dst bytes ~pdus ~payload =
+  t.sent <- t.sent + 1;
+  Wirestats.record t.wirestats ~pdus ~bytes:(Bytes.length bytes)
+    ~payload_bytes:payload;
+  ignore
+    (Unix.sendto node.socket bytes 0 (Bytes.length bytes) [] t.nodes.(dst).addr)
+
+let ship t node dest bytes ~pdus ~payload =
+  match dest with
+  | All ->
+    for dst = 0 to t.n - 1 do
+      if dst <> node.id then send_datagram t node ~dst bytes ~pdus ~payload
+    done
+  | One dst -> send_datagram t node ~dst bytes ~pdus ~payload
+
+(* Drain one node's egress queue: coalesce consecutive DATA runs to the
+   same destination into a single v2 batch datagram (v1 nodes frame each
+   PDU alone), collect the loopback self-copies, ship everything, then
+   hand the self-copies to the entity in one batch. Processing those may
+   enqueue more output (confirmations, RET answers), so loop until the
+   queue stays empty. *)
+let rec flush_node t node =
+  if not (Queue.is_empty node.out) then begin
+    let items = List.of_seq (Queue.to_seq node.out) in
+    Queue.clear node.out;
+    let rev_self = ref [] in
+    let loopback pdu = rev_self := pdu :: !rev_self in
+    let rec walk = function
+      | [] -> ()
+      | (dest, Pdu.Data d) :: rest when node.wire = Config.V2 ->
+        let rec take acc payload count = function
+          | (dest', Pdu.Data d') :: tail
+            when dest' = dest && count < max_batch_pdus
+                 && payload + String.length d'.Pdu.payload <= max_batch_payload
+            ->
+            take (d' :: acc)
+              (payload + String.length d'.Pdu.payload)
+              (count + 1) tail
+          | tail -> (List.rev acc, payload, tail)
+        in
+        let batch, payload, rest =
+          take [ d ] (String.length d.Pdu.payload) 1 rest
+        in
+        (match dest with
+        | One dst when dst = node.id ->
+          List.iter (fun d -> loopback (Pdu.Data d)) batch
+        | All | One _ ->
+          let bytes = Codec.encode_data_batch_v2 batch in
+          ship t node dest bytes ~pdus:(List.length batch) ~payload;
+          if dest = All then List.iter (fun d -> loopback (Pdu.Data d)) batch);
+        walk rest
+      | (dest, pdu) :: rest ->
+        (match dest with
+        | One dst when dst = node.id -> loopback pdu
+        | All | One _ ->
+          let bytes = frame_one node.wire pdu in
+          ship t node dest bytes ~pdus:1 ~payload:(payload_bytes pdu);
+          if dest = All then loopback pdu);
+        walk rest
+    in
+    walk items;
+    (match List.rev !rev_self with
+    | [] -> ()
+    | self -> Entity.receive_batch node.entity self);
+    flush_node t node
+  end
+
+let flush_all t = Array.iter (fun node -> flush_node t node) t.nodes
+
+let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
+    ~n () =
   if n < 2 then invalid_arg "Udp_cluster.create: n must be >= 2";
   if loss < 0. || loss > 1. then invalid_arg "Udp_cluster.create: loss";
   Config.validate config;
+  let wires =
+    match wires with
+    | None -> Array.make n config.Config.wire
+    | Some w ->
+      if Array.length w <> n then invalid_arg "Udp_cluster.create: wires";
+      Array.copy w
+  in
   let sockets =
     Array.init n (fun _ ->
         let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
@@ -62,31 +160,9 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
             (let actions =
                {
                  Entity.broadcast =
-                   (fun pdu ->
-                     let t = Option.get !t_ref in
-                     let bytes = Codec.encode pdu in
-                     (* Loopback copy in-process (lossless), peers via UDP. *)
-                     for dst = 0 to t.n - 1 do
-                       if dst = id then
-                         Entity.receive (Lazy.force node).entity pdu
-                       else begin
-                         t.sent <- t.sent + 1;
-                         ignore
-                           (Unix.sendto t.nodes.(id).socket bytes 0
-                              (Bytes.length bytes) [] addrs.(dst))
-                       end
-                     done);
+                   (fun pdu -> Queue.add (All, pdu) (Lazy.force node).out);
                  unicast =
-                   (fun ~dst pdu ->
-                     let t = Option.get !t_ref in
-                     if dst = id then Entity.receive (Lazy.force node).entity pdu
-                     else begin
-                       let bytes = Codec.encode pdu in
-                       t.sent <- t.sent + 1;
-                       ignore
-                         (Unix.sendto t.nodes.(id).socket bytes 0
-                            (Bytes.length bytes) [] addrs.(dst))
-                     end);
+                   (fun ~dst pdu -> Queue.add (One dst, pdu) (Lazy.force node).out);
                  deliver =
                    (fun d ->
                      let node = Lazy.force node in
@@ -105,10 +181,15 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
                socket = sockets.(id);
                addr = addrs.(id);
                entity = Entity.create ~config ~id ~n ~actions;
+               wire = wires.(id);
+               out = Queue.create ();
                rev_delivered = [];
              })
         in
         Lazy.force node)
+  in
+  let uniform =
+    Array.for_all (fun w -> w = wires.(0)) wires
   in
   let t =
     {
@@ -119,6 +200,9 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
       loss;
       started_at = Unix.gettimeofday ();
       buf = Bytes.create 65536;
+      wirestats =
+        Wirestats.create
+          ~wire:(if uniform then Config.wire_name wires.(0) else "mixed");
       sent = 0;
       dropped = 0;
       decode_errors = 0;
@@ -191,7 +275,9 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ~n ()
 
 let size t = t.n
 
-let submit t ~src payload = ignore (Entity.submit t.nodes.(src).entity payload)
+let submit t ~src payload =
+  ignore (Entity.submit t.nodes.(src).entity payload);
+  flush_all t
 
 let fire_due_timers t =
   let fired = ref false in
@@ -204,6 +290,7 @@ let fire_due_timers t =
       timer.fn ()
     | Some _ | None -> continue := false
   done;
+  if !fired then flush_all t;
   !fired
 
 (* Datagrams carry no entity id outside the payload; recover the sender
@@ -221,8 +308,8 @@ let offer t node datagram =
   if t.loss > 0. && Repro_util.Prng.bernoulli t.rng ~p:t.loss then
     t.dropped <- t.dropped + 1
   else begin
-    match Codec.decode datagram with
-    | Ok pdu -> Entity.receive node.entity pdu
+    match Codec.decode_any datagram with
+    | Ok pdus -> Entity.receive_batch node.entity pdus
     | Error _ -> t.decode_errors <- t.decode_errors + 1
   end
 
@@ -269,6 +356,7 @@ let step t ~timeout_s =
         if List.mem node.socket ready then
           if drain_socket t node then got := true)
       t.nodes;
+    flush_all t;
     !got
 
 let run_for t ~seconds =
@@ -280,7 +368,8 @@ let run_for t ~seconds =
 let quiescent t =
   Array.for_all
     (fun node ->
-      Entity.undelivered_data node.entity = 0
+      Queue.is_empty node.out
+      && Entity.undelivered_data node.entity = 0
       && Entity.pending_count node.entity = 0
       && Entity.queued_requests node.entity = 0)
     t.nodes
@@ -317,6 +406,7 @@ let datagrams_dropped t = t.dropped
 let datagrams_faulted t = t.faulted
 let decode_errors t = t.decode_errors
 let lifecycle t = t.lifecycle
+let wirestats t = t.wirestats
 
 let sync_registry t =
   match t.registry with
@@ -335,7 +425,8 @@ let sync_registry t =
     c ~help:"Incoming datagrams dropped by injected loss"
       "co_udp_datagrams_dropped_total" t.dropped;
     c ~help:"Datagrams that failed PDU decoding" "co_udp_decode_errors_total"
-      t.decode_errors
+      t.decode_errors;
+    Wirestats.to_registry t.wirestats reg
 
 let close t =
   if not t.closed then begin

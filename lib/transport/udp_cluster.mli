@@ -18,16 +18,24 @@ val create :
   ?loss:float ->
   ?seed:int ->
   ?config:Repro_core.Config.t ->
+  ?wires:Repro_core.Config.wire_version array ->
   n:int ->
   unit ->
   t
 (** Bind [n] UDP sockets on ephemeral loopback ports and attach one CO entity
-    to each. [loss] drops incoming datagrams iid (after decode, never for an
+    to each. [loss] drops incoming datagrams iid (before decode, never for an
     entity's own loopback, which is delivered in-process). [registry]
     enables receipt-ladder telemetry: every entity gets a probe stamping
     wall-clock microseconds into a {!Repro_obs.Lifecycle.t}; see
-    {!sync_registry}. @raise Unix.Unix_error if sockets cannot be
-    created. *)
+    {!sync_registry}.
+
+    [wires] sets the codec version each node {e frames egress with}
+    (default: every node uses [config.wire]); ingress always dispatches on
+    the version byte, so mixed-version clusters interoperate during a
+    rollout. A v2 node coalesces each burst of outgoing DATA PDUs to the
+    same destination into one batch datagram; a v1 node frames one PDU per
+    datagram. @raise Invalid_argument if [wires] has length <> [n].
+    @raise Unix.Unix_error if sockets cannot be created. *)
 
 val size : t -> int
 
@@ -77,13 +85,21 @@ val datagrams_faulted : t -> int
 (** Datagrams the fault hook discarded outright. *)
 
 val decode_errors : t -> int
+(** Datagrams the decode path rejected (one per bad datagram, however many
+    PDUs it claimed to carry). *)
+
+val wirestats : t -> Repro_obs.Wirestats.t
+(** Egress wire accounting: datagrams, PDUs, total and header bytes put on
+    the wire (loopback self-copies excluded — they never serialize). The
+    [wire] label is the uniform version name, or ["mixed"]. *)
 
 val lifecycle : t -> Repro_obs.Lifecycle.t option
 (** The per-PDU lifecycle tracker, present iff [create] got a [?registry]. *)
 
 val sync_registry : t -> unit
-(** Mirror per-entity protocol counters and the datagram totals into the
-    registry passed at [create]. Idempotent; no-op without one. *)
+(** Mirror per-entity protocol counters, the datagram totals, and the
+    {!wirestats} gauges into the registry passed at [create]. Idempotent;
+    no-op without one. *)
 
 val close : t -> unit
 (** Close all sockets. The [t] must not be used afterwards. *)

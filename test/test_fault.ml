@@ -225,7 +225,7 @@ let test_lint_flags_unpaired_crash_events () =
 (* --- Injector unit behavior --- *)
 
 let test_injector_partition_and_heal () =
-  let inj = Injector.create ~n:4 ~seed:3 in
+  let inj = Injector.create ~n:4 ~seed:3 () in
   let pdu = dt ~src:0 ~seq:1 ~ack:[| 1; 1; 1; 1 |] in
   Injector.apply inj (Plan.Partition [ [ 0; 1 ]; [ 2; 3 ] ]);
   check int_t "same side passes" 1
@@ -239,7 +239,7 @@ let test_injector_partition_and_heal () =
   check int_t "partition drops counted" 1 (Injector.stats inj).partition_drops
 
 let test_injector_corruption_is_caught_by_codec () =
-  let inj = Injector.create ~n:4 ~seed:5 in
+  let inj = Injector.create ~n:4 ~seed:5 () in
   Injector.apply inj (Plan.Corrupt 1.0);
   let pdu = dt ~src:0 ~seq:1 ~ack:[| 1; 1; 1; 1 |] in
   for _ = 1 to 200 do
@@ -250,7 +250,7 @@ let test_injector_corruption_is_caught_by_codec () =
   check int_t "none survived" 0 s.corrupt_passed
 
 let test_injector_down_silences_both_directions () =
-  let inj = Injector.create ~n:4 ~seed:7 in
+  let inj = Injector.create ~n:4 ~seed:7 () in
   let pdu = dt ~src:0 ~seq:1 ~ack:[| 1; 1; 1; 1 |] in
   Injector.apply inj (Plan.Crash 2);
   check bool_t "down" true (Injector.is_down inj 2);

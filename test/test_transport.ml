@@ -118,7 +118,7 @@ let test_garbage_datagrams_ignored () =
 let test_fault_injected_corruption () =
   let t = Udp.create ~config:fast_config ~seed:11 ~n:3 () in
   Fun.protect ~finally:(fun () -> Udp.close t) @@ fun () ->
-  let inj = Repro_fault.Injector.create ~n:3 ~seed:11 in
+  let inj = Repro_fault.Injector.create ~n:3 ~seed:11 () in
   Udp.set_fault_hook t (Repro_fault.Injector.on_datagram inj);
   Repro_fault.Injector.apply inj (Repro_fault.Plan.Corrupt 0.4);
   for k = 1 to 3 do
