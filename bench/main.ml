@@ -727,11 +727,17 @@ let json () =
         Workload.continuous ~n ~per_entity:20 ~interval:(Simtime.of_ms 5) ()
       in
       let registry = Repro_obs.Registry.create () in
-      let _, o = run_co ~registry ~loss ~seed:42 ~n workload in
+      let protocol = { Config.default with Config.tracing = true } in
+      let _, o = run_co ~registry ~protocol ~loss ~seed:42 ~n workload in
       let ladder =
         match o.Experiment.ladder with
         | Some l -> l
         | None -> assert false (* instrumented run *)
+      in
+      let attribution =
+        match o.Experiment.attribution with
+        | Some s -> s
+        | None -> assert false (* traced run *)
       in
       let body =
         String.concat ","
@@ -760,6 +766,8 @@ let json () =
                  ]);
             Printf.sprintf "\"metrics\":%s"
               (Metrics.to_json o.Experiment.metrics);
+            Printf.sprintf "\"delay_attribution\":%s"
+              (Repro_obs.Critpath.summary_to_json attribution);
           ]
       in
       let file = Printf.sprintf "BENCH_%s.json" scenario in

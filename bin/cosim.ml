@@ -90,9 +90,17 @@ let arm_snapshots ~interval_ms ~workload ~table ~series cluster =
   in
   Engine.schedule_after engine ~delay:period tick
 
+(* A .json --trace-out target means Perfetto trace-event JSON (built from
+   the causal-trace recorder); anything else is the legacy event trace for
+   offline linting. *)
+let perfetto_target = function
+  | Some file -> Filename.check_suffix file ".json"
+  | None -> false
+
 let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
-    workload_kind mode show_trace trace_out paranoid quiet metrics_out
+    workload_kind mode show_trace trace_out tracing paranoid quiet metrics_out
     metrics_interval_ms =
+  let tracing = tracing || perfetto_target trace_out in
   let protocol =
     {
       Config.default with
@@ -100,6 +108,7 @@ let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
       defer = Config.Deferred { timeout = Simtime.of_ms defer_ms };
       causality_mode = (if mode = "direct" then Config.Direct else Config.Transitive);
       check_level = (if paranoid then Config.Paranoid else Config.Off);
+      tracing;
     }
   in
   let config =
@@ -139,6 +148,19 @@ let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
   if show_trace then
     Format.printf "%a@." Trace.dump (Cluster.trace cluster);
   (match trace_out with
+  | Some file when perfetto_target trace_out ->
+    let spans =
+      match Cluster.tracer cluster with
+      | Some tr -> Repro_obs.Trace_ctx.spans tr
+      | None -> []
+    in
+    let oc = open_out file in
+    output_string oc (Repro_obs.Critpath.to_perfetto spans);
+    close_out oc;
+    Printf.printf
+      "Perfetto trace written to %s (%d delivery spans; open in \
+       ui.perfetto.dev)\n"
+      file (List.length spans)
   | Some file ->
     Trace.save (Cluster.trace cluster) ~file;
     Printf.printf "trace written to %s (%d events)\n" file
@@ -172,6 +194,10 @@ let run_cmd n per_entity interval_ms duration_ms loss seed window defer_ms
   end;
   (match o.Experiment.ladder with
   | Some ladder when not quiet -> Table.print (Repro_harness.Report.ladder_table ladder)
+  | Some _ | None -> ());
+  (match o.Experiment.attribution with
+  | Some s when not quiet ->
+    Table.print (Repro_harness.Report.attribution_table s)
   | Some _ | None -> ());
   (match (metrics_out, registry) with
   | Some file, Some reg ->
@@ -285,7 +311,8 @@ let compare_cmd n per_entity interval_ms loss seed =
     cb_stalled;
   0
 
-let chaos_cmd plan_name list_plans n seed per_entity wire metrics_out =
+let chaos_cmd plan_name list_plans n seed per_entity wire tracing metrics_out
+    =
   if list_plans then begin
     print_endline "built-in fault plans (cosim chaos <name>):";
     List.iter
@@ -320,7 +347,10 @@ let chaos_cmd plan_name list_plans n seed per_entity wire metrics_out =
     let outcomes =
       List.map
         (fun plan ->
-          let o = Repro_fault.Chaos.run ~n ~seed ~per_entity ~wire ~registry plan in
+          let o =
+            Repro_fault.Chaos.run ~n ~seed ~per_entity ~wire ~tracing
+              ~registry plan
+          in
           Format.printf "%a@.@." Repro_fault.Chaos.pp_outcome o;
           o)
         plans
@@ -385,7 +415,21 @@ let trace_out_arg =
     value
     & opt (some string) None
     & info [ "trace-out" ]
-        ~doc:"Write the trace to $(docv) for offline linting (colint trace).")
+        ~doc:
+          "Write a trace to $(docv). A $(b,.json) target produces \
+           Chrome/Perfetto trace-event JSON from the causal-trace recorder \
+           (implies $(b,--tracing); open in ui.perfetto.dev); any other \
+           target gets the raw event trace for offline linting (colint \
+           trace).")
+
+let tracing_arg =
+  Arg.(
+    value & flag
+    & info [ "tracing" ]
+        ~doc:
+          "Record per-delivery causal traces (trace contexts on the v2 \
+           wire, delay attribution in the report). Never changes protocol \
+           behavior.")
 
 let paranoid_arg =
   Arg.(
@@ -420,8 +464,8 @@ let run_term =
   Term.(
     const run_cmd $ n_arg $ per_entity_arg $ interval_arg $ duration_arg
     $ loss_arg $ seed_arg $ window_arg $ defer_arg $ workload_arg $ mode_arg
-    $ trace_arg $ trace_out_arg $ paranoid_arg $ quiet_arg $ metrics_out_arg
-    $ metrics_interval_arg)
+    $ trace_arg $ trace_out_arg $ tracing_arg $ paranoid_arg $ quiet_arg
+    $ metrics_out_arg $ metrics_interval_arg)
 
 let compare_term =
   Term.(const compare_cmd $ n_arg $ per_entity_arg $ interval_arg $ loss_arg $ seed_arg)
@@ -449,7 +493,7 @@ let chaos_wire_arg =
 let chaos_term =
   Term.(
     const chaos_cmd $ plan_arg $ list_plans_arg $ n_arg $ seed_arg
-    $ chaos_per_entity_arg $ chaos_wire_arg $ metrics_out_arg)
+    $ chaos_per_entity_arg $ chaos_wire_arg $ tracing_arg $ metrics_out_arg)
 
 let examples_term = Term.(const examples_cmd $ const ())
 

@@ -6,6 +6,7 @@ module Topology = Repro_sim.Topology
 module Trace = Repro_sim.Trace
 module Lifecycle = Repro_obs.Lifecycle
 module Registry = Repro_obs.Registry
+module Trace_ctx = Repro_obs.Trace_ctx
 
 type config = {
   n : int;
@@ -48,6 +49,7 @@ type t = {
   causality : Repro_clock.Causality.t;
   rev_data_keys : (int * int) list ref; (* data PDUs, newest first *)
   lifecycle : Lifecycle.t option;
+  tracer : Trace_ctx.t option;
   (* Crash-stop support. [down.(i)] silences entity [i]: its receive handler
      discards, scheduled submissions are skipped, and every timer armed by
      any incarnation checks both flags before firing — a timer armed before
@@ -83,6 +85,11 @@ let create (config : config) =
   let lifecycle =
     Option.map (fun reg -> Lifecycle.create ~registry:reg ()) config.instrument
   in
+  let tracer =
+    if config.protocol.Config.tracing then
+      Some (Trace_ctx.create ~salt:(Trace_ctx.salt_of_seed ~seed:config.seed) ())
+    else None
+  in
   let down = Array.make config.n false in
   let incarnation = Array.make config.n 0 in
   (* Every transmission round-trips through the configured wire codec
@@ -90,11 +97,22 @@ let create (config : config) =
      same encode/decode pair as the UDP transport: a codec bug shows up
      in every sim test, and the wire-version switch is observable to the
      differential suite. The round-trip is the identity on any PDU the
-     entities can legally produce. *)
+     entities can legally produce. With tracing on, v2 DATA frames carry
+     the trace extension — the round-trip then also proves traced frames
+     decode to the same PDUs the protocol handed in. *)
   let frame =
-    match config.protocol.Config.wire with
-    | Config.V1 -> Codec.encode
-    | Config.V2 -> Codec.encode_v2
+    match (config.protocol.Config.wire, tracer) with
+    | Config.V1, _ -> Codec.encode
+    | Config.V2, None -> Codec.encode_v2
+    | Config.V2, Some tr -> (
+      let salt = Trace_ctx.salt tr in
+      fun pdu ->
+        match pdu with
+        | Pdu.Data d ->
+          Codec.encode_traced
+            ~ids:[| Trace_ctx.id ~salt ~src:d.src ~seq:d.seq |]
+            pdu
+        | Pdu.Ret _ | Pdu.Ctl _ -> Codec.encode_v2 pdu)
   in
   let wire_roundtrip pdu =
     match Codec.decode_any (frame pdu) with
@@ -178,55 +196,101 @@ let create (config : config) =
             | Entity.Preacknowledged d -> latency d preack_ms
             | Entity.Acknowledged d -> latency d ack_ms
             | Entity.Gap_detected _ | Entity.Ret_answered _ -> ());
-        (match (lifecycle, config.instrument) with
-        | Some lc, Some reg ->
-          let received =
-            Registry.counter reg
-              ~help:
-                "Data PDUs received, including duplicates and out-of-order"
-              ~name:"co_pdus_received_total"
-              [ ("entity", string_of_int id) ]
-          in
-          let now () = Engine.now engine in
-          let backoff_h =
-            Registry.histogram reg
-              ~help:"RET retry delay after each backoff step, microseconds"
-              ~name:"co_ret_backoff_us"
-              [ ("entity", string_of_int id) ]
-          in
-          Entity.set_probe entity
-            {
-              Entity.on_submit =
-                (fun () -> Lifecycle.submit lc ~src:id ~now:(now ()));
-              on_transmit =
-                (fun d ->
-                  Lifecycle.first_send lc ~src:d.src ~seq:d.seq
-                    ~data:(not (Pdu.is_confirmation d))
-                    ~now:(now ()));
-              on_receive = (fun _ -> Registry.inc received);
-              on_accept =
-                (fun d ->
-                  Lifecycle.accept lc ~entity:id ~src:d.src ~seq:d.seq
-                    ~data:(not (Pdu.is_confirmation d))
-                    ~now:(now ()));
-              on_preack =
-                (fun d ->
-                  Lifecycle.preack lc ~entity:id ~src:d.src ~seq:d.seq
-                    ~data:(not (Pdu.is_confirmation d))
-                    ~now:(now ()));
-              on_ack =
-                (fun d ->
-                  Lifecycle.ack lc ~entity:id ~src:d.src ~seq:d.seq
-                    ~data:(not (Pdu.is_confirmation d))
-                    ~now:(now ()));
-              on_deliver =
-                (fun d ->
-                  Lifecycle.deliver lc ~entity:id ~src:d.src ~seq:d.seq
-                    ~now:(now ()));
-              on_deliver_batch = (fun size -> Lifecycle.deliver_batch lc ~size);
-              on_ret_backoff = (fun delay -> Registry.observe backoff_h delay);
-            }
-        | _ -> ());
+        (* One probe serves both consumers: the lifecycle tracker (present
+           iff instrumented) and the trace recorder (present iff tracing).
+           Either alone installs the probe; with neither the sites stay on
+           the free no-probe path. *)
+        (if Option.is_some lifecycle || Option.is_some tracer then begin
+           let now () = Engine.now engine in
+           let received =
+             Option.map
+               (fun reg ->
+                 Registry.counter reg
+                   ~help:
+                     "Data PDUs received, including duplicates and \
+                      out-of-order"
+                   ~name:"co_pdus_received_total"
+                   [ ("entity", string_of_int id) ])
+               config.instrument
+           in
+           let backoff_h =
+             Option.map
+               (fun reg ->
+                 Registry.histogram reg
+                   ~help:
+                     "RET retry delay after each backoff step, microseconds"
+                   ~name:"co_ret_backoff_us"
+                   [ ("entity", string_of_int id) ])
+               config.instrument
+           in
+           let lc f = match lifecycle with Some l -> f l | None -> () in
+           let tr f = match tracer with Some t -> f t | None -> () in
+           let is_data d = not (Pdu.is_confirmation d) in
+           Entity.set_probe entity
+             {
+               Entity.on_submit =
+                 (fun () -> lc (fun l -> Lifecycle.submit l ~src:id ~now:(now ())));
+               on_transmit =
+                 (fun d ->
+                   lc (fun l ->
+                       Lifecycle.first_send l ~src:d.src ~seq:d.seq
+                         ~data:(is_data d) ~now:(now ()));
+                   if is_data d then
+                     tr (fun t ->
+                         Trace_ctx.on_send t ~src:d.src ~seq:d.seq
+                           ~now:(now ())));
+               on_receive =
+                 (fun d ->
+                   (match received with Some c -> Registry.inc c | None -> ());
+                   if is_data d then
+                     tr (fun t ->
+                         Trace_ctx.on_receive t ~entity:id ~src:d.src
+                           ~seq:d.seq ~now:(now ())));
+               on_park =
+                 (fun d ->
+                   if is_data d then
+                     tr (fun t ->
+                         Trace_ctx.on_park t ~entity:id ~src:d.src ~seq:d.seq));
+               on_accept =
+                 (fun d ->
+                   lc (fun l ->
+                       Lifecycle.accept l ~entity:id ~src:d.src ~seq:d.seq
+                         ~data:(is_data d) ~now:(now ()));
+                   if is_data d then
+                     tr (fun t ->
+                         Trace_ctx.on_accept t ~entity:id ~src:d.src
+                           ~seq:d.seq ~now:(now ())));
+               on_preack =
+                 (fun d ->
+                   lc (fun l ->
+                       Lifecycle.preack l ~entity:id ~src:d.src ~seq:d.seq
+                         ~data:(is_data d) ~now:(now ()));
+                   if is_data d then
+                     tr (fun t ->
+                         Trace_ctx.on_preack t ~entity:id ~src:d.src
+                           ~seq:d.seq ~now:(now ())));
+               on_ack =
+                 (fun d ->
+                   lc (fun l ->
+                       Lifecycle.ack l ~entity:id ~src:d.src ~seq:d.seq
+                         ~data:(is_data d) ~now:(now ())));
+               on_deliver =
+                 (fun d ->
+                   lc (fun l ->
+                       Lifecycle.deliver l ~entity:id ~src:d.src ~seq:d.seq
+                         ~now:(now ()));
+                   tr (fun t ->
+                       Trace_ctx.on_deliver t ~entity:id ~src:d.src ~seq:d.seq
+                         ~now:(now ())));
+               on_deliver_batch =
+                 (fun size -> lc (fun l -> Lifecycle.deliver_batch l ~size));
+               on_ret_backoff =
+                 (fun delay ->
+                   match backoff_h with
+                   | Some h -> Registry.observe h delay
+                   | None -> ());
+             }
+         end);
         entity
   in
   let entities = Array.init config.n (build_entity None) in
@@ -250,6 +314,7 @@ let create (config : config) =
     causality;
     rev_data_keys;
     lifecycle;
+    tracer;
     down;
     incarnation;
     checkpoints = Array.make config.n None;
@@ -282,6 +347,16 @@ let crash t ~id =
   (* Stable-storage model: the checkpoint is written before the crash takes
      effect, as a periodic checkpointer would have. *)
   t.checkpoints.(id) <- Some (Entity.checkpoint t.entities.(id));
+  (* Open telemetry spans die with the incarnation: abandon them (tagged
+     with the incarnation that was running) so post-restart ladder stamps
+     can never stitch onto pre-crash spans. *)
+  (match t.lifecycle with
+  | Some lc ->
+    Lifecycle.abandon_entity lc ~entity:id ~incarnation:t.incarnation.(id)
+  | None -> ());
+  (match t.tracer with
+  | Some tr -> Trace_ctx.abandon_entity tr ~entity:id
+  | None -> ());
   t.down.(id) <- true;
   t.incarnation.(id) <- t.incarnation.(id) + 1;
   Trace.record (Network.trace t.net)
@@ -293,6 +368,11 @@ let restart t ~id =
   if not t.down.(id) then invalid_arg "Cluster.restart: entity is not down";
   t.incarnation.(id) <- t.incarnation.(id) + 1;
   t.down.(id) <- false;
+  (* Keep the recorder's incarnation counter in lockstep with the
+     cluster's (both crash and restart bump it). *)
+  (match t.tracer with
+  | Some tr -> Trace_ctx.abandon_entity tr ~entity:id
+  | None -> ());
   let entity = t.rebuild id t.checkpoints.(id) in
   t.entities.(id) <- entity;
   Trace.record (Network.trace t.net)
@@ -317,6 +397,7 @@ let aggregate_metrics t =
 
 let entity_metrics t i = Entity.metrics t.entities.(i)
 let lifecycle t = t.lifecycle
+let tracer t = t.tracer
 let registry t = t.config.instrument
 
 let sync_metrics t =

@@ -107,6 +107,11 @@ val entity_metrics : t -> int -> Metrics.t
 val lifecycle : t -> Repro_obs.Lifecycle.t option
 (** The per-PDU lifecycle tracker, present iff [config.instrument] was. *)
 
+val tracer : t -> Repro_obs.Trace_ctx.t option
+(** The causal-trace recorder, present iff [config.protocol.tracing];
+    its salt is derived from [config.seed]. Feed its spans to
+    {!Repro_obs.Critpath} for delay attribution and Perfetto export. *)
+
 val registry : t -> Repro_obs.Registry.t option
 (** [config.instrument], for convenience. *)
 

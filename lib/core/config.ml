@@ -29,6 +29,7 @@ type t = {
   check_level : check_level;
   fault : fault option;
   wire : wire_version;
+  tracing : bool;
 }
 
 let default =
@@ -48,6 +49,7 @@ let default =
     check_level = Off;
     fault = None;
     wire = V2;
+    tracing = false;
   }
 
 let validate t =

@@ -110,12 +110,22 @@ type t = {
           rollout. The switch never changes protocol decisions — the
           differential wire-equivalence suite holds v1 and v2 runs
           observationally equal. *)
+  tracing : bool;
+      (** Carry a per-PDU trace context (DESIGN.md §15) on outgoing v2
+          DATA frames and record causal critical paths through the
+          receipt ladder. Costs 8 bytes per DATA item on the wire when
+          on; when off the encoded frames are byte-identical to
+          untraced v2 and the probes never fire. Decoding always
+          accepts traced frames, so traced and untraced nodes
+          interoperate. Like [wire], never changes protocol decisions:
+          the tracing-equivalence suite holds traced and untraced runs
+          observationally equal. *)
 }
 
 val default : t
 (** cid 0, W = 8, H = 1, deferred confirmation with 5ms timeout, 20ms RET
     retry doubling up to 320ms with 20% jitter, anti-entropy on, initial
-    buffer 64, checking off, no fault, v2 wire. *)
+    buffer 64, checking off, no fault, v2 wire, tracing off. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument on nonsensical parameters. *)

@@ -22,6 +22,7 @@ type probe = {
   on_submit : unit -> unit;
   on_transmit : Pdu.data -> unit;
   on_receive : Pdu.data -> unit;
+  on_park : Pdu.data -> unit;
   on_accept : Pdu.data -> unit;
   on_preack : Pdu.data -> unit;
   on_ack : Pdu.data -> unit;
@@ -35,6 +36,7 @@ let probe_nop =
     on_submit = ignore;
     on_transmit = ignore;
     on_receive = ignore;
+    on_park = ignore;
     on_accept = ignore;
     on_preack = ignore;
     on_ack = ignore;
@@ -507,8 +509,10 @@ let handle_data t (p : Pdu.data) =
   else if p.seq > t.req.(j) then begin
     (* Out of sequence: selective repeat buffers it and requests the gap. *)
     t.metrics.out_of_order <- t.metrics.out_of_order + 1;
-    if not (Hashtbl.mem t.pending.(j) p.seq) then
+    if not (Hashtbl.mem t.pending.(j) p.seq) then begin
       Hashtbl.replace t.pending.(j) p.seq p;
+      match t.probe with None -> () | Some pr -> pr.on_park p
+    end;
     note_buf t ~peer:j p.buf;
     check_gap t ~lsrc:j ~bound:p.seq
   end

@@ -51,6 +51,12 @@ type probe = {
           retransmissions do not re-fire this). *)
   on_receive : Repro_pdu.Pdu.data -> unit;
       (** Any incoming data PDU, including duplicates and out-of-order. *)
+  on_park : Repro_pdu.Pdu.data -> unit;
+      (** An out-of-sequence data PDU was buffered to wait for RET gap
+          repair (first park only; duplicate arrivals of a parked PDU do
+          not re-fire). Fires after {!on_receive} for the same PDU. The
+          delay attributor uses it to classify the PDU's accept wait as
+          RET recovery rather than batch queueing. *)
   on_accept : Repro_pdu.Pdu.data -> unit;
   on_preack : Repro_pdu.Pdu.data -> unit;
   on_ack : Repro_pdu.Pdu.data -> unit;

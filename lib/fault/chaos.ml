@@ -23,6 +23,8 @@ type outcome = {
   recoveries : int;
   lint_issues : Trace_lint.issue list;
   stats : Injector.stats;
+  delay_attribution : Repro_obs.Critpath.summary option;
+  spans_abandoned : int;
   ok : bool;
 }
 
@@ -67,12 +69,15 @@ let sorted_tags keys ~tag_of =
   List.sort_uniq Int.compare (List.map tag_of keys)
 
 let run ?(n = 4) ?(seed = 1) ?(per_entity = 6)
-    ?(wire = Repro_core.Config.default.Repro_core.Config.wire) ?registry
+    ?(wire = Repro_core.Config.default.Repro_core.Config.wire)
+    ?(tracing = Repro_core.Config.default.Repro_core.Config.tracing) ?registry
     (plan : Plan.t) =
   Plan.validate ~n plan;
   let reg = match registry with Some r -> r | None -> Registry.create () in
   let cfg = Cluster.default_config ~n in
-  let protocol = { cfg.Cluster.protocol with Repro_core.Config.wire } in
+  let protocol =
+    { cfg.Cluster.protocol with Repro_core.Config.wire; tracing }
+  in
   let cfg = { cfg with seed; instrument = Some reg; protocol } in
   let cluster = Cluster.create cfg in
   let injector = Injector.create ~wire ~n ~seed () in
@@ -133,6 +138,20 @@ let run ?(n = 4) ?(seed = 1) ?(per_entity = 6)
   in
   let lint_issues = Trace_lint.lint_trace ~n (Cluster.trace cluster) in
   let ret_retries = (Cluster.aggregate_metrics cluster).ret_retries in
+  let delay_attribution =
+    match Cluster.tracer cluster with
+    | None -> None
+    | Some tr ->
+      (* Aggregate into the registry too, so chaos telemetry exposes the
+         same co_delay_attrib_us families a production scrape would. *)
+      Repro_obs.Critpath.to_registry reg (Repro_obs.Trace_ctx.spans tr);
+      Some (Repro_obs.Critpath.of_recorder tr)
+  in
+  let spans_abandoned =
+    match Cluster.lifecycle cluster with
+    | None -> 0
+    | Some lc -> Repro_obs.Lifecycle.spans_abandoned lc
+  in
   {
     plan = plan.name;
     seed;
@@ -150,6 +169,8 @@ let run ?(n = 4) ?(seed = 1) ?(per_entity = 6)
     recoveries = Watchdog.recoveries dog;
     lint_issues;
     stats = Injector.stats injector;
+    delay_attribution;
+    spans_abandoned;
     ok =
       live <> [] && Oracle.ok report && converged && quiescent
       && lint_issues = [];
@@ -182,4 +203,9 @@ let pp_outcome ppf o =
     o.lint_issues;
   Format.fprintf ppf "  ret retries=%d backoff samples=%d watchdog kicks=%d@,"
     o.ret_retries o.backoff_samples o.recoveries;
+  (match o.delay_attribution with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf "  spans abandoned by crashes: %d@," o.spans_abandoned;
+    Format.fprintf ppf "  %a@," Repro_obs.Critpath.pp_summary s);
   Format.fprintf ppf "  injector: %a@]" Injector.pp_stats o.stats

@@ -40,6 +40,13 @@ type outcome = {
   recoveries : int;  (** Watchdog kicks issued. *)
   lint_issues : Repro_check.Trace_lint.issue list;
   stats : Injector.stats;
+  delay_attribution : Repro_obs.Critpath.summary option;
+      (** Per-cause decomposition of delivery latency, present iff the run
+          was traced. Crashed entities contribute to its [abandoned]
+          count; spans never stitch across an entity's incarnations. *)
+  spans_abandoned : int;
+      (** Lifecycle spans cut short by entity crashes
+          ([co_spans_abandoned_total] over the run). *)
   ok : bool;  (** The full verdict above. *)
 }
 
@@ -48,6 +55,7 @@ val run :
   ?seed:int ->
   ?per_entity:int ->
   ?wire:Repro_core.Config.wire_version ->
+  ?tracing:bool ->
   ?registry:Repro_obs.Registry.t ->
   Plan.t ->
   outcome
@@ -57,8 +65,11 @@ val run :
     {!Repro_core.Config.default}'s) selects the codec version the cluster
     and injector frame with; two runs differing only in [wire] must be
     observationally identical — the wire-equivalence suite asserts it.
-    When [registry] is omitted a private one is created; pass one to
-    inspect the full telemetry afterwards. @raise Invalid_argument if the
-    plan fails {!Plan.validate} against [n]. *)
+    [tracing] (default [Config.default.tracing]) turns on the causal-trace
+    recorder and fills [delay_attribution]; it must likewise never change
+    the observable run. When [registry] is omitted a private one is
+    created; pass one to inspect the full telemetry afterwards.
+    @raise Invalid_argument if the plan fails {!Plan.validate} against
+    [n]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -17,6 +17,7 @@ type outcome = {
   sim_end_ms : float;
   events : int;
   ladder : Repro_obs.Lifecycle.ladder option;
+  attribution : Repro_obs.Critpath.summary option;
 }
 
 let run ?(max_events = 20_000_000) ?registry ?on_cluster ~config ~workload ()
@@ -52,6 +53,15 @@ let run ?(max_events = 20_000_000) ?registry ?on_cluster ~config ~workload ()
       sim_end_ms = Repro_sim.Simtime.to_ms (Engine.now (Cluster.engine cluster));
       events = Engine.processed (Cluster.engine cluster);
       ladder = Option.map Repro_obs.Lifecycle.ladder (Cluster.lifecycle cluster);
+      attribution =
+        Option.map
+          (fun tr ->
+            (match Cluster.registry cluster with
+            | Some reg ->
+              Repro_obs.Critpath.to_registry reg (Repro_obs.Trace_ctx.spans tr)
+            | None -> ());
+            Repro_obs.Critpath.of_recorder tr)
+          (Cluster.tracer cluster);
     }
   in
   (cluster, outcome)

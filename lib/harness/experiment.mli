@@ -17,6 +17,10 @@ type outcome = {
   ladder : Repro_obs.Lifecycle.ladder option;
       (** Receipt-ladder latency snapshots (µs), present iff the run was
           instrumented. *)
+  attribution : Repro_obs.Critpath.summary option;
+      (** Per-cause delivery-delay decomposition, present iff
+          [config.protocol.tracing]. When a registry is attached the
+          [co_delay_attrib_us] histograms are populated too. *)
 }
 
 val run :

@@ -63,3 +63,43 @@ let ladder_table ?(title = "Receipt ladder (first send -> stage)")
   row "ack" ladder.Repro_obs.Lifecycle.ack;
   row "deliver" ladder.Repro_obs.Lifecycle.deliver;
   tbl
+
+let attribution_table ?(title = "Delivery delay attribution")
+    (s : Repro_obs.Critpath.summary) =
+  let tbl =
+    Table.create ~title
+      ~columns:
+        [
+          ("cause", Table.Left);
+          ("segments", Table.Right);
+          ("total ms", Table.Right);
+          ("max ms", Table.Right);
+          ("share", Table.Right);
+        ]
+  in
+  let ms us = Table.fmt_float ~digits:3 (float_of_int us /. 1000.) in
+  let attributed = s.Repro_obs.Critpath.attributed_us in
+  List.iter
+    (fun (b : Repro_obs.Critpath.by_cause) ->
+      Table.add_row tbl
+        [
+          Repro_obs.Critpath.cause_name b.cause;
+          Table.fmt_int b.seg_count;
+          ms b.total_us;
+          ms b.max_us;
+          (if attributed = 0 then "-"
+           else
+             Printf.sprintf "%.1f%%"
+               (100. *. float_of_int b.total_us /. float_of_int attributed));
+        ])
+    s.Repro_obs.Critpath.by_cause;
+  Table.add_rule tbl;
+  Table.add_row tbl
+    [
+      Printf.sprintf "total (%d spans)" s.Repro_obs.Critpath.spans;
+      "";
+      ms attributed;
+      "";
+      (if attributed = 0 then "-" else "100.0%");
+    ];
+  tbl

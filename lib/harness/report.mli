@@ -20,3 +20,11 @@ val ladder_table :
     stage (submit queue, then accept / preack / ack / deliver) with sample
     count, mean and p50/p90/p99 in milliseconds (quantiles are log₂-bucket
     upper bounds, see {!Repro_obs.Histogram}). *)
+
+val attribution_table :
+  ?title:string -> Repro_obs.Critpath.summary -> Repro_util.Table.t
+(** Render the per-cause delivery-delay decomposition: one row per
+    segment class (net / batch_queue / ret_recovery / cpi_wait /
+    ack_wait) with segment count, total and max milliseconds, and share
+    of attributed time, plus a total row — shares sum to 100% because
+    segments cover delivery latency exactly. *)

@@ -1,0 +1,217 @@
+type cause = Net | Batch_queue | Ret_recovery | Cpi_wait | Ack_wait
+
+let cause_name = function
+  | Net -> "net"
+  | Batch_queue -> "batch_queue"
+  | Ret_recovery -> "ret_recovery"
+  | Cpi_wait -> "cpi_wait"
+  | Ack_wait -> "ack_wait"
+
+let causes = [ Net; Batch_queue; Ret_recovery; Cpi_wait; Ack_wait ]
+
+let seg d = if d < 0 then 0 else d
+
+let segments (s : Trace_ctx.span) =
+  [
+    (Net, seg (s.t_recv - s.t_send));
+    ((if s.parked then Ret_recovery else Batch_queue), seg (s.t_accept - s.t_recv));
+    (Cpi_wait, seg (s.t_preack - s.t_accept));
+    (Ack_wait, seg (s.t_deliver - s.t_preack));
+  ]
+
+type by_cause = { cause : cause; seg_count : int; total_us : int; max_us : int }
+
+type summary = {
+  spans : int;
+  abandoned : int;
+  incomplete : int;
+  end_to_end_us : int;
+  attributed_us : int;
+  by_cause : by_cause list;
+}
+
+let cause_index = function
+  | Net -> 0
+  | Batch_queue -> 1
+  | Ret_recovery -> 2
+  | Cpi_wait -> 3
+  | Ack_wait -> 4
+
+let summarize ?recorder spans =
+  let k = List.length causes in
+  let count = Array.make k 0
+  and total = Array.make k 0
+  and m = Array.make k 0 in
+  let n = ref 0
+  and e2e = ref 0
+  and attributed = ref 0 in
+  List.iter
+    (fun (s : Trace_ctx.span) ->
+      incr n;
+      e2e := !e2e + seg (s.t_deliver - s.t_send);
+      List.iter
+        (fun (c, d) ->
+          let i = cause_index c in
+          count.(i) <- count.(i) + 1;
+          total.(i) <- total.(i) + d;
+          if d > m.(i) then m.(i) <- d;
+          attributed := !attributed + d)
+        (segments s))
+    spans;
+  {
+    spans = !n;
+    abandoned = (match recorder with Some r -> Trace_ctx.abandoned r | None -> 0);
+    incomplete =
+      (match recorder with Some r -> Trace_ctx.incomplete r | None -> 0);
+    end_to_end_us = !e2e;
+    attributed_us = !attributed;
+    by_cause =
+      List.map
+        (fun c ->
+          let i = cause_index c in
+          { cause = c; seg_count = count.(i); total_us = total.(i); max_us = m.(i) })
+        causes;
+  }
+
+let of_recorder r = summarize ~recorder:r (Trace_ctx.spans r)
+
+let to_registry reg spans =
+  let h c =
+    Registry.histogram reg
+      ~help:
+        "Per-delivery critical-path time attributed to each delay cause \
+         (net / batch_queue / ret_recovery / cpi_wait / ack_wait); the \
+         causes of one delivery sum to its end-to-end latency"
+      ~scale:1e-6 ~name:"co_delay_attrib_us"
+      [ ("cause", cause_name c) ]
+  in
+  let hs = Array.of_list (List.map h causes) in
+  let spans_total =
+    Registry.counter reg
+      ~help:"Completed per-delivery trace spans analyzed for attribution"
+      ~name:"co_trace_spans_total" []
+  in
+  List.iter
+    (fun (s : Trace_ctx.span) ->
+      Registry.inc spans_total;
+      List.iter
+        (fun (c, d) -> Registry.observe hs.(cause_index c) d)
+        (segments s))
+    spans
+
+let share total part =
+  if total <= 0 then 0. else float_of_int part /. float_of_int total
+
+let summary_to_json s =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"spans\": %d, \"abandoned\": %d, \"incomplete\": %d, \
+        \"end_to_end_us\": %d, \"attributed_us\": %d, \"by_cause\": {"
+       s.spans s.abandoned s.incomplete s.end_to_end_us s.attributed_us);
+  List.iteri
+    (fun i bc ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\": {\"segments\": %d, \"total_us\": %d, \"max_us\": %d, \
+            \"share\": %.4f}"
+           (cause_name bc.cause) bc.seg_count bc.total_us bc.max_us
+           (share s.attributed_us bc.total_us)))
+    s.by_cause;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "delay attribution: %d spans (%d abandoned, %d incomplete), end-to-end %d \
+     us@\n"
+    s.spans s.abandoned s.incomplete s.end_to_end_us;
+  List.iter
+    (fun bc ->
+      Format.fprintf ppf "  %-12s %8d us  %5.1f%%  (max %d us, %d segs)@\n"
+        (cause_name bc.cause) bc.total_us
+        (100. *. share s.attributed_us bc.total_us)
+        bc.max_us bc.seg_count)
+    s.by_cause
+
+(* --- Perfetto / Chrome trace-event export --------------------------- *)
+
+(* Hand-rolled emission: event fields are ints and names we control, so
+   the only escaping concern is none at all; Jsonx would cost a tree per
+   event. The output is the legacy-JSON array format, which both
+   chrome://tracing and Perfetto's ingestion accept. *)
+
+let ev b ~first fmt =
+  if not !first then Buffer.add_string b ",\n" else first := false;
+  Buffer.add_string b "  ";
+  Printf.ksprintf (Buffer.add_string b) fmt
+
+let to_perfetto spans =
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  (* Track metadata: one process per entity, sorted by id. *)
+  let entities = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Trace_ctx.span) ->
+      Hashtbl.replace entities s.entity ();
+      Hashtbl.replace entities s.src ())
+    spans;
+  Hashtbl.fold (fun e () acc -> e :: acc) entities []
+  |> List.sort Int.compare
+  |> List.iter (fun e ->
+         ev b ~first
+           "{\"ph\": \"M\", \"pid\": %d, \"tid\": 1, \"name\": \
+            \"process_name\", \"args\": {\"name\": \"entity %d\"}}"
+           e e;
+         ev b ~first
+           "{\"ph\": \"M\", \"pid\": %d, \"tid\": 1, \"name\": \
+            \"process_sort_index\", \"args\": {\"sort_index\": %d}}"
+           e e);
+  List.iter
+    (fun (s : Trace_ctx.span) ->
+      let tid = Printf.sprintf "%Lx" s.trace_id in
+      (* Origin send: instant + flow start toward this entity's arrival.
+         The flow id must be unique per edge, so it carries the
+         destination entity alongside the trace id. *)
+      ev b ~first
+        "{\"ph\": \"i\", \"pid\": %d, \"tid\": 1, \"ts\": %d, \"s\": \"t\", \
+         \"name\": \"send %d:%d\", \"cat\": \"send\", \"args\": \
+         {\"trace_id\": \"%s\"}}"
+        s.src s.t_send s.src s.seq tid;
+      ev b ~first
+        "{\"ph\": \"s\", \"pid\": %d, \"tid\": 1, \"ts\": %d, \"id\": \
+         \"%s.%d\", \"name\": \"co\", \"cat\": \"causal\"}"
+        s.src s.t_send tid s.entity;
+      ev b ~first
+        "{\"ph\": \"f\", \"bp\": \"e\", \"pid\": %d, \"tid\": 1, \"ts\": %d, \
+         \"id\": \"%s.%d\", \"name\": \"co\", \"cat\": \"causal\"}"
+        s.entity s.t_recv tid s.entity;
+      (* Delivery span enclosing its segments. Complete events on one
+         thread nest by containment, giving the ladder a flame shape. *)
+      ev b ~first
+        "{\"ph\": \"X\", \"pid\": %d, \"tid\": 1, \"ts\": %d, \"dur\": %d, \
+         \"name\": \"deliver %d:%d\", \"cat\": \"pdu\", \"args\": \
+         {\"trace_id\": \"%s\", \"src\": %d, \"seq\": %d, \"incarnation\": \
+         %d}}"
+        s.entity s.t_recv
+        (max 0 (s.t_deliver - s.t_recv))
+        s.src s.seq tid s.src s.seq s.incarnation;
+      let t = ref s.t_recv in
+      List.iter
+        (fun (c, d) ->
+          match c with
+          | Net -> () (* precedes arrival; represented by the flow arrow *)
+          | Batch_queue | Ret_recovery | Cpi_wait | Ack_wait ->
+            if d > 0 then
+              ev b ~first
+                "{\"ph\": \"X\", \"pid\": %d, \"tid\": 1, \"ts\": %d, \
+                 \"dur\": %d, \"name\": \"%s\", \"cat\": \"segment\", \
+                 \"args\": {\"trace_id\": \"%s\"}}"
+                s.entity !t d (cause_name c) tid;
+            t := !t + d)
+        (segments s))
+    spans;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

@@ -1,0 +1,92 @@
+(** Causal critical-path analysis over recorded trace spans.
+
+    Each completed {!Trace_ctx.span} is cut into consecutive per-hop
+    segments covering the whole origin-send → delivery interval, each
+    attributed to one {!cause}:
+
+    - [Net] — origin's first broadcast to first arrival at the entity
+      (propagation, transmission, inbox service);
+    - [Ret_recovery] — arrival to acceptance for a PDU that arrived
+      out-of-sequence and sat parked until RET selective repeat repaired
+      the gap;
+    - [Batch_queue] — arrival to acceptance for an in-sequence PDU
+      (receive-burst queueing and drain order within the batch);
+    - [Cpi_wait] — acceptance to pre-acknowledgment: blocked on the
+      minAL gate, i.e. on evidence that every causal predecessor has
+      been received cluster-wide;
+    - [Ack_wait] — pre-acknowledgment to delivery: blocked on the minPAL
+      quorum gate.
+
+    The segments of a span sum {e exactly} to its end-to-end delivery
+    latency, so the aggregate per-cause totals decompose the measured
+    latency with nothing unattributed — the property the BENCH
+    [delay_attribution] acceptance check rides on.
+
+    Aggregation targets: [co_delay_attrib_us{cause=...}] histograms plus
+    a [co_trace_spans_total] counter in a {!Registry}, a plain
+    {!summary} for BENCH JSON and report tables, and Chrome/Perfetto
+    trace-event JSON ({!to_perfetto}) with one track per entity,
+    per-delivery segment spans and flow arrows along the causal
+    send→receive edges. *)
+
+type cause = Net | Batch_queue | Ret_recovery | Cpi_wait | Ack_wait
+
+val cause_name : cause -> string
+(** ["net"], ["batch_queue"], ["ret_recovery"], ["cpi_wait"],
+    ["ack_wait"] — the closed set of [cause=] label values; the metrics
+    lint rejects anything else. *)
+
+val causes : cause list
+(** All causes, in ladder order. *)
+
+val segments : Trace_ctx.span -> (cause * int) list
+(** Consecutive segments of one span, in time order, durations in µs
+    (clamped at 0 against clock quirks); they sum to
+    [t_deliver - t_send]. Zero-length segments are kept so every span
+    contributes to every applicable cause's sample count. *)
+
+type by_cause = {
+  cause : cause;
+  seg_count : int;  (** Segments observed (≤ one per span per cause). *)
+  total_us : int;
+  max_us : int;
+}
+
+type summary = {
+  spans : int;  (** Completed delivery spans analyzed. *)
+  abandoned : int;  (** Partial spans discarded at entity crashes. *)
+  incomplete : int;  (** Deliveries with missing stamps, dropped. *)
+  end_to_end_us : int;  (** Σ (t_deliver − t_send) over spans. *)
+  attributed_us : int;  (** Σ segment durations — equals [end_to_end_us]. *)
+  by_cause : by_cause list;  (** Ladder order; every cause present. *)
+}
+
+val summarize : ?recorder:Trace_ctx.t -> Trace_ctx.span list -> summary
+(** [recorder] supplies the abandoned/incomplete counts (0 when
+    omitted). *)
+
+val of_recorder : Trace_ctx.t -> summary
+
+val to_registry : Registry.t -> Trace_ctx.span list -> unit
+(** Observe every segment into [co_delay_attrib_us{cause=...}] (exposed
+    in seconds via the 1e-6 scale, like the ladder histograms) and add
+    the span count to [co_trace_spans_total]. *)
+
+val summary_to_json : summary -> string
+(** The BENCH [delay_attribution] object: span/abandoned/incomplete
+    counts, end-to-end and attributed totals, and a [by_cause] object
+    keyed by cause name with [segments]/[total_us]/[max_us]/[share]
+    fields. Deterministic field order; no trailing newline. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable per-cause table (share of attributed time). *)
+
+val to_perfetto : Trace_ctx.span list -> string
+(** Chrome trace-event JSON ({["traceEvents"]} array format) loadable in
+    Perfetto / [chrome://tracing]: one process ("track") per entity with
+    a metadata name record, one complete event per delivery span
+    enclosing one complete event per segment, an instant event at each
+    origin send, and a flow arrow (s/f pair keyed by the trace id and
+    destination) from each origin send to the matching first arrival.
+    Timestamps are the spans' µs stamps; trace ids are rendered as hex
+    strings in [args]. *)

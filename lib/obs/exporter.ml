@@ -266,6 +266,8 @@ let le_value v =
   | "+inf" | "inf" -> Some infinity
   | v -> float_of_string_opt v
 
+let cause_labels = List.map Critpath.cause_name Critpath.causes
+
 let lint text =
   let errors = ref [] in
   let err line msg =
@@ -326,6 +328,18 @@ let lint text =
         | p ->
           incr nsamples;
           if Float.is_nan p.p_value then err lineno "NaN value";
+          (* The delay-attribution cause is a closed enum: a new segment
+             class must be added to Critpath (and its dashboards) before it
+             may appear on the wire, so a stray value is a bug, not a new
+             dimension. *)
+          List.iter
+            (fun (k, v) ->
+              if String.equal k "cause" && not (List.mem v cause_labels) then
+                err lineno
+                  (Printf.sprintf
+                     "unknown cause=%S on %s (expected one of %s)" v p.p_name
+                     (String.concat "|" cause_labels)))
+            p.p_labels;
           let histo = base_histogram p.p_name in
           let kind =
             match histo with

@@ -24,5 +24,9 @@ val lint : string -> (int, string list) result
     ([name{labels} value]), every sampled family has a [# TYPE], values are
     finite and never NaN, counter and histogram samples are nonnegative
     (negative latency is a stamping bug), cumulative bucket counts are
-    monotone and end in a [+Inf] bucket that agrees with [_count].
+    monotone and end in a [+Inf] bucket that agrees with [_count], and —
+    on any family, but in practice the delay-attribution histograms
+    [co_delay_attrib_us] and the [co_trace_spans_total] /
+    [co_spans_abandoned_total] counters — every [cause] label value is
+    from {!Critpath.causes}'s closed name set.
     [Ok n] is the number of sample lines; [Error es] lists every issue. *)

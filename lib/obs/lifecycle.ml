@@ -3,6 +3,12 @@ type t = {
   send_at : (int * int, int) Hashtbl.t; (* (src, seq) -> first-send time *)
   submit_q : (int, int Queue.t) Hashtbl.t; (* src -> pending submit times *)
   spans : (int * int * int, unit) Hashtbl.t; (* (entity, src, seq) open *)
+  (* Spans cut short by an entity crash, keyed like [spans] and mapped to
+     the incarnation they died under. Post-restart ladder stamps for these
+     PDUs are expected (the checkpointed entity resumes mid-ladder) and
+     must be neither errors nor stitched onto the dead span. *)
+  abandoned_keys : (int * int * int, int) Hashtbl.t;
+  mutable abandoned : int;
   mutable opened : int;
   mutable closed : int;
   mutable close_errs : int;
@@ -31,6 +37,8 @@ let create ?registry () =
     send_at = Hashtbl.create 1024;
     submit_q = Hashtbl.create 16;
     spans = Hashtbl.create 1024;
+    abandoned_keys = Hashtbl.create 16;
+    abandoned = 0;
     opened = 0;
     closed = 0;
     close_errs = 0;
@@ -106,8 +114,12 @@ let accept t ~entity ~src ~seq ~data ~now =
   stage_latency t t.h_accept ~src ~seq ~now
 
 let preack t ~entity ~src ~seq ~data ~now =
-  if data && not (Hashtbl.mem t.spans (entity, src, seq)) then
-    t.order_errs <- t.order_errs + 1;
+  let skey = (entity, src, seq) in
+  if
+    data
+    && (not (Hashtbl.mem t.spans skey))
+    && not (Hashtbl.mem t.abandoned_keys skey)
+  then t.order_errs <- t.order_errs + 1;
   stage_latency t t.h_preack ~src ~seq ~now
 
 let ack t ~entity ~src ~seq ~data ~now =
@@ -117,7 +129,8 @@ let ack t ~entity ~src ~seq ~data ~now =
       Hashtbl.remove t.spans skey;
       t.closed <- t.closed + 1
     end
-    else t.close_errs <- t.close_errs + 1
+    else if not (Hashtbl.mem t.abandoned_keys skey) then
+      t.close_errs <- t.close_errs + 1
   end;
   stage_latency t t.h_ack ~src ~seq ~now
 
@@ -126,10 +139,45 @@ let deliver_batch t ~size =
 
 let deliver t ~entity ~src ~seq ~now =
   (* Delivery happens inside acknowledgment, so the span must still be
-     open when the probe fires. *)
-  if not (Hashtbl.mem t.spans (entity, src, seq)) then
-    t.order_errs <- t.order_errs + 1;
+     open when the probe fires — unless a crash abandoned it and the
+     restarted incarnation is completing the ladder from its checkpoint. *)
+  let skey = (entity, src, seq) in
+  if
+    (not (Hashtbl.mem t.spans skey))
+    && not (Hashtbl.mem t.abandoned_keys skey)
+  then t.order_errs <- t.order_errs + 1;
   stage_latency t t.h_deliver ~src ~seq ~now
+
+let abandon_entity t ~entity ~incarnation =
+  let stale =
+    Hashtbl.fold
+      (fun ((e, _, _) as key) () acc -> if e = entity then key :: acc else acc)
+      t.spans []
+  in
+  (match stale with
+  | [] -> ()
+  | _ :: _ ->
+    let c =
+      Registry.counter t.reg
+        ~help:
+          "Lifecycle spans cut short by an entity crash, tagged with the \
+           incarnation that died; abandoned spans are closed, never \
+           stitched onto the restarted incarnation"
+        ~name:"co_spans_abandoned_total"
+        [
+          ("entity", string_of_int entity);
+          ("incarnation", string_of_int incarnation);
+        ]
+    in
+    List.iter
+      (fun key ->
+        Hashtbl.remove t.spans key;
+        Hashtbl.replace t.abandoned_keys key incarnation;
+        t.abandoned <- t.abandoned + 1;
+        Registry.inc c)
+      stale)
+
+let spans_abandoned t = t.abandoned
 
 type ladder = {
   queue : Histogram.snapshot;

@@ -60,6 +60,17 @@ val deliver_batch : t -> size:int -> unit
     [co_deliver_batch_size] histogram (a count, not a latency); zero-sized
     scans are not recorded. *)
 
+val abandon_entity : t -> entity:int -> incarnation:int -> unit
+(** Entity [entity] crashed while running as [incarnation]: close its
+    open spans as {e abandoned} — counted in {!spans_abandoned} and the
+    [co_spans_abandoned_total{entity=...,incarnation=...}] counter —
+    instead of leaking them or letting the restarted incarnation's
+    ladder stamps stitch onto them. The abandoned keys are remembered:
+    post-restart preack/ack/deliver stamps for those PDUs (the
+    checkpointed entity resumes mid-ladder) are accepted silently rather
+    than flagged as span errors, but they never reopen or close a
+    span. *)
+
 (** {2 Results} *)
 
 type ladder = {
@@ -74,6 +85,9 @@ val ladder : t -> ladder
 
 val spans_opened : t -> int
 val spans_closed : t -> int
+
+val spans_abandoned : t -> int
+(** Spans closed by {!abandon_entity} rather than by acknowledgment. *)
 
 val open_spans : t -> int
 (** Accepted but not yet acknowledged (entity, PDU) pairs — 0 at

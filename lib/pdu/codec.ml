@@ -211,6 +211,15 @@ let decode buf =
    CTL (kind 2): cid:uv n:uv src:uv buf:uv ack:uv^n. *)
 
 let version_v2 = 0xB2
+
+(* Traced v2 frame (DESIGN.md §15): identical DATA-batch body under its
+   own version byte, followed by one 8-byte big-endian trace id per item
+   between the last payload and the checksum. The ids are opaque to the
+   protocol — decoding surfaces them only through [decode_traced] — so a
+   node that does not trace still decodes traced frames, and tracing off
+   leaves the 0xB2 byte stream untouched. Only DATA is ever traced:
+   RET/CTL PDUs are unsequenced and have no per-PDU trace context. *)
+let version_v2t = 0xB3
 let kind2_data = 0
 let kind2_ret = 1
 let kind2_ctl = 2
@@ -301,7 +310,14 @@ let put_trailer wr =
   Bytes.set_int32_be wr.b wr.pos (Int32.of_int wr.h);
   wr.pos <- wr.pos + 4
 
-let encode_data_batch_v2 (items : Pdu.data list) =
+(* One 8-byte trace id per item, folded through [put] so the running
+   FNV-1a state covers it like every other body byte. *)
+let put_id wr id =
+  for k = 7 downto 0 do
+    put wr (Int64.to_int (Int64.shift_right_logical id (8 * k)) land 0xff)
+  done
+
+let encode_data_batch_gen ~version ~ids (items : Pdu.data list) =
   (match items with
   | [] -> invalid_arg "Codec.encode_data_batch_v2: empty batch"
   | first :: rest ->
@@ -314,10 +330,15 @@ let encode_data_batch_v2 (items : Pdu.data list) =
         if Array.length d.ack <> n then
           invalid_arg "Codec.encode_data_batch_v2: mixed cluster size")
       rest);
+  (match ids with
+  | Some ids when Array.length ids <> List.length items ->
+    invalid_arg "Codec.encode_data_batch_traced: one trace id per item"
+  | Some _ | None -> ());
   let first = List.hd items in
   let base, plan = batch_plan items in
-  let wr = fresh_writer2 (batch_size items) in
-  put wr version_v2;
+  let extra = match ids with Some ids -> 8 * Array.length ids | None -> 0 in
+  let wr = fresh_writer2 (batch_size items + extra) in
+  put wr version;
   put wr kind2_data;
   put_uv wr first.Pdu.cid;
   put_uv wr (Array.length base);
@@ -337,9 +358,18 @@ let encode_data_batch_v2 (items : Pdu.data list) =
       put_uv wr (String.length d.payload);
       put_str wr d.payload)
     plan;
+  (match ids with
+  | Some ids -> Array.iter (put_id wr) ids
+  | None -> ());
   put_trailer wr;
   assert (wr.pos = Bytes.length wr.b);
   wr.b
+
+let encode_data_batch_v2 items =
+  encode_data_batch_gen ~version:version_v2 ~ids:None items
+
+let encode_data_batch_traced ~ids items =
+  encode_data_batch_gen ~version:version_v2t ~ids:(Some ids) items
 
 let encode_v2 t =
   match t with
@@ -415,46 +445,52 @@ let get_ack rd ~n =
   need2 rd n;
   Array.init n (fun _ -> get_uv rd)
 
+let get_data_items rd =
+  let cid = get_uv rd in
+  let n = get_uv rd in
+  let count = get_uv rd in
+  if count < 1 then raise (Err (Invalid "v2: empty batch"));
+  let running = get_ack rd ~n in
+  let items = ref [] in
+  for _ = 1 to count do
+    let src = get_uv rd in
+    let seq = get_uv rd in
+    let buf = get_uv rd in
+    let nz = get_uv rd in
+    need2 rd (2 * nz);
+    let prev_idx = ref (-1) in
+    for _ = 1 to nz do
+      let idx = get_uv rd in
+      if idx <= !prev_idx || idx >= n then
+        raise (Err (Invalid "v2: delta index"));
+      prev_idx := idx;
+      let dv = get_sv rd in
+      if dv = 0 then raise (Err (Invalid "v2: zero delta"));
+      running.(idx) <- running.(idx) + dv
+    done;
+    (* The reconstructed vector must be a plausible ACK: a component
+       below 1 means the deltas were taken against a base this frame
+       does not establish. *)
+    Array.iter (fun a -> if a < 1 then raise (Err Stale_base)) running;
+    let plen = get_uv rd in
+    need2 rd plen;
+    let payload = Bytes.sub_string rd.rb rd.pos plen in
+    rd.pos <- rd.pos + plen;
+    items := Pdu.data ~cid ~src ~seq ~ack:running ~buf ~payload :: !items
+  done;
+  (List.rev !items, count)
+
+let get_id rd =
+  need2 rd 8;
+  let v = Bytes.get_int64_be rd.rb rd.pos in
+  rd.pos <- rd.pos + 8;
+  v
+
 let decode_v2_body rd =
   let ver = get rd in
   if ver <> version_v2 then raise (Err (Bad_version ver));
   let kind = get rd in
-  if kind = kind2_data then begin
-    let cid = get_uv rd in
-    let n = get_uv rd in
-    let count = get_uv rd in
-    if count < 1 then raise (Err (Invalid "v2: empty batch"));
-    let running = get_ack rd ~n in
-    let items = ref [] in
-    for _ = 1 to count do
-      let src = get_uv rd in
-      let seq = get_uv rd in
-      let buf = get_uv rd in
-      let nz = get_uv rd in
-      need2 rd (2 * nz);
-      let prev_idx = ref (-1) in
-      for _ = 1 to nz do
-        let idx = get_uv rd in
-        if idx <= !prev_idx || idx >= n then
-          raise (Err (Invalid "v2: delta index"));
-        prev_idx := idx;
-        let dv = get_sv rd in
-        if dv = 0 then raise (Err (Invalid "v2: zero delta"));
-        running.(idx) <- running.(idx) + dv
-      done;
-      (* The reconstructed vector must be a plausible ACK: a component
-         below 1 means the deltas were taken against a base this frame
-         does not establish. *)
-      Array.iter (fun a -> if a < 1 then raise (Err Stale_base)) running;
-      let plen = get_uv rd in
-      need2 rd plen;
-      let payload = Bytes.sub_string rd.rb rd.pos plen in
-      rd.pos <- rd.pos + plen;
-      items :=
-        Pdu.data ~cid ~src ~seq ~ack:running ~buf ~payload :: !items
-    done;
-    List.rev !items
-  end
+  if kind = kind2_data then fst (get_data_items rd)
   else if kind = kind2_ret then begin
     let cid = get_uv rd in
     let n = get_uv rd in
@@ -475,25 +511,71 @@ let decode_v2_body rd =
   end
   else raise (Err (Bad_kind kind))
 
+let finish_v2 buf rd pdus =
+  let body = rd.limit in
+  if rd.pos < body then Error (Trailing (body - rd.pos))
+  else if
+    fnv1a buf ~len:body
+    <> Int32.to_int (Bytes.get_int32_be buf body) land 0xFFFFFFFF
+  then Error Bad_checksum
+  else Ok pdus
+
 let decode_v2 buf =
   let body = Bytes.length buf - checksum_size in
   let rd = { rb = buf; limit = max body 0; pos = 0 } in
   match decode_v2_body rd with
-  | pdus ->
-    if rd.pos < body then Error (Trailing (body - rd.pos))
-    else if
-      fnv1a buf ~len:body
-      <> Int32.to_int (Bytes.get_int32_be buf body) land 0xFFFFFFFF
-    then Error Bad_checksum
-    else Ok pdus
+  | pdus -> finish_v2 buf rd pdus
   | exception Short -> Error Truncated
   | exception Err e -> Error e
   | exception Invalid_argument msg -> Error (Invalid msg)
 
-(* Version dispatch: v1 kind bytes are 0/1/2, so the 0xB2 version byte
-   never collides and a mixed-version cluster can decode whatever
-   arrives. *)
+(* A 0xB3 frame: DATA batch body, then one trace id per item, then the
+   checksum. Any other kind under 0xB3 is rejected — RET/CTL are never
+   traced. *)
+let decode_v2t_ids buf =
+  let body = Bytes.length buf - checksum_size in
+  let rd = { rb = buf; limit = max body 0; pos = 0 } in
+  match
+    let ver = get rd in
+    if ver <> version_v2t then raise (Err (Bad_version ver));
+    let kind = get rd in
+    if kind <> kind2_data then raise (Err (Bad_kind kind));
+    let items, count = get_data_items rd in
+    need2 rd (8 * count);
+    let ids = Array.make count 0L in
+    for i = 0 to count - 1 do
+      ids.(i) <- get_id rd
+    done;
+    (items, ids)
+  with
+  | items, ids ->
+    Result.map (fun pdus -> (pdus, ids)) (finish_v2 buf rd items)
+  | exception Short -> Error Truncated
+  | exception Err e -> Error e
+  | exception Invalid_argument msg -> Error (Invalid msg)
+
+(* Version dispatch: v1 kind bytes are 0/1/2, so the 0xB2/0xB3 version
+   bytes never collide and a mixed-version cluster can decode whatever
+   arrives — traced frames included, ids discarded. *)
 let decode_any buf =
   if Bytes.length buf = 0 then Error Truncated
-  else if Bytes.get_uint8 buf 0 = version_v2 then decode_v2 buf
-  else Result.map (fun p -> [ p ]) (decode buf)
+  else
+    let v = Bytes.get_uint8 buf 0 in
+    if v = version_v2 then decode_v2 buf
+    else if v = version_v2t then Result.map fst (decode_v2t_ids buf)
+    else Result.map (fun p -> [ p ]) (decode buf)
+
+let decode_traced buf =
+  if Bytes.length buf = 0 then Error Truncated
+  else if Bytes.get_uint8 buf 0 = version_v2t then decode_v2t_ids buf
+  else Result.map (fun pdus -> (pdus, [||])) (decode_any buf)
+
+let encode_traced ~ids pdu =
+  match pdu with
+  | Pdu.Data d -> encode_data_batch_traced ~ids [ d ]
+  | Pdu.Ret _ | Pdu.Ctl _ -> encode_v2 pdu
+
+let encoded_size_traced pdu =
+  match pdu with
+  | Pdu.Data _ -> encoded_size_v2 pdu + 8
+  | Pdu.Ret _ | Pdu.Ctl _ -> encoded_size_v2 pdu

@@ -25,7 +25,8 @@ type error =
   | Bad_checksum  (** Well-formed but the FNV-1a trailer does not match. *)
   | Trailing of int  (** Extra bytes after a well-formed PDU. *)
   | Invalid of string  (** Structurally valid but violates PDU invariants. *)
-  | Bad_version of int  (** v2 frame whose version byte is not 0xB2. *)
+  | Bad_version of int
+      (** v2 frame whose version byte is neither 0xB2 nor 0xB3. *)
   | Stale_base
       (** A v2 delta chain reconstructed an ACK component below 1: the
           sender compressed against a base the frame does not establish. *)
@@ -73,8 +74,38 @@ val decode_v2 : bytes -> (Pdu.t list, error) result
 
 val decode_any : bytes -> (Pdu.t list, error) result
 (** Version dispatch on the first byte: 0xB2 frames go to {!decode_v2},
-    anything else to the v1 {!decode} (v1 kind bytes are 0/1/2, so the
-    formats cannot collide). The mixed-version ingress path. *)
+    0xB3 traced frames are decoded with their trace ids validated and
+    discarded, anything else goes to the v1 {!decode} (v1 kind bytes
+    are 0/1/2, so the formats cannot collide). The mixed-version
+    ingress path — traced and untraced nodes interoperate through
+    it. *)
 
 val encoded_size_v2 : Pdu.t -> int
 (** Byte length {!encode_v2} will produce, without encoding. *)
+
+(** {2 Traced frames (DESIGN.md §15)}
+
+    The optional trace extension: a 0xB3 frame is a v2 DATA batch body
+    followed by one 8-byte big-endian trace id per item (between the
+    last payload and the checksum). The ids are opaque to the protocol;
+    only DATA is ever traced — RET/CTL PDUs are unsequenced and encode
+    as plain 0xB2 regardless of tracing. With tracing off no 0xB3 frame
+    is ever produced, so the untraced byte stream (and the committed
+    golden vectors) is untouched. *)
+
+val encode_data_batch_traced : ids:int64 array -> Pdu.data list -> bytes
+(** Like {!encode_data_batch_v2} with [ids.(i)] attached to item [i].
+    @raise Invalid_argument also when [ids] and the batch disagree on
+    length. *)
+
+val encode_traced : ids:int64 array -> Pdu.t -> bytes
+(** One-PDU convenience: a DATA PDU becomes a traced batch of one
+    (expects one id); RET/CTL fall back to {!encode_v2}. *)
+
+val decode_traced : bytes -> (Pdu.t list * int64 array, error) result
+(** Like {!decode_any} but surfacing the trace ids of a 0xB3 frame, in
+    item order; the array is empty for untraced (v1/0xB2) frames. *)
+
+val encoded_size_traced : Pdu.t -> int
+(** Byte length {!encode_traced} will produce: {!encoded_size_v2} plus 8
+    per DATA item. *)

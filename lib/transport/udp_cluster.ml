@@ -6,6 +6,8 @@ module Simtime = Repro_sim.Simtime
 module Lifecycle = Repro_obs.Lifecycle
 module Registry = Repro_obs.Registry
 module Wirestats = Repro_obs.Wirestats
+module Trace_ctx = Repro_obs.Trace_ctx
+module Monoclock = Repro_util.Monoclock
 
 type timer = { at : Simtime.t; fn : unit -> unit }
 
@@ -20,6 +22,9 @@ type node = {
   addr : Unix.sockaddr;
   entity : Entity.t;
   wire : Config.wire_version;  (** Codec this node frames egress with. *)
+  traced : bool;
+      (** Attach trace ids to this node's v2 DATA frames (no effect on a
+          v1 node — the v1 layout has no extension point). *)
   out : (dest * Pdu.t) Queue.t;  (** Egress queue, drained by [flush]. *)
   mutable rev_delivered : Pdu.data list;
 }
@@ -36,7 +41,11 @@ type t = {
   timers : timer Repro_util.Pqueue.t;
   rng : Repro_util.Prng.t;
   loss : float;
-  started_at : float; (* Unix.gettimeofday at creation *)
+  started_at_mono : int; (* Monoclock µs at creation; stamp origin *)
+  started_at_wall : float;
+      (* The run's single wall-clock stamp (Unix.gettimeofday at
+         creation), kept only so log headers can anchor the monotonic
+         stamps to calendar time. Never used in a subtraction. *)
   buf : Bytes.t;
   wirestats : Wirestats.t;
   mutable sent : int;
@@ -47,11 +56,13 @@ type t = {
   mutable faulted : int;
   registry : Registry.t option;
   lifecycle : Lifecycle.t option;
+  tracer : Trace_ctx.t option;
 }
 
-(* Wall-clock microseconds since cluster creation, as the entities'
-   Simtime. *)
-let now_us t = int_of_float ((Unix.gettimeofday () -. t.started_at) *. 1e6)
+(* Monotonic microseconds since cluster creation, as the entities'
+   Simtime: latency spans and timer deadlines cannot go negative or
+   jump when NTP steps the wall clock mid-run. *)
+let now_us t = Monoclock.now_us () - t.started_at_mono
 
 let payload_bytes = function
   | Pdu.Data d -> String.length d.Pdu.payload
@@ -74,6 +85,22 @@ let ship t node dest bytes ~pdus ~payload =
       if dst <> node.id then send_datagram t node ~dst bytes ~pdus ~payload
     done
   | One dst -> send_datagram t node ~dst bytes ~pdus ~payload
+
+(* A traced node attaches the deterministic trace id of each DATA item
+   to its v2 batches (0xB3 frames); untraced and v1 nodes are
+   byte-identical to before. *)
+let encode_batch t node batch =
+  match (node.traced, t.tracer) with
+  | true, Some tr ->
+    let salt = Trace_ctx.salt tr in
+    let ids =
+      Array.of_list
+        (List.map
+           (fun (d : Pdu.data) -> Trace_ctx.id ~salt ~src:d.src ~seq:d.seq)
+           batch)
+    in
+    Codec.encode_data_batch_traced ~ids batch
+  | true, None | false, _ -> Codec.encode_data_batch_v2 batch
 
 (* Drain one node's egress queue: coalesce consecutive DATA runs to the
    same destination into a single v2 batch datagram (v1 nodes frame each
@@ -107,7 +134,7 @@ let rec flush_node t node =
         | One dst when dst = node.id ->
           List.iter (fun d -> loopback (Pdu.Data d)) batch
         | All | One _ ->
-          let bytes = Codec.encode_data_batch_v2 batch in
+          let bytes = encode_batch t node batch in
           ship t node dest bytes ~pdus:(List.length batch) ~payload;
           if dest = All then List.iter (fun d -> loopback (Pdu.Data d)) batch);
         walk rest
@@ -130,7 +157,7 @@ let rec flush_node t node =
 let flush_all t = Array.iter (fun node -> flush_node t node) t.nodes
 
 let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
-    ~n () =
+    ?traced ~n () =
   if n < 2 then invalid_arg "Udp_cluster.create: n must be >= 2";
   if loss < 0. || loss > 1. then invalid_arg "Udp_cluster.create: loss";
   Config.validate config;
@@ -140,6 +167,13 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
     | Some w ->
       if Array.length w <> n then invalid_arg "Udp_cluster.create: wires";
       Array.copy w
+  in
+  let traced =
+    match traced with
+    | None -> Array.make n config.Config.tracing
+    | Some tr ->
+      if Array.length tr <> n then invalid_arg "Udp_cluster.create: traced";
+      Array.copy tr
   in
   let sockets =
     Array.init n (fun _ ->
@@ -182,6 +216,7 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
                addr = addrs.(id);
                entity = Entity.create ~config ~id ~n ~actions;
                wire = wires.(id);
+               traced = traced.(id);
                out = Queue.create ();
                rev_delivered = [];
              })
@@ -198,7 +233,8 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
       timers;
       rng = Repro_util.Prng.create ~seed;
       loss;
-      started_at = Unix.gettimeofday ();
+      started_at_mono = Monoclock.now_us ();
+      started_at_wall = Unix.gettimeofday ();
       buf = Bytes.create 65536;
       wirestats =
         Wirestats.create
@@ -212,65 +248,108 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
       registry;
       lifecycle =
         Option.map (fun reg -> Lifecycle.create ~registry:reg ()) registry;
+      tracer =
+        (if config.Config.tracing || Array.exists Fun.id traced then
+           Some
+             (Trace_ctx.create ~salt:(Trace_ctx.salt_of_seed ~seed) ())
+         else None);
     }
   in
   t_ref := Some t;
-  (match (t.lifecycle, registry) with
-  | Some lc, Some reg ->
-    Array.iter
-      (fun node ->
-        let id = node.id in
-        let received =
-          Registry.counter reg
-            ~help:"Data PDUs received, including duplicates and out-of-order"
-            ~name:"co_pdus_received_total"
-            [ ("entity", string_of_int id) ]
-        in
-        (* Wall-clock µs since creation: monotone enough for the latency
-           deltas the lifecycle tracker computes (single host, no clock
-           skew between entities; gettimeofday steps would surface as
-           order_errors rather than bogus samples). *)
-        let now () = now_us t in
-        let backoff_h =
-          Registry.histogram reg
-            ~help:"RET retry delay after each backoff step, microseconds"
-            ~name:"co_ret_backoff_us"
-            [ ("entity", string_of_int id) ]
-        in
-        Entity.set_probe node.entity
-          {
-            Entity.on_submit =
-              (fun () -> Lifecycle.submit lc ~src:id ~now:(now ()));
-            on_transmit =
-              (fun d ->
-                Lifecycle.first_send lc ~src:d.src ~seq:d.seq
-                  ~data:(not (Pdu.is_confirmation d))
-                  ~now:(now ()));
-            on_receive = (fun _ -> Registry.inc received);
-            on_accept =
-              (fun d ->
-                Lifecycle.accept lc ~entity:id ~src:d.src ~seq:d.seq
-                  ~data:(not (Pdu.is_confirmation d))
-                  ~now:(now ()));
-            on_preack =
-              (fun d ->
-                Lifecycle.preack lc ~entity:id ~src:d.src ~seq:d.seq
-                  ~data:(not (Pdu.is_confirmation d))
-                  ~now:(now ()));
-            on_ack =
-              (fun d ->
-                Lifecycle.ack lc ~entity:id ~src:d.src ~seq:d.seq
-                  ~data:(not (Pdu.is_confirmation d))
-                  ~now:(now ()));
-            on_deliver =
-              (fun d ->
-                Lifecycle.deliver lc ~entity:id ~src:d.src ~seq:d.seq
-                  ~now:(now ()));
-            on_deliver_batch = (fun size -> Lifecycle.deliver_batch lc ~size);
-            on_ret_backoff = (fun delay -> Registry.observe backoff_h delay);
-          })
-      t.nodes
-  | _ -> ());
+  (* Monotonic µs since creation for every stamp (see [now_us]); the
+     probe serves the lifecycle tracker (iff instrumented) and the trace
+     recorder (iff tracing), like the simulated cluster's. *)
+  (if Option.is_some t.lifecycle || Option.is_some t.tracer then
+     Array.iter
+       (fun node ->
+         let id = node.id in
+         let received =
+           Option.map
+             (fun reg ->
+               Registry.counter reg
+                 ~help:
+                   "Data PDUs received, including duplicates and out-of-order"
+                 ~name:"co_pdus_received_total"
+                 [ ("entity", string_of_int id) ])
+             registry
+         in
+         let now () = now_us t in
+         let backoff_h =
+           Option.map
+             (fun reg ->
+               Registry.histogram reg
+                 ~help:"RET retry delay after each backoff step, microseconds"
+                 ~name:"co_ret_backoff_us"
+                 [ ("entity", string_of_int id) ])
+             registry
+         in
+         let lc f = match t.lifecycle with Some l -> f l | None -> () in
+         let tr f = match t.tracer with Some r -> f r | None -> () in
+         let is_data d = not (Pdu.is_confirmation d) in
+         Entity.set_probe node.entity
+           {
+             Entity.on_submit =
+               (fun () -> lc (fun l -> Lifecycle.submit l ~src:id ~now:(now ())));
+             on_transmit =
+               (fun d ->
+                 lc (fun l ->
+                     Lifecycle.first_send l ~src:d.src ~seq:d.seq
+                       ~data:(is_data d) ~now:(now ()));
+                 if is_data d then
+                   tr (fun r ->
+                       Trace_ctx.on_send r ~src:d.src ~seq:d.seq ~now:(now ())));
+             on_receive =
+               (fun d ->
+                 (match received with Some c -> Registry.inc c | None -> ());
+                 if is_data d then
+                   tr (fun r ->
+                       Trace_ctx.on_receive r ~entity:id ~src:d.src ~seq:d.seq
+                         ~now:(now ())));
+             on_park =
+               (fun d ->
+                 if is_data d then
+                   tr (fun r ->
+                       Trace_ctx.on_park r ~entity:id ~src:d.src ~seq:d.seq));
+             on_accept =
+               (fun d ->
+                 lc (fun l ->
+                     Lifecycle.accept l ~entity:id ~src:d.src ~seq:d.seq
+                       ~data:(is_data d) ~now:(now ()));
+                 if is_data d then
+                   tr (fun r ->
+                       Trace_ctx.on_accept r ~entity:id ~src:d.src ~seq:d.seq
+                         ~now:(now ())));
+             on_preack =
+               (fun d ->
+                 lc (fun l ->
+                     Lifecycle.preack l ~entity:id ~src:d.src ~seq:d.seq
+                       ~data:(is_data d) ~now:(now ()));
+                 if is_data d then
+                   tr (fun r ->
+                       Trace_ctx.on_preack r ~entity:id ~src:d.src ~seq:d.seq
+                         ~now:(now ())));
+             on_ack =
+               (fun d ->
+                 lc (fun l ->
+                     Lifecycle.ack l ~entity:id ~src:d.src ~seq:d.seq
+                       ~data:(is_data d) ~now:(now ())));
+             on_deliver =
+               (fun d ->
+                 lc (fun l ->
+                     Lifecycle.deliver l ~entity:id ~src:d.src ~seq:d.seq
+                       ~now:(now ()));
+                 tr (fun r ->
+                     Trace_ctx.on_deliver r ~entity:id ~src:d.src ~seq:d.seq
+                       ~now:(now ())));
+             on_deliver_batch =
+               (fun size -> lc (fun l -> Lifecycle.deliver_batch l ~size));
+             on_ret_backoff =
+               (fun delay ->
+                 match backoff_h with
+                 | Some h -> Registry.observe h delay
+                 | None -> ());
+           })
+       t.nodes);
   t
 
 let size t = t.n
@@ -360,9 +439,11 @@ let step t ~timeout_s =
     !got
 
 let run_for t ~seconds =
-  let deadline = Unix.gettimeofday () +. seconds in
-  while Unix.gettimeofday () < deadline do
-    ignore (step t ~timeout_s:(min 0.01 (deadline -. Unix.gettimeofday ())))
+  (* Monotonic deadline: wall-clock steps (NTP slew, manual set) must not
+     stretch or truncate a bounded drive loop. *)
+  let deadline = Monoclock.now_s () +. seconds in
+  while Monoclock.now_s () < deadline do
+    ignore (step t ~timeout_s:(min 0.01 (deadline -. Monoclock.now_s ())))
   done
 
 let quiescent t =
@@ -375,9 +456,9 @@ let quiescent t =
     t.nodes
 
 let run_until_quiescent t ~max_seconds =
-  let deadline = Unix.gettimeofday () +. max_seconds in
+  let deadline = Monoclock.now_s () +. max_seconds in
   let rec loop () =
-    if Unix.gettimeofday () >= deadline then quiescent t
+    if Monoclock.now_s () >= deadline then quiescent t
     else if quiescent t then begin
       (* Drain stragglers briefly; state may regress if something arrives. *)
       run_for t ~seconds:0.05;
@@ -406,6 +487,8 @@ let datagrams_dropped t = t.dropped
 let datagrams_faulted t = t.faulted
 let decode_errors t = t.decode_errors
 let lifecycle t = t.lifecycle
+let tracer t = t.tracer
+let started_at_wall t = t.started_at_wall
 let wirestats t = t.wirestats
 
 let sync_registry t =

@@ -19,6 +19,7 @@ val create :
   ?seed:int ->
   ?config:Repro_core.Config.t ->
   ?wires:Repro_core.Config.wire_version array ->
+  ?traced:bool array ->
   n:int ->
   unit ->
   t
@@ -26,15 +27,26 @@ val create :
     to each. [loss] drops incoming datagrams iid (before decode, never for an
     entity's own loopback, which is delivered in-process). [registry]
     enables receipt-ladder telemetry: every entity gets a probe stamping
-    wall-clock microseconds into a {!Repro_obs.Lifecycle.t}; see
-    {!sync_registry}.
+    {e monotonic-clock} microseconds into a {!Repro_obs.Lifecycle.t} (see
+    {!sync_registry}); the one wall-clock stamp the cluster keeps is
+    {!started_at_wall}, for log headers.
 
     [wires] sets the codec version each node {e frames egress with}
     (default: every node uses [config.wire]); ingress always dispatches on
     the version byte, so mixed-version clusters interoperate during a
     rollout. A v2 node coalesces each burst of outgoing DATA PDUs to the
     same destination into one batch datagram; a v1 node frames one PDU per
-    datagram. @raise Invalid_argument if [wires] has length <> [n].
+    datagram.
+
+    [traced] sets, per node, whether v2 DATA batches are framed as traced
+    0xB3 datagrams carrying trace ids (default: every node follows
+    [config.tracing]); it has no effect on a v1 node's egress. Untraced
+    receivers decode 0xB3 and discard the ids, so traced/untraced clusters
+    interoperate too. If any node is traced (or [config.tracing] is set) the
+    cluster also keeps a {!Repro_obs.Trace_ctx.t} recorder fed by the entity
+    probes — see {!tracer}.
+
+    @raise Invalid_argument if [wires] or [traced] has length <> [n].
     @raise Unix.Unix_error if sockets cannot be created. *)
 
 val size : t -> int
@@ -48,7 +60,8 @@ val step : t -> timeout_s:float -> bool
     happened (no timer fired, no datagram arrived). *)
 
 val run_for : t -> seconds:float -> unit
-(** Drive the loop for a wall-clock duration. *)
+(** Drive the loop for a real-time duration, measured on the monotonic
+    clock (immune to wall-clock steps). *)
 
 val run_until_quiescent : t -> max_seconds:float -> bool
 (** Drive the loop until every entity has no undelivered data, no pending
@@ -95,6 +108,16 @@ val wirestats : t -> Repro_obs.Wirestats.t
 
 val lifecycle : t -> Repro_obs.Lifecycle.t option
 (** The per-PDU lifecycle tracker, present iff [create] got a [?registry]. *)
+
+val tracer : t -> Repro_obs.Trace_ctx.t option
+(** The causal-trace recorder, present iff [config.tracing] or any [traced]
+    node; its salt is derived from [seed]. Feed its spans to
+    {!Repro_obs.Critpath} for delay attribution and Perfetto export. *)
+
+val started_at_wall : t -> float
+(** [Unix.gettimeofday] at creation — the run's single wall-clock stamp,
+    kept for log/report headers only. All probe stamps and deadlines use
+    the monotonic clock and are only meaningful relative to each other. *)
 
 val sync_registry : t -> unit
 (** Mirror per-entity protocol counters, the datagram totals, and the

@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "repro_monoclock_ns"
+
+let now_us () = Int64.to_int (Int64.div (now_ns ()) 1000L)
+let now_s () = Int64.to_float (now_ns ()) /. 1e9

@@ -1,0 +1,34 @@
+/* CLOCK_MONOTONIC for latency stamps.
+ *
+ * The OCaml [Unix] library shipped with this toolchain exposes only
+ * [gettimeofday], which steps with NTP adjustments and makes latency
+ * spans go negative across a wall-clock correction. This is the one
+ * libc call it is missing; no allocation beyond the boxed result.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+CAMLprim value repro_monoclock_ns(value unit)
+{
+  LARGE_INTEGER freq, count;
+  (void)unit;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return caml_copy_int64((int64_t)((double)count.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+#else
+#include <time.h>
+
+CAMLprim value repro_monoclock_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    caml_failwith("clock_gettime(CLOCK_MONOTONIC)");
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}
+#endif

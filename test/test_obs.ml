@@ -285,6 +285,7 @@ let test_spans_under_exploration () =
                 Lifecycle.first_send lc ~src:d.Pdu.src ~seq:d.Pdu.seq
                   ~data:(not (Pdu.is_confirmation d)) ~now:0);
             on_receive = ignore;
+            on_park = ignore;
             on_accept =
               (fun d ->
                 Lifecycle.accept lc ~entity:id ~src:d.Pdu.src ~seq:d.Pdu.seq

@@ -281,9 +281,12 @@ let test_bad_version () =
   result_err "v1 frame" (Codec.Bad_version 0x02) (Codec.decode_v2 v1);
   let b = frame [ 0xB3; 0x00 ] in
   result_err "wrong byte" (Codec.Bad_version 0xB3) (Codec.decode_v2 b);
-  (* ... while decode_any routes non-0xB2 bytes to v1, where 0xB3 is just
-     an unknown kind. *)
-  result_err "any: unknown kind" (Codec.Bad_kind 0xB3) (Codec.decode_any b)
+  (* ... while decode_any routes 0xB3 to the traced decoder, where this
+     bare DATA header truncates mid-batch-header. *)
+  result_err "any: truncated traced" Codec.Truncated (Codec.decode_any b);
+  (* A traced frame must carry a DATA batch; RET/CTL kinds are rejected. *)
+  let b = frame ([ 0xB3; 0x02 ] @ uv 0) in
+  result_err "traced non-data kind" (Codec.Bad_kind 0x02) (Codec.decode_any b)
 
 let test_trailing_and_checksum () =
   let pdu = Pdu.ctl ~cid:9 ~src:0 ~ack:[| 5; 6 |] ~buf:1 in
