@@ -4,9 +4,12 @@
      colint trace FILE [--complete] [-n N]
        Replay a recorded trace (cosim run --trace-out FILE) through the
        service-property linter; report the first violating prefix.
-     colint explore [-n N] [--broadcasts K] [--drops D] [--fault F] ...
+     colint explore [-n N] [--broadcasts K] [--drops D] [--fault F]
+                    [--churn join|leave:R] [--post-broadcasts K] ...
        Exhaustive small-scope model checking of the real entity code over
-       all event interleavings, with the full invariant catalog.
+       all event interleavings, with the full invariant catalog; --churn
+       additionally commits a membership view change at the reconciled cut
+       and checks the no-cross-epoch-delivery fence.
      colint metrics FILE
        Lint a Prometheus exposition file (cosim run --metrics-out FILE):
        line format, declared types, no NaN or negative counters, monotone
@@ -68,17 +71,28 @@ let trace_cmd file complete n format =
           ]);
     if issues = [] then 0 else 1
 
-let explore_cmd n broadcasts drops fires max_states max_depth fault defer
-    no_por format =
+let parse_churn = function
+  | "none" -> Ok None
+  | "join" -> Ok (Some Explorer.Join)
+  | s when String.length s > 6 && String.sub s 0 6 = "leave:" -> (
+    match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+    | Some l -> Ok (Some (Explorer.Leave l))
+    | None -> Error s)
+  | other -> Error other
+
+let explore_cmd n broadcasts drops fires max_states max_depth fault defer churn
+    post_broadcasts no_por format =
   match
     match (fault, defer) with
     | "none", _ -> Ok None
     | "skip-minpal", _ -> Ok (Some Config.Skip_minpal_gate)
     | "skip-cpi", _ -> Ok (Some Config.Skip_cpi_order)
+    | "skip-epoch", _ -> Ok (Some Config.Skip_epoch_guard)
     | other, _ -> Error other
   with
   | Error other ->
-    Printf.eprintf "colint: unknown fault %S (none | skip-minpal | skip-cpi)\n"
+    Printf.eprintf
+      "colint: unknown fault %S (none | skip-minpal | skip-cpi | skip-epoch)\n"
       other;
     2
   | Ok _ when defer <> "immediate" && defer <> "never" ->
@@ -87,13 +101,28 @@ let explore_cmd n broadcasts drops fires max_states max_depth fault defer
   | Ok _ when n < 2 || n > 4 ->
     Printf.eprintf "colint: -n must be between 2 and 4\n";
     2
+  | Ok _ when parse_churn churn = Error churn ->
+    Printf.eprintf
+      "colint: unknown churn %S (none | join | leave:RANK)\n" churn;
+    2
   | Ok fault ->
+    let churn = Result.get_ok (parse_churn churn) in
     let base = Explorer.default_config ~n in
+    let post_n =
+      match churn with
+      | Some Explorer.Join -> n + 1
+      | Some (Explorer.Leave _) -> n - 1
+      | None -> n
+    in
     let cfg =
       {
         base with
         Explorer.script =
           List.init broadcasts (fun i -> (i mod n, Printf.sprintf "m%d" i));
+        churn;
+        post_script =
+          List.init post_broadcasts (fun i ->
+              (i mod post_n, Printf.sprintf "p%d" i));
         max_drops = drops;
         max_fires = fires;
         max_states;
@@ -115,14 +144,22 @@ let explore_cmd n broadcasts drops fires max_states max_depth fault defer
       | None -> "none"
       | Some Config.Skip_minpal_gate -> "skip-minpal"
       | Some Config.Skip_cpi_order -> "skip-cpi"
+      | Some Config.Skip_epoch_guard -> "skip-epoch"
+    in
+    let churn_name =
+      match churn with
+      | None -> "none"
+      | Some Explorer.Join -> "join"
+      | Some (Explorer.Leave l) -> Printf.sprintf "leave:%d" l
     in
     Outfmt.print format
       ~text:(fun () ->
         Format.asprintf "%a@." Explorer.pp_outcome o
         ^ Printf.sprintf
             "(n=%d broadcasts=%d drops<=%d fires<=%d defer=%s por=%b \
-             fault=%s, %.1fs cpu)\n"
-            n broadcasts drops fires defer (not no_por) fault_name
+             fault=%s churn=%s post=%d, %.1fs cpu)\n"
+            n broadcasts drops fires defer (not no_por) fault_name churn_name
+            post_broadcasts
             (Sys.time () -. t0))
       ~json:(fun () ->
         Jsonx.Obj
@@ -139,6 +176,7 @@ let explore_cmd n broadcasts drops fires max_states max_depth fault defer
                   (Format.asprintf "%a" Repro_check.Invariants.pp_violation
                      v.Explorer.violation) );
             ("fault", Jsonx.String fault_name);
+            ("churn", Jsonx.String churn_name);
           ]);
     if o.Explorer.violation <> None then 1 else if o.Explorer.truncated then 2
     else 0
@@ -230,7 +268,24 @@ let fault_arg =
     & info [ "fault" ]
         ~doc:
           "Seed a protocol bug: none | skip-minpal (deliver without the \
-           minPAL gate) | skip-cpi (append to PRL out of causal order).")
+           minPAL gate) | skip-cpi (append to PRL out of causal order) | \
+           skip-epoch (accept PDUs regardless of their cid/epoch stamp).")
+
+let churn_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "churn" ]
+        ~doc:
+          "Model-check a membership change: none | join (a member joins at \
+           the reconciled cut) | leave:RANK (epoch-0 RANK leaves).")
+
+let post_broadcasts_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "post-broadcasts" ]
+        ~doc:
+          "Submissions issued after the membership cut (sources rotate over \
+           the new view). Requires --churn.")
 
 let defer_arg =
   Arg.(
@@ -262,7 +317,8 @@ let metrics_term = Term.(const metrics_cmd $ metrics_file_arg $ Outfmt.term)
 let explore_term =
   Term.(
     const explore_cmd $ n_arg $ broadcasts_arg $ drops_arg $ fires_arg
-    $ max_states_arg $ max_depth_arg $ fault_arg $ defer_arg $ no_por_arg
+    $ max_states_arg $ max_depth_arg $ fault_arg $ defer_arg $ churn_arg
+    $ post_broadcasts_arg $ no_por_arg
     $ Outfmt.term)
 
 let cmds =

@@ -311,8 +311,8 @@ let compare_cmd n per_entity interval_ms loss seed =
     cb_stalled;
   0
 
-let chaos_cmd plan_name list_plans n seed per_entity wire tracing metrics_out
-    =
+let chaos_cmd plan_name list_plans churn n seed per_entity wire tracing
+    metrics_out =
   if list_plans then begin
     print_endline "built-in fault plans (cosim chaos <name>):";
     List.iter
@@ -320,12 +320,19 @@ let chaos_cmd plan_name list_plans n seed per_entity wire tracing metrics_out
         Printf.printf "  %-16s %s\n" p.Repro_fault.Plan.name
           p.Repro_fault.Plan.description)
       Repro_fault.Plan.all;
+    print_endline "membership churn plans (cosim chaos --churn <name>):";
+    List.iter
+      (fun p ->
+        Printf.printf "  %-16s %s\n" p.Repro_fault.Plan.name
+          p.Repro_fault.Plan.description)
+      Repro_fault.Plan.churn_all;
     0
   end
   else begin
     let plans =
       match plan_name with
-      | "all" -> Repro_fault.Plan.all
+      | "all" ->
+        if churn then Repro_fault.Plan.churn_all else Repro_fault.Plan.all
       | name -> (
         match Repro_fault.Plan.find name with
         | Some p -> [ p ]
@@ -344,15 +351,34 @@ let chaos_cmd plan_name list_plans n seed per_entity wire tracing metrics_out
         exit 2
     in
     let registry = Registry.global () in
-    let outcomes =
+    (* Churning plans (scripted Join/Leave, or anything under --churn) run
+       on the dynamic-membership group; fixed plans keep the static
+       cluster runner. The churn group needs node ids up to 4, so the
+       endpoint count never drops below 5. *)
+    let oks =
       List.map
         (fun plan ->
-          let o =
-            Repro_fault.Chaos.run ~n ~seed ~per_entity ~wire ~tracing
-              ~registry plan
-          in
-          Format.printf "%a@.@." Repro_fault.Chaos.pp_outcome o;
-          o)
+          if
+            churn
+            || Repro_fault.Plan.churning plan
+            || List.mem plan.Repro_fault.Plan.name
+                 Repro_fault.Plan.churn_names
+          then begin
+            let o =
+              Repro_fault.Chaos.run_churn ~max_nodes:(max n 5) ~seed
+                ~per_member:per_entity ~registry plan
+            in
+            Format.printf "%a@.@." Repro_fault.Chaos.pp_churn_outcome o;
+            o.Repro_fault.Chaos.c_ok
+          end
+          else begin
+            let o =
+              Repro_fault.Chaos.run ~n ~seed ~per_entity ~wire ~tracing
+                ~registry plan
+            in
+            Format.printf "%a@.@." Repro_fault.Chaos.pp_outcome o;
+            o.Repro_fault.Chaos.ok
+          end)
         plans
     in
     (match metrics_out with
@@ -360,7 +386,7 @@ let chaos_cmd plan_name list_plans n seed per_entity wire tracing metrics_out
       Exporter.write registry ~file;
       Printf.printf "metrics written to %s\n" file
     | None -> ());
-    if List.for_all (fun o -> o.Repro_fault.Chaos.ok) outcomes then 0 else 1
+    if List.for_all Fun.id oks then 0 else 1
   end
 
 let examples_cmd () =
@@ -490,10 +516,22 @@ let chaos_wire_arg =
           "Codec the cluster frames with: $(b,v1) or $(b,v2). Two runs \
            differing only here must be observationally identical.")
 
+let chaos_churn_arg =
+  Arg.(
+    value & flag
+    & info [ "churn" ]
+        ~doc:
+          "Run on the dynamic-membership group: scripted $(b,Join)/$(b,Leave) \
+           events become view changes, crashes feed the suspicion watchdog, \
+           and the per-epoch convergence and epoch-isolation oracles render \
+           the verdict. $(b,all) then means every churn plan. Plans that \
+           script membership events take this runner automatically.")
+
 let chaos_term =
   Term.(
-    const chaos_cmd $ plan_arg $ list_plans_arg $ n_arg $ seed_arg
-    $ chaos_per_entity_arg $ chaos_wire_arg $ tracing_arg $ metrics_out_arg)
+    const chaos_cmd $ plan_arg $ list_plans_arg $ chaos_churn_arg $ n_arg
+    $ seed_arg $ chaos_per_entity_arg $ chaos_wire_arg $ tracing_arg
+    $ metrics_out_arg)
 
 let examples_term = Term.(const examples_cmd $ const ())
 

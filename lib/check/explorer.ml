@@ -2,9 +2,15 @@ open Repro_core
 module Pdu = Repro_pdu.Pdu
 module Codec = Repro_pdu.Codec
 
+(* One scripted membership change, committed by an explicit [Cut] event once
+   the epoch-0 script is exhausted and the members have reconciled. *)
+type churn = Join | Leave of int
+
 type config = {
   n : int;
   script : (int * string) list;
+  churn : churn option;
+  post_script : (int * string) list;
   max_drops : int;
   max_fires : int;
   max_states : int;
@@ -18,6 +24,8 @@ let default_config ~n =
   {
     n;
     script = List.init n (fun i -> (i mod n, Printf.sprintf "m%d" i));
+    churn = None;
+    post_script = [];
     max_drops = 0;
     (* Timer fires are budgeted like drops. Without a bound the heartbeat
        regenerates the alphabet forever: every fire may emit a sequenced
@@ -53,6 +61,12 @@ type event =
   | Deliver of { dst : int; pdu : string }
   | Drop of { dst : int; pdu : string }
   | Fire of { entity : int }
+  | Cut
+      (* Commit the configured membership change: close epoch 0 at the
+         reconciled REQ cut and rebuild the next view's entities from
+         remapped bootstrap checkpoints. Old-epoch copies still in flight
+         stay in flight — they are exactly the stragglers the entity-level
+         cid guard (and the no-cross-epoch-delivery invariant) must fence. *)
 
 type violation_report = {
   violation : Invariants.violation;
@@ -67,13 +81,19 @@ type outcome = {
   violation : violation_report option;
 }
 
+(* [entities]/[inflight]/[timers] are replaced wholesale by [Cut]: the new
+   view may have a different size, and abandoning the old timer queues is
+   the explorer's analog of the membership layer's generation guard. *)
 type sys = {
   cfg : config;
-  entities : Entity.t array;
+  mutable entities : Entity.t array;
   mutable inflight : string list array; (* sorted encodings, per destination *)
-  timers : (int * (unit -> unit)) Queue.t array; (* (delay label, action) *)
+  mutable timers : (int * (unit -> unit)) Queue.t array;
+      (* (delay label, action) *)
   monitor : Invariants.Monitor.t;
   mutable script_pos : int;
+  mutable post_pos : int;
+  mutable epoch : int;
   mutable drops_used : int;
   mutable fires_used : int;
   mutable deep_checks : bool;
@@ -92,59 +112,66 @@ let record sys = function
    is the state space. Timers become explicit Fire events, fired per entity
    in arming order; the spacing checks of [Deferred] confirmation never pass
    under a frozen clock, so the explorer requires Immediate or Never. *)
-let make_sys cfg =
-  let inflight = Array.make cfg.n [] in
-  let timers = Array.init cfg.n (fun _ -> Queue.create ()) in
-  let monitor = Invariants.Monitor.create ~n:cfg.n in
+let monitor_slots cfg =
+  (* A join adds a rank, so the monitor needs one slot beyond the initial
+     view; ranks freed by a leave simply go quiet. *)
+  match cfg.churn with Some Join -> cfg.n + 1 | Some (Leave _) | None -> cfg.n
+
+(* Actions read [sys.inflight]/[sys.timers] through the record, so entities
+   built after a [Cut] target the replaced arrays, not the epoch-0 ones. *)
+let actions_for sys ~id ~view_n =
   let put ~dst s =
-    inflight.(dst) <- List.merge String.compare [ s ] inflight.(dst)
+    sys.inflight.(dst) <- List.merge String.compare [ s ] sys.inflight.(dst)
   in
-  let entities =
-    Array.init cfg.n (fun id ->
-        let actions =
-          {
-            Entity.broadcast =
-              (fun pdu ->
-                let s = Bytes.to_string (Codec.encode pdu) in
-                for dst = 0 to cfg.n - 1 do
-                  put ~dst s
-                done);
-            unicast =
-              (fun ~dst pdu -> put ~dst (Bytes.to_string (Codec.encode pdu)));
-            deliver = (fun _ -> ());
-            now = (fun () -> 0);
-            set_timer = (fun ~delay f -> Queue.add (delay, f) timers.(id));
-            available_buffer = (fun () -> cfg.protocol.Config.initial_buf);
-          }
-        in
-        Entity.create ~config:cfg.protocol ~id ~n:cfg.n ~actions)
-  in
+  {
+    Entity.broadcast =
+      (fun pdu ->
+        let s = Bytes.to_string (Codec.encode pdu) in
+        for dst = 0 to view_n - 1 do
+          put ~dst s
+        done);
+    unicast = (fun ~dst pdu -> put ~dst (Bytes.to_string (Codec.encode pdu)));
+    deliver = (fun _ -> ());
+    now = (fun () -> 0);
+    set_timer = (fun ~delay f -> Queue.add (delay, f) sys.timers.(id));
+    available_buffer = (fun () -> sys.cfg.protocol.Config.initial_buf);
+  }
+
+let register sys id e =
+  Entity.add_observer e (function
+    | Entity.Acknowledged d ->
+      record sys (Invariants.Monitor.note_delivery sys.monitor ~entity:id d)
+    | Entity.Accepted d ->
+      record sys (Invariants.Monitor.note_accept sys.monitor ~entity:id d)
+    | Entity.Preacknowledged _ | Entity.Gap_detected _ | Entity.Ret_answered _
+      ->
+      ());
+  (* Baseline snapshot so the first real step has monotonicity cover. *)
+  ignore (Invariants.Monitor.note_step sys.monitor e)
+
+let make_sys cfg =
   let sys =
     {
       cfg;
-      entities;
-      inflight;
-      timers;
-      monitor;
+      entities = [||];
+      inflight = Array.make cfg.n [];
+      timers = Array.init cfg.n (fun _ -> Queue.create ());
+      monitor = Invariants.Monitor.create ~n:(monitor_slots cfg);
       script_pos = 0;
+      post_pos = 0;
+      epoch = 0;
       drops_used = 0;
       fires_used = 0;
       deep_checks = true;
       violation = None;
     }
   in
-  Array.iteri
-    (fun id e ->
-      Entity.add_observer e (function
-        | Entity.Acknowledged d ->
-          record sys (Invariants.Monitor.note_delivery monitor ~entity:id d)
-        | Entity.Accepted _ | Entity.Preacknowledged _ | Entity.Gap_detected _
-        | Entity.Ret_answered _ ->
-          ());
-      (* Baseline snapshot so the first real step has monotonicity cover. *)
-      ignore (Invariants.Monitor.note_step monitor e))
-    entities;
-  cfg.on_system entities;
+  sys.entities <-
+    Array.init cfg.n (fun id ->
+        Entity.create ~config:cfg.protocol ~id ~n:cfg.n
+          ~actions:(actions_for sys ~id ~view_n:cfg.n));
+  Array.iteri (fun id e -> register sys id e) sys.entities;
+  cfg.on_system sys.entities;
   sys
 
 let sender_memo : (string, int) Hashtbl.t = Hashtbl.create 256
@@ -174,20 +201,148 @@ let post sys id =
      monotonicity snapshots the next step is judged against. *)
   record sys (Invariants.Monitor.note_step sys.monitor sys.entities.(id))
 
+let next_submission sys =
+  if sys.script_pos < List.length sys.cfg.script then
+    Some (List.nth sys.cfg.script sys.script_pos)
+  else if sys.epoch > 0 then List.nth_opt sys.cfg.post_script sys.post_pos
+  else None
+
+let drained e =
+  Entity.undelivered_data e = 0
+  && Entity.pending_count e = 0
+  && Entity.queued_requests e = 0
+
+(* The barrier's commit precondition, explorer-style: the epoch-0 script is
+   spent, every member has drained its protocol work and all REQ vectors
+   agree — the reconciled cut. Copies may still sit in flight: duplicates
+   of already-accepted PDUs (the stale stragglers the new epoch must fence)
+   and copies nobody accepted, which the cut uniformly forgets — legal
+   under view synchrony, since no member delivered them. *)
+let reconciled sys =
+  let r0 = Entity.req sys.entities.(0) in
+  Array.for_all (fun e -> drained e && Entity.req e = r0) sys.entities
+
+let cut_enabled sys =
+  sys.cfg.churn <> None && sys.epoch = 0
+  && sys.script_pos >= List.length sys.cfg.script
+  && reconciled sys
+
+let do_cut sys =
+  let old = sys.entities in
+  let n_old = Array.length old in
+  let r = Entity.req old.(0) in
+  let epoch = sys.epoch + 1 in
+  let n_new, map =
+    match sys.cfg.churn with
+    | Some Join -> (n_old + 1, fun k -> if k < n_old then Some k else None)
+    | Some (Leave l) -> (n_old - 1, fun k -> Some (if k < l then k else k + 1))
+    | None -> assert false
+  in
+  let inv = Array.make n_old (-1) in
+  for k = 0 to n_new - 1 do
+    match map k with Some o -> inv.(o) <- k | None -> ()
+  done;
+  let req' =
+    Array.init n_new (fun k -> match map k with Some o -> r.(o) | None -> 1)
+  in
+  let remap_vec v =
+    Array.init n_new (fun k -> match map k with Some o -> v.(o) | None -> 1)
+  in
+  (* Mirror of Group.translate: only the sub-cut history of surviving
+     sources crosses the boundary, re-homed into the new rank space. *)
+  let headers_of e =
+    List.filter_map
+      (fun (src, seq, ack) ->
+        if inv.(src) >= 0 && seq < r.(src) then
+          Some (inv.(src), seq, remap_vec ack)
+        else None)
+      (Entity.header_entries e)
+  in
+  let config' =
+    {
+      sys.cfg.protocol with
+      Config.cid =
+        Repro_member.Group.epoch_cid ~cid:sys.cfg.protocol.Config.cid ~epoch;
+      epoch;
+    }
+  in
+  (* Survivors keep their queues of stale old-epoch copies under their new
+     rank; the joiner starts clean; the leaver's queue dies with its NIC.
+     Fresh timer queues are the explorer's generation guard: a closed
+     epoch's armed timers never fire. *)
+  sys.inflight <-
+    Array.init n_new (fun k ->
+        match map k with Some o -> sys.inflight.(o) | None -> []);
+  sys.timers <- Array.init n_new (fun _ -> Queue.create ());
+  sys.epoch <- epoch;
+  (* The joiner restores the very bytes the sponsor (lowest-ranked
+     survivor) would build for its rank — Group ships them as the
+     co-checkpoint-v1 state transfer. *)
+  let sponsor = match map 0 with Some o -> o | None -> assert false in
+  sys.entities <-
+    Array.init n_new (fun k ->
+        let basis =
+          match map k with Some o -> old.(o) | None -> old.(sponsor)
+        in
+        let blob =
+          Entity.bootstrap_checkpoint ~config:config' ~id:k ~n:n_new ~req:req'
+            ~headers:(headers_of basis)
+        in
+        match
+          Entity.restore ~expect_id:k ~expect_n:n_new ~config:config'
+            ~actions:(actions_for sys ~id:k ~view_n:n_new)
+            blob
+        with
+        | Ok e -> e
+        | Error err ->
+          invalid_arg
+            (Format.asprintf "Explorer: cut bootstrap rejected: %a"
+               Entity.pp_restore_error err));
+  for slot = 0 to monitor_slots sys.cfg - 1 do
+    Invariants.Monitor.note_view_change sys.monitor ~entity:slot
+  done;
+  Array.iteri
+    (fun id e ->
+      register sys id e;
+      Entity.kick e)
+    sys.entities
+
 let apply sys ev =
   let step id f =
     try
       f ();
       post sys id
-    with Entity.Protocol_invariant detail ->
+    with
+    | Entity.Protocol_invariant detail ->
       record sys
         [ { Invariants.entity = id; invariant = "runtime-assertion"; detail } ]
+    | Invalid_argument detail | Failure detail ->
+      (* An entity crash is a counterexample, not a checker failure: report
+         it with its schedule instead of aborting the search. A seeded
+         [Skip_epoch_guard] dies here when a differently-sized stale
+         straggler reaches the clock code — the crash is the point: the
+         fence is what keeps mis-shaped closed-epoch PDUs out. *)
+      record sys
+        [ { Invariants.entity = id; invariant = "runtime-exception"; detail } ]
   in
   match ev with
   | Submit ->
-    let src, payload = List.nth sys.cfg.script sys.script_pos in
-    sys.script_pos <- sys.script_pos + 1;
+    let src, payload =
+      match next_submission sys with
+      | Some x -> x
+      | None -> invalid_arg "Explorer: Submit with exhausted scripts"
+    in
+    if sys.script_pos < List.length sys.cfg.script then
+      sys.script_pos <- sys.script_pos + 1
+    else sys.post_pos <- sys.post_pos + 1;
     step src (fun () -> ignore (Entity.submit sys.entities.(src) payload))
+  | Cut ->
+    (try
+       do_cut sys;
+       Array.iteri (fun id _ -> post sys id) sys.entities
+     with Entity.Protocol_invariant detail ->
+       record sys
+         [ { Invariants.entity = -1; invariant = "runtime-assertion"; detail } ])
   | Deliver { dst; pdu } ->
     sys.inflight.(dst) <- remove_occurrence sys.inflight.(dst) pdu;
     let p =
@@ -211,12 +366,21 @@ let pdu_brief pdu =
 
 let describe sys = function
   | Submit ->
-    let src, payload = List.nth sys.cfg.script sys.script_pos in
-    Printf.sprintf "submit src=%d payload=%S" src payload
+    (match next_submission sys with
+    | Some (src, payload) ->
+      Printf.sprintf "submit src=%d payload=%S" src payload
+    | None -> "submit <exhausted>")
   | Deliver { dst; pdu } ->
     Printf.sprintf "deliver dst=%d %s" dst (pdu_brief pdu)
   | Drop { dst; pdu } -> Printf.sprintf "drop dst=%d %s" dst (pdu_brief pdu)
   | Fire { entity } -> Printf.sprintf "fire entity=%d" entity
+  | Cut ->
+    Printf.sprintf "cut: commit epoch %d (%s)" (sys.epoch + 1)
+      (match sys.cfg.churn with
+      | Some Join ->
+        Printf.sprintf "join as rank %d" (Array.length sys.entities)
+      | Some (Leave l) -> Printf.sprintf "leave of rank %d" l
+      | None -> "no churn configured")
 
 (* Entities are mutable and unclonable, so DFS re-executes the event prefix
    from a fresh system for every node — O(depth) work per state, traded for
@@ -250,22 +414,27 @@ let describe_path cfg path =
 
 let enabled sys =
   let cfg = sys.cfg in
+  let n = Array.length sys.entities in
   let evs = ref [] in
-  for e = cfg.n - 1 downto 0 do
+  if cut_enabled sys then evs := Cut :: !evs;
+  for e = n - 1 downto 0 do
     if sys.fires_used < cfg.max_fires && not (Queue.is_empty sys.timers.(e))
     then evs := Fire { entity = e } :: !evs
   done;
-  for dst = cfg.n - 1 downto 0 do
+  for dst = n - 1 downto 0 do
     (* Identical retransmissions in flight are one action: deduplicate. *)
     let distinct = List.sort_uniq String.compare sys.inflight.(dst) in
     List.iter
       (fun pdu ->
+        (* [sender_of <> dst] keeps loopback copies undroppable. Post-cut
+           the comparison is against the *new* rank — close enough: a
+           stale copy is guard-dropped on delivery anyway. *)
         if sys.drops_used < cfg.max_drops && sender_of pdu <> dst then
           evs := Drop { dst; pdu } :: !evs;
         evs := Deliver { dst; pdu } :: !evs)
       (List.rev distinct)
   done;
-  if sys.script_pos < List.length cfg.script then evs := Submit :: !evs;
+  if next_submission sys <> None then evs := Submit :: !evs;
   !evs
 
 (* Dependence relation for sleep-set reduction. Independent events commute
@@ -279,12 +448,16 @@ let enabled sys =
      and with consuming the same transmission. *)
 let dependent sys e1 e2 =
   let entity_of = function
-    | Submit -> Some (fst (List.nth sys.cfg.script sys.script_pos))
+    | Submit -> Option.map fst (next_submission sys)
     | Deliver { dst; _ } -> Some dst
     | Drop _ -> None
     | Fire { entity } -> Some entity
+    | Cut -> None
   in
   match (e1, e2) with
+  (* Cut replaces every entity, every queue and the epoch: it commutes
+     with nothing. *)
+  | Cut, _ | _, Cut -> true
   | Submit, Submit -> true
   | Drop _, Drop _ -> true
   (* Fires share a budget, so one can disable another: dependent. *)
@@ -315,6 +488,26 @@ let run cfg =
       if src < 0 || src >= cfg.n then
         invalid_arg "Explorer.run: script source out of range")
     cfg.script;
+  (match cfg.churn with
+  | Some (Leave l) ->
+    if l < 0 || l >= cfg.n then
+      invalid_arg "Explorer.run: leave rank out of range";
+    if cfg.n - 1 < 2 then
+      invalid_arg "Explorer.run: a leave must keep at least 2 members"
+  | Some Join | None -> ());
+  if cfg.post_script <> [] && cfg.churn = None then
+    invalid_arg "Explorer.run: post_script requires churn";
+  let post_n =
+    match cfg.churn with
+    | Some Join -> cfg.n + 1
+    | Some (Leave _) -> cfg.n - 1
+    | None -> cfg.n
+  in
+  List.iter
+    (fun (src, _) ->
+      if src < 0 || src >= post_n then
+        invalid_arg "Explorer.run: post-script source out of range")
+    cfg.post_script;
   let visited : (string, event list) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref 0 in
   let transitions = ref 0 in
@@ -377,7 +570,7 @@ let run cfg =
        every pending closure reads and writes disjoint entity state, so any
        order reaches the same states. *)
     let parts = ref [] in
-    for id = sys.cfg.n - 1 downto 0 do
+    for id = Array.length sys.entities - 1 downto 0 do
       parts :=
         Entity.signature sys.entities.(id)
         :: string_of_int (Queue.length sys.timers.(id))
@@ -386,6 +579,8 @@ let run cfg =
     done;
     State_hash.digest
       (string_of_int sys.script_pos
+      :: string_of_int sys.post_pos
+      :: string_of_int sys.epoch
       :: string_of_int sys.drops_used
       :: string_of_int sys.fires_used
       :: !parts)

@@ -10,7 +10,18 @@
     - [Drop] — lose one in-flight transmission (bounded by a drop budget;
       an entity's own loopback copy is undroppable, matching the MC
       medium);
-    - [Fire] — run an entity's oldest pending timer.
+    - [Fire] — run an entity's oldest pending timer;
+    - [Cut] — commit the configured membership change (one [Join] or
+      [Leave] per run). Enabled only once the epoch-0 script is spent and
+      the members have reconciled (equal REQ vectors, all protocol work
+      drained) — the view-change barrier's commit precondition. The cut
+      closes the epoch, rebuilds the next view's entities from remapped
+      {!Repro_core.Entity.bootstrap_checkpoint} blobs (the joiner from the
+      sponsor's bytes, as in the co-checkpoint-v1 state transfer) and
+      abandons the old timers, but deliberately leaves stale old-epoch
+      copies in flight: delivering one after the cut exercises the
+      entity-level cid guard, watched by the monitor's
+      [no-cross-epoch-delivery] invariant.
 
     Time is frozen at 0: interleaving, not timing, is the state space, and
     timers become explicit events. After every transition the full
@@ -30,10 +41,20 @@
     [truncated] when hit, so "0 violations" is only a proof of the
     small-scope theorem when [truncated = false]. *)
 
+(** The membership change a run may commit (at most one per run). [Leave l]
+    removes epoch-0 rank [l] (higher ranks shift down); [Join] adds a new
+    member at the next view's last rank, bootstrapped by state transfer. *)
+type churn = Join | Leave of int
+
 type config = {
-  n : int;  (** Cluster size (2 or 3 are practical). *)
+  n : int;  (** Epoch-0 cluster size (2 or 3 are practical). *)
   script : (int * string) list;
       (** [(src, payload)] submissions, issued in list order. *)
+  churn : churn option;  (** Membership change to model-check, if any. *)
+  post_script : (int * string) list;
+      (** Submissions issued after the [Cut], with sources in {e new-view}
+          ranks — new-epoch traffic interleaving with stale stragglers.
+          Requires [churn]. *)
   max_drops : int;  (** Total loss budget across the schedule. *)
   max_fires : int;
       (** Total timer-fire budget across the schedule. Fires must be
@@ -57,7 +78,7 @@ type config = {
 }
 
 val default_config : n:int -> config
-(** One broadcast per entity, no drops, no timer fires, POR on,
+(** One broadcast per entity, no churn, no drops, no timer fires, POR on,
     [Immediate] confirmation, a tight window ([W = 2]) and a 200k-state
     budget. Budget drops and fires explicitly per run — each fire roughly
     multiplies the state count by ten. *)
@@ -67,6 +88,7 @@ type event =
   | Deliver of { dst : int; pdu : string }  (** [pdu] is the wire encoding. *)
   | Drop of { dst : int; pdu : string }
   | Fire of { entity : int }
+  | Cut  (** Commit the configured membership change. *)
 
 type violation_report = {
   violation : Invariants.violation;

@@ -96,8 +96,9 @@ let check_entity e =
 module Monitor = struct
   type slot = {
     mutable delivered_rev : Pdu.data list;
-    delivered : (int * int, unit) Hashtbl.t;
+    delivered : (int * (int * int), unit) Hashtbl.t; (* (cid, (src, seq)) *)
     mutable seen_step : bool;
+    mutable expect_cid : int option;
     mutable last_seq : int;
     mutable last_req : int array;
     mutable last_al : Matrix_clock.t;
@@ -115,6 +116,7 @@ module Monitor = struct
               delivered_rev = [];
               delivered = Hashtbl.create 64;
               seen_step = false;
+              expect_cid = None;
               last_seq = 1;
               last_req = Array.make n 1;
               last_al = Matrix_clock.create ~n ~init:1;
@@ -130,7 +132,18 @@ module Monitor = struct
         (fun detail -> out := { entity; invariant; detail } :: !out)
         fmt
     in
-    let key = Pdu.key d in
+    (* The entity-level cid guard is the membership layer's epoch fence:
+       a PDU stamped with a closed epoch's cid must never reach the
+       application once the view change committed. [expect_cid] tracks the
+       delivering entity's configured cid (refreshed by {!note_step}), so
+       any stale-epoch straggler that slips past the guard is flagged. *)
+    (match s.expect_cid with
+    | Some c when d.cid <> c ->
+      add "no-cross-epoch-delivery"
+        "(%d,%d) carries cid %d but the delivering entity expects %d" d.src
+        d.seq d.cid c
+    | _ -> ());
+    let key = (d.cid, Pdu.key d) in
     if Hashtbl.mem s.delivered key then
       add "deliver-exactly-once" "(%d,%d) acknowledged twice" d.src d.seq;
     Hashtbl.replace s.delivered key ();
@@ -149,6 +162,7 @@ module Monitor = struct
 
   let note_step t e =
     let entity = Entity.id e in
+    let n = Entity.cluster_size e in
     let s = t.slots.(entity) in
     let out = ref [] in
     let add invariant fmt =
@@ -160,7 +174,11 @@ module Monitor = struct
     let req = Entity.req e in
     let al = Entity.al_matrix e in
     let pal = Entity.pal_matrix e in
-    if s.seen_step then begin
+    (* Snapshots are comparable only within one view: a membership change
+       resizes REQ and the matrices (and {!note_view_change} resets the
+       baseline), so dimensions always match here — the guard is belt and
+       braces for a caller that swapped entities without announcing it. *)
+    if s.seen_step && Array.length req = Array.length s.last_req then begin
       if seq < s.last_seq then
         add "seq-monotone" "seq_next went from %d to %d" s.last_seq seq;
       Array.iteri
@@ -168,8 +186,8 @@ module Monitor = struct
           if v < s.last_req.(j) then
             add "req-monotone" "REQ_%d went from %d to %d" j s.last_req.(j) v)
         req;
-      for row = 0 to t.n - 1 do
-        for col = 0 to t.n - 1 do
+      for row = 0 to n - 1 do
+        for col = 0 to n - 1 do
           if
             Matrix_clock.get al ~row ~col
             < Matrix_clock.get s.last_al ~row ~col
@@ -188,11 +206,41 @@ module Monitor = struct
       done
     end;
     s.seen_step <- true;
+    s.expect_cid <- Some (Entity.config e).Config.cid;
     s.last_seq <- seq;
     s.last_req <- req;
     s.last_al <- al;
     s.last_pal <- pal;
     List.rev !out
+
+  let note_accept t ~entity (d : Pdu.data) =
+    let s = t.slots.(entity) in
+    match s.expect_cid with
+    | Some c when d.cid <> c ->
+      [
+        {
+          entity;
+          invariant = "no-cross-epoch-delivery";
+          detail =
+            Printf.sprintf
+              "(%d,%d) accepted with cid %d but the entity expects %d" d.src
+              d.seq d.cid c;
+        };
+      ]
+    | _ -> []
+
+  let note_view_change t ~entity =
+    let s = t.slots.(entity) in
+    (* A committed view change replaces the entity: ranks remap, clocks
+       resize, and sequence numbers the closing epoch never accepted are
+       legitimately reused. Per-slot history is therefore per-epoch — the
+       next {!note_step} re-baselines against the new-view entity. Stale
+       old-epoch traffic stays covered: it carries the closed epoch's cid
+       and trips [no-cross-epoch-delivery] above. *)
+    s.delivered_rev <- [];
+    Hashtbl.reset s.delivered;
+    s.seen_step <- false;
+    s.expect_cid <- None
 
   let delivered_count t ~entity = Hashtbl.length t.slots.(entity).delivered
 end

@@ -33,11 +33,18 @@ module Monitor : sig
   type t
 
   val create : n:int -> t
+  (** [n] is the number of monitor slots — the largest entity id the run
+      can ever present, which under dynamic membership may exceed the
+      initial view size (a join adds a rank). *)
 
   val note_delivery :
     t -> entity:int -> Repro_pdu.Pdu.data -> violation list
   (** Record that [entity] acknowledged (delivered) a PDU. Checks
-      [deliver-exactly-once] and [causal-delivery-order] (no previously
+      [no-cross-epoch-delivery] (the PDU's cid matches the delivering
+      entity's configured cid as last seen by {!note_step} — a stale
+      closed-epoch straggler slipping past the entity's cid guard is a
+      membership-isolation bug), [deliver-exactly-once] (keyed by
+      [(cid, src, seq)]) and [causal-delivery-order] (no previously
       delivered PDU at the same entity is causally preceded by this one,
       per the Theorem 4.1 direct test — a sound under-approximation of
       happened-before, so every hit is a real inversion). *)
@@ -46,6 +53,21 @@ module Monitor : sig
   (** Record a between-steps snapshot of the entity; checks that [seq_next],
       REQ, AL and PAL never decrease relative to the previous snapshot. The
       first call per entity only establishes the baseline. *)
+
+  val note_accept : t -> entity:int -> Repro_pdu.Pdu.data -> violation list
+(** Check only the cross-epoch fence at {e accept} time. A stale
+      closed-epoch PDU slipping past the cid guard is usually accepted but
+      never acknowledged (its epoch's acknowledgment chain died at the
+      cut), so waiting for {!note_delivery} would miss it. *)
+
+  val note_view_change : t -> entity:int -> unit
+  (** Reset [entity]'s slot at a committed membership view change: ranks
+      remap, clocks resize and unaccepted sequence numbers are reused
+      across the epoch cut, so delivery history and monotonicity baselines
+      are per-epoch. Call once per slot when the new-view entity replaces
+      the old one; the next {!note_step} re-baselines. Cross-epoch safety
+      is still covered — stale traffic carries the closed epoch's cid and
+      trips [no-cross-epoch-delivery]. *)
 
   val delivered_count : t -> entity:int -> int
   (** Distinct PDUs seen delivered at [entity]. *)

@@ -55,6 +55,28 @@ let col_min m k =
 
 let col_min_all m = Array.init m.n (col_min m)
 
+let remap m ~n ~init ~map =
+  if n <= 0 then invalid_arg "Matrix_clock.remap: n must be > 0";
+  let old_of = Array.init n map in
+  Array.iter
+    (function
+      | Some j when j < 0 || j >= m.n ->
+        invalid_arg "Matrix_clock.remap: map index out of range"
+      | Some _ | None -> ())
+    old_of;
+  let cell r c =
+    match (old_of.(r), old_of.(c)) with
+    | Some r', Some c' -> m.cells.(r').(c')
+    | (Some _ | None), _ -> init
+  in
+  let out = create ~n ~init in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      set out ~row:r ~col:c (cell r c)
+    done
+  done;
+  out
+
 let copy m =
   {
     n = m.n;

@@ -38,5 +38,15 @@ val col_min : t -> int -> int
 val col_min_all : t -> int array
 (** All column minima at once. *)
 
+val remap : t -> n:int -> init:int -> map:(int -> int option) -> t
+(** [remap m ~n ~init ~map] builds the matrix for a resized membership view:
+    cell [(r, c)] of the result is [m.(r').(c')] when both indices map to
+    surviving old indices ([map r = Some r'], [map c = Some c']), and [init]
+    when either side is a fresh joiner ([None]) — a joiner starts with no
+    knowledge and nothing is known about it. Departed members' rows and
+    columns are dropped by not being in the image of [map].
+    @raise Invalid_argument if [n <= 0] or a mapped index is out of
+    range. *)
+
 val copy : t -> t
 val pp : Format.formatter -> t -> unit

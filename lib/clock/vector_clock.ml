@@ -25,6 +25,16 @@ let incr v i =
   w.(i) <- w.(i) + 1;
   w
 
+let remap v ~n ~map =
+  if n <= 0 then invalid_arg "Vector_clock.remap: n must be > 0";
+  Array.init n (fun i ->
+      match map i with
+      | None -> 0
+      | Some old ->
+        if old < 0 || old >= Array.length v then
+          invalid_arg "Vector_clock.remap: map index out of range";
+        v.(old))
+
 let merge a b =
   if Array.length a <> Array.length b then
     invalid_arg "Vector_clock.merge: size mismatch";

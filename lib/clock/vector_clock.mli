@@ -26,6 +26,14 @@ val get : t -> int -> int
 val incr : t -> int -> t
 (** [incr v i] is [v] with component [i] incremented — the send/local rule. *)
 
+val remap : t -> n:int -> map:(int -> int option) -> t
+(** [remap v ~n ~map] resizes [v] for a membership change: component [i] of
+    the result is [v.(j)] when [map i = Some j] (a surviving member's old
+    index) and 0 when [map i = None] (a fresh joiner). Components of
+    departed members are dropped by not being in the image of [map].
+    @raise Invalid_argument if [n <= 0] or a mapped index is out of
+    range. *)
+
 val merge : t -> t -> t
 (** Component-wise maximum — the receive rule (before the local increment).
     @raise Invalid_argument on size mismatch. *)

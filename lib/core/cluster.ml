@@ -177,8 +177,10 @@ let create (config : config) =
           | Some blob -> (
             match Entity.restore ~config:config.protocol ~actions blob with
             | Ok e -> e
-            | Error msg ->
-              invalid_arg ("Cluster.restart: corrupt checkpoint: " ^ msg))
+            | Error err ->
+              invalid_arg
+                (Format.asprintf "Cluster.restart: corrupt checkpoint: %a"
+                   Entity.pp_restore_error err))
         in
         Entity.add_observer entity (fun ev ->
             let now = Engine.now engine in

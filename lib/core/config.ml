@@ -7,7 +7,7 @@ type causality_mode = Direct | Transitive
 
 type check_level = Off | Cheap | Paranoid
 
-type fault = Skip_minpal_gate | Skip_cpi_order
+type fault = Skip_minpal_gate | Skip_cpi_order | Skip_epoch_guard
 
 type wire_version = V1 | V2
 
@@ -15,6 +15,7 @@ let wire_name = function V1 -> "v1" | V2 -> "v2"
 
 type t = {
   cid : int;
+  epoch : int;
   window : int;
   buf_units_per_pdu : int;
   defer : defer_policy;
@@ -35,6 +36,7 @@ type t = {
 let default =
   {
     cid = 0;
+    epoch = 0;
     window = 8;
     buf_units_per_pdu = 1;
     defer = Deferred { timeout = Repro_sim.Simtime.of_ms 5 };
@@ -54,6 +56,7 @@ let default =
 
 let validate t =
   if t.cid < 0 then invalid_arg "Config: negative cid";
+  if t.epoch < 0 then invalid_arg "Config: negative epoch";
   if t.window < 1 then invalid_arg "Config: window must be >= 1";
   if t.buf_units_per_pdu < 1 then invalid_arg "Config: H must be >= 1";
   if t.initial_buf < 1 then invalid_arg "Config: initial_buf must be >= 1";

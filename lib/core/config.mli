@@ -51,6 +51,10 @@ type fault =
   | Skip_cpi_order
       (** Append to PRL in receipt order instead of CPI position — breaks
           the linear-extension invariant. *)
+  | Skip_epoch_guard
+      (** Accept PDUs regardless of their cid stamp — breaks the membership
+          layer's epoch fence: stale closed-epoch stragglers reach the
+          protocol engine and trip [no-cross-epoch-delivery]. *)
 (** Deliberate protocol bugs, injectable only through configuration, used to
     prove that the checking layers ({!Repro_check.Explorer}, runtime
     assertions, [colint]) actually catch violations. Never set outside
@@ -71,6 +75,13 @@ val wire_name : wire_version -> string
 
 type t = {
   cid : int;  (** Cluster identifier stamped on every PDU. *)
+  epoch : int;
+      (** Membership epoch this entity belongs to (0 for a static cluster).
+          Informational at this layer — the entity never compares epochs on
+          the wire. The membership layer ({!Repro_member.Group}) derives a
+          per-epoch [cid] so the existing cluster-id guard in the receive
+          path rejects cross-epoch PDUs, and uses [epoch] for metric labels
+          and assertions. *)
   window : int;  (** [W], per-source send window. *)
   buf_units_per_pdu : int;  (** [H]. *)
   defer : defer_policy;

@@ -576,7 +576,8 @@ let pack_scan t =
   let precedes =
     match t.config.fault with
     | Some Config.Skip_cpi_order -> fun _ _ -> false
-    | Some Config.Skip_minpal_gate | None -> precedes_current t
+    | Some Config.Skip_minpal_gate | Some Config.Skip_epoch_guard | None ->
+      precedes_current t
   in
   (* The reach closure is transitive by construction (and the Skip_cpi_order
      relation trivially so); only the Direct one-hop test needs the lenient
@@ -584,7 +585,7 @@ let pack_scan t =
   let transitive =
     match t.config.fault with
     | Some Config.Skip_cpi_order -> true
-    | Some Config.Skip_minpal_gate | None ->
+    | Some Config.Skip_minpal_gate | Some Config.Skip_epoch_guard | None ->
       t.config.causality_mode = Config.Transitive
   in
   (* Fast-path witness: the reach closure orders pairs the raw ACK does not
@@ -596,7 +597,7 @@ let pack_scan t =
   let witness_of (p : Pdu.data) =
     match (t.config.fault, t.config.causality_mode) with
     | Some Config.Skip_cpi_order, _ | _, Config.Direct -> None
-    | (Some Config.Skip_minpal_gate | None), Config.Transitive -> (
+    | (Some Config.Skip_minpal_gate | Some Config.Skip_epoch_guard | None), Config.Transitive -> (
       match reach_opt t ~src:p.src ~seq:p.seq with
       | Some r -> Some (Array.map (fun x -> x + 1) r)
       | None -> None)
@@ -633,7 +634,8 @@ let ack_scan t =
   let ack_gate (p : Pdu.data) =
     match t.config.fault with
     | Some Config.Skip_minpal_gate -> true
-    | Some Config.Skip_cpi_order | None -> p.seq < minpal t p.src
+    | Some Config.Skip_cpi_order | Some Config.Skip_epoch_guard | None ->
+      p.seq < minpal t p.src
   in
   let batch = ref 0 in
   let continue = ref true in
@@ -768,11 +770,19 @@ let after_processing t =
   | Config.Never -> t.prompted <- false);
   check_step t
 
+(* The cid comparison doubles as the membership layer's epoch fence: each
+   epoch's view runs under a distinct epoch-stamped cid, so a straggler from
+   a closed epoch fails the test and dies here, before any protocol state
+   can absorb it. [Skip_epoch_guard] removes the fence so the checking
+   layers can prove they would catch a cross-epoch leak. *)
 let ours t pdu =
-  match pdu with
-  | Pdu.Data d -> d.cid = t.config.cid
-  | Pdu.Ret r -> r.cid = t.config.cid
-  | Pdu.Ctl c -> c.cid = t.config.cid
+  match t.config.fault with
+  | Some Config.Skip_epoch_guard -> true
+  | Some Config.Skip_minpal_gate | Some Config.Skip_cpi_order | None -> (
+    match pdu with
+    | Pdu.Data d -> d.cid = t.config.cid
+    | Pdu.Ret r -> r.cid = t.config.cid
+    | Pdu.Ctl c -> c.cid = t.config.cid)
 
 let handle t pdu =
   match pdu with
@@ -938,6 +948,53 @@ let signature t =
 let causally_precedes t p q = precedes_current t p q
 
 let seq_next t = t.seq
+let epoch t = t.config.Config.epoch
+
+(* Barrier harvest (membership layer): any copy of (src, seq) still held on
+   the receive side — parked, accepted, pre-acknowledged or (with
+   [retain_arl]) acknowledged — or, for our own PDUs, in the sending log.
+   Used to re-home a departed source's PDUs to survivors that miss them;
+   correctness only needs SOME member to still hold each such PDU, which the
+   acceptance rules guarantee for everything above the receivers' REQ. *)
+let find_received t ~src ~seq =
+  if src < 0 || src >= t.n then None
+  else
+    let in_list ps =
+      List.find_opt (fun (p : Pdu.data) -> p.src = src && p.seq = seq) ps
+    in
+    let ( <|> ) a b = match a with Some _ -> a | None -> b () in
+    (if src = t.id then Logs.Sending.find t.sl ~seq else None)
+    <|> (fun () -> Hashtbl.find_opt t.pending.(src) seq)
+    <|> (fun () -> in_list (Logs.Receipt.rrl_to_list t.logs ~src))
+    <|> (fun () -> in_list (Logs.Receipt.prl_to_list t.logs))
+    <|> (fun () -> in_list (Logs.Receipt.arl_to_list t.logs))
+
+(* View-change barrier epilogue (membership layer): [req_matrix] is the
+   reconciled REQ matrix of the closing epoch — row [j] is member [j]'s
+   final REQ vector, collected over the control plane after gap repair, so
+   it is a PROOF that every PDU below its column minima was accepted by
+   every member. Raising the AL and PAL rows to it substitutes that proof
+   for the conservative per-PDU gates, and the ordinary PACK/ACK scans then
+   flush every accepted PDU through the PRL to the application in CPI
+   order. Pure knowledge injection: no PDU is sent, nothing is skipped —
+   each scan still runs its own gate, which now passes. *)
+let close_epoch t ~req_matrix =
+  if Array.length req_matrix <> t.n then
+    invalid_arg "Entity.close_epoch: REQ matrix must have n rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> t.n then
+        invalid_arg "Entity.close_epoch: REQ matrix row length mismatch")
+    req_matrix;
+  Array.iteri
+    (fun j row ->
+      Matrix_clock.set_row t.al ~row:j row;
+      Matrix_clock.set_row t.pal ~row:j row)
+    req_matrix;
+  pack_scan t;
+  ack_scan t;
+  Logs.Sending.prune_below t.sl ~seq:(minal t t.id);
+  check_step t
 let req t = Array.copy t.req
 let al_matrix t = Matrix_clock.copy t.al
 let pal_matrix t = Matrix_clock.copy t.pal
@@ -1039,15 +1096,123 @@ let checkpoint t =
   done;
   Buffer.contents b
 
-exception Corrupt of string
+let header_entries t =
+  let acc = ref [] in
+  for src = t.n - 1 downto 0 do
+    for seq = Array.length t.headers.(src) - 1 downto 0 do
+      match t.headers.(src).(seq) with
+      | Some ack -> acc := (src, seq, Array.copy ack) :: !acc
+      | None -> ()
+    done
+  done;
+  !acc
 
-let restore ~config ~actions blob =
+(* The canonical post-barrier checkpoint, built from data instead of from a
+   live entity. After a view-change barrier every survivor's state collapses
+   to the same thing — a common REQ vector (everyone accepted everything),
+   AL = PAL = that vector in every row, empty logs, a fully pruned sending
+   log — plus the accepted-header table, which Transitive-mode reach
+   computation still needs when later ACK vectors refer back across the
+   epoch boundary. The membership layer writes each member's next-epoch
+   state with this (ranks and vectors already remapped to the new view) and
+   ships the same bytes to a joiner as the sponsor's state transfer, so a
+   survivor's rebuild and a joiner's bootstrap go through one code path:
+   {!restore}. *)
+let bootstrap_checkpoint ~config ~id ~n ~req ~headers =
+  Config.validate config;
+  if n < 2 then invalid_arg "Entity.bootstrap_checkpoint: n must be >= 2";
+  if id < 0 || id >= n then
+    invalid_arg "Entity.bootstrap_checkpoint: id out of range";
+  if Array.length req <> n then
+    invalid_arg "Entity.bootstrap_checkpoint: REQ length mismatch";
+  Array.iter
+    (fun v ->
+      if v < 1 then
+        invalid_arg "Entity.bootstrap_checkpoint: REQ components start at 1")
+    req;
+  List.iter
+    (fun (src, seq, ack) ->
+      if src < 0 || src >= n then
+        invalid_arg "Entity.bootstrap_checkpoint: header src out of range";
+      if seq < 1 || seq >= req.(src) then
+        invalid_arg "Entity.bootstrap_checkpoint: header seq outside REQ";
+      if Array.length ack <> n then
+        invalid_arg "Entity.bootstrap_checkpoint: header ACK length mismatch")
+    headers;
+  let headers =
+    List.sort
+      (fun (s1, q1, _) (s2, q2, _) ->
+        match Int.compare s1 s2 with 0 -> Int.compare q1 q2 | c -> c)
+      headers
+  in
+  let b = Buffer.create 4096 in
+  let wi i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b '\n'
+  in
+  Buffer.add_string b ckpt_magic;
+  Buffer.add_char b '\n';
+  wi id;
+  wi n;
+  wi req.(id);
+  Array.iter wi req;
+  for _row = 1 to 2 * n do
+    Array.iter wi req
+  done;
+  for _j = 1 to n do
+    wi config.Config.initial_buf
+  done;
+  (* Sending log fully pruned: retained range [seq .. seq-1], no PDUs. *)
+  wi req.(id);
+  wi (req.(id) - 1);
+  wi 0;
+  for _j = 1 to n do
+    wi 0 (* empty RRL_j *)
+  done;
+  wi 0;
+  (* empty PRL *)
+  wi 0;
+  (* empty ARL *)
+  for _j = 1 to n do
+    wi 0 (* no parked PDUs *)
+  done;
+  wi 0;
+  (* no queued requests *)
+  wi (List.length headers);
+  List.iter
+    (fun (src, seq, ack) ->
+      wi src;
+      wi seq;
+      Array.iter wi ack)
+    headers;
+  Buffer.contents b
+
+type restore_error =
+  | Bad_magic
+  | Truncated of int
+  | Malformed of { at : int; what : string }
+  | Mismatch of { field : string; expected : int; got : int }
+  | Invalid_state of string
+
+let pp_restore_error ppf = function
+  | Bad_magic -> Format.pp_print_string ppf "not a co-checkpoint-v1 blob"
+  | Truncated at -> Format.fprintf ppf "truncated at byte %d" at
+  | Malformed { at; what } -> Format.fprintf ppf "at byte %d: %s" at what
+  | Mismatch { field; expected; got } ->
+    Format.fprintf ppf "checkpoint is for %s %d, expected %d" field got
+      expected
+  | Invalid_state msg -> Format.fprintf ppf "impossible entity state: %s" msg
+
+exception Corrupt of restore_error
+
+let restore ?expect_id ?expect_n ~config ~actions blob =
   let pos = ref 0 in
   let len = String.length blob in
-  let fail fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt in
+  let fail e = raise (Corrupt e) in
+  let faili fmt = Printf.ksprintf (fun m -> fail (Invalid_state m)) fmt in
   let rline () =
     match String.index_from_opt blob !pos '\n' with
-    | None -> fail "truncated at byte %d" !pos
+    | None -> fail (Truncated !pos)
     | Some nl ->
       let s = String.sub blob !pos (nl - !pos) in
       pos := nl + 1;
@@ -1057,31 +1222,62 @@ let restore ~config ~actions blob =
     let s = rline () in
     match int_of_string_opt s with
     | Some i -> i
-    | None -> fail "expected integer at byte %d, got %S" !pos s
+    | None ->
+      fail (Malformed { at = !pos; what = Printf.sprintf "expected integer, got %S" s })
   in
   let rblock () =
     let n = ri () in
-    if n < 0 || !pos + n > len then fail "bad block length %d at byte %d" n !pos;
+    if n < 0 || !pos + n > len then fail (Truncated !pos);
     let s = String.sub blob !pos n in
     pos := !pos + n;
     s
   in
-  let rpdu () =
-    match Codec.decode (Bytes.of_string (rblock ())) with
-    | Ok (Pdu.Data d) -> d
-    | Ok (Pdu.Ret _ | Pdu.Ctl _) -> fail "non-data PDU in checkpoint"
-    | Error e -> fail "undecodable PDU: %s" (Format.asprintf "%a" Codec.pp_error e)
-  in
-  let rpdus () = List.init (ri ()) (fun _ -> rpdu ()) in
   match
-    if rline () <> ckpt_magic then fail "not a checkpoint (bad magic)";
+    (* A blob whose first line is absent or wrong was never a checkpoint;
+       [Truncated] is reserved for blobs that pass the magic check. *)
+    if String.index_opt blob '\n' = None then fail Bad_magic;
+    if rline () <> ckpt_magic then fail Bad_magic;
     let id = ri () in
     let n = ri () in
+    if n < 2 then faili "cluster size %d (needs at least 2 members)" n;
+    if id < 0 || id >= n then faili "id %d outside cluster of %d" id n;
+    (match expect_n with
+    | Some e when e <> n -> fail (Mismatch { field = "cluster size"; expected = e; got = n })
+    | Some _ | None -> ());
+    (match expect_id with
+    | Some e when e <> id -> fail (Mismatch { field = "entity id"; expected = e; got = id })
+    | Some _ | None -> ());
+    (* A data PDU re-entering the logs must be shaped for THIS cluster:
+       a foreign-size ACK vector would index out of bounds (or silently
+       misinform the clocks) far from here. *)
+    let rpdu () =
+      let at = !pos in
+      match Codec.decode (Bytes.of_string (rblock ())) with
+      | Ok (Pdu.Data d) ->
+        if Array.length d.ack <> n then
+          faili "PDU (%d,%d) carries a %d-member ACK vector in a %d-member cluster"
+            d.src d.seq (Array.length d.ack) n;
+        if d.src < 0 || d.src >= n then
+          faili "PDU source %d outside cluster of %d" d.src n;
+        if d.seq < 1 then faili "PDU (%d,%d): sequence numbers start at 1" d.src d.seq;
+        d
+      | Ok (Pdu.Ret _ | Pdu.Ctl _) ->
+        fail (Malformed { at; what = "non-data PDU in checkpoint" })
+      | Error e ->
+        fail
+          (Malformed
+             { at; what = "undecodable PDU: " ^ Format.asprintf "%a" Codec.pp_error e })
+    in
+    let rpdus () = List.init (ri ()) (fun _ -> rpdu ()) in
     let t = create ~config ~id ~n ~actions in
     t.seq <- ri ();
+    if t.seq < 1 then faili "next sequence number %d (starts at 1)" t.seq;
     for j = 0 to n - 1 do
-      t.req.(j) <- ri ()
+      t.req.(j) <- ri ();
+      if t.req.(j) < 1 then faili "REQ_%d = %d (starts at 1)" j t.req.(j)
     done;
+    if t.req.(id) > t.seq then
+      faili "REQ_self = %d ahead of own next seq %d" t.req.(id) t.seq;
     let rrow () = Array.init n (fun _ -> ri ()) in
     for j = 0 to n - 1 do
       Matrix_clock.set_row t.al ~row:j (rrow ())
@@ -1089,14 +1285,44 @@ let restore ~config ~actions blob =
     for j = 0 to n - 1 do
       Matrix_clock.set_row t.pal ~row:j (rrow ())
     done;
+    (* Clock shape: rows were folded monotonically from init 1, so any
+       sub-1 cell was silently clamped — and PAL can never outrun AL
+       (every PAL raise re-applied an AL raise). A blob violating either
+       describes a state the protocol cannot reach. *)
     for j = 0 to n - 1 do
-      t.buf.(j) <- ri ()
+      for k = 0 to n - 1 do
+        let a = Matrix_clock.get t.al ~row:j ~col:k in
+        let p = Matrix_clock.get t.pal ~row:j ~col:k in
+        if p > a then faili "PAL[%d][%d] = %d exceeds AL[%d][%d] = %d" j k p j k a
+      done
+    done;
+    for j = 0 to n - 1 do
+      t.buf.(j) <- ri ();
+      if t.buf.(j) < 0 then faili "negative advertised buffer for %d" j
     done;
     let sl_low = ri () in
     let sl_last = ri () in
-    Logs.Sending.reload t.sl ~low:sl_low ~last:sl_last (rpdus ());
+    if sl_low < 1 || sl_last < sl_low - 1 then
+      faili "sending-log range [%d..%d]" sl_low sl_last;
+    if sl_last >= t.seq then
+      faili "sending log retains seq %d at or beyond next seq %d" sl_last t.seq;
+    let sl_pdus = rpdus () in
+    List.iter
+      (fun (p : Pdu.data) ->
+        if p.src <> id then
+          faili "sending log holds a PDU from %d (entity is %d)" p.src id)
+      sl_pdus;
+    (match
+       Logs.Sending.reload t.sl ~low:sl_low ~last:sl_last sl_pdus
+     with
+    | () -> ()
+    | exception Invalid_argument m -> faili "sending log: %s" m);
     for j = 0 to n - 1 do
-      List.iter (Logs.Receipt.rrl_enqueue t.logs ~src:j) (rpdus ())
+      List.iter
+        (fun (p : Pdu.data) ->
+          if p.src <> j then faili "RRL_%d holds a PDU from %d" j p.src;
+          Logs.Receipt.rrl_enqueue t.logs ~src:j p)
+        (rpdus ())
     done;
     (* PRL order is part of the service guarantee: append in saved order
        rather than re-running CPI, whose tie-breaks need not be unique. The
@@ -1106,7 +1332,11 @@ let restore ~config ~actions blob =
     List.iter (Logs.Receipt.arl_enqueue t.logs) (rpdus ());
     for j = 0 to n - 1 do
       List.iter
-        (fun (p : Pdu.data) -> Hashtbl.replace t.pending.(j) p.seq p)
+        (fun (p : Pdu.data) ->
+          if p.src <> j then faili "pending slot %d holds a PDU from %d" j p.src;
+          if p.seq <= t.req.(j) then
+            faili "parked PDU (%d,%d) at or below REQ_%d = %d" j p.seq j t.req.(j);
+          Hashtbl.replace t.pending.(j) p.seq p)
         (rpdus ())
     done;
     let nq = ri () in
@@ -1118,17 +1348,18 @@ let restore ~config ~actions blob =
       let src = ri () in
       let seq = ri () in
       if src < 0 || src >= n || seq < 1 then
-        fail "header key (%d,%d) out of range" src seq;
+        faili "header key (%d,%d) out of range" src seq;
       store_set t.headers src seq (rrow ())
     done;
-    if !pos <> len then fail "%d trailing bytes" (len - !pos);
+    if !pos <> len then
+      fail (Malformed { at = !pos; what = Printf.sprintf "%d trailing bytes" (len - !pos) });
     (* As in [pack_scan]: in Transitive mode [maxack] must accumulate
        reach + 1, or a post-restore fast-path append could land after a
        transitive successor the raw ACKs do not reveal. *)
     let witness_of (p : Pdu.data) =
       match (config.Config.fault, config.Config.causality_mode) with
       | Some Config.Skip_cpi_order, _ | _, Config.Direct -> None
-      | (Some Config.Skip_minpal_gate | None), Config.Transitive -> (
+      | (Some Config.Skip_minpal_gate | Some Config.Skip_epoch_guard | None), Config.Transitive -> (
         match reach_opt t ~src:p.src ~seq:p.seq with
         | Some r -> Some (Array.map (fun x -> x + 1) r)
         | None -> None)
@@ -1151,4 +1382,4 @@ let restore ~config ~actions blob =
     t
   with
   | t -> Ok t
-  | exception Corrupt msg -> Error msg
+  | exception Corrupt e -> Error e

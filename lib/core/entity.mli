@@ -122,13 +122,87 @@ val checkpoint : t -> string
     backoff ladders and other wall-clock state are excluded — they are
     meaningless after downtime and {!kick} re-derives them. *)
 
+(** Why a {!restore} was refused. A checkpoint crosses a trust boundary —
+    it may come from disk after a crash or from a sponsor over the wire
+    (membership state transfer) — so the reader proves the blob describes a
+    reachable entity state before building anything from it. *)
+type restore_error =
+  | Bad_magic  (** Not a [co-checkpoint-v1] blob at all. *)
+  | Truncated of int  (** Ran out of bytes at this offset. *)
+  | Malformed of { at : int; what : string }
+      (** A field would not parse (non-integer line, undecodable or
+          non-data PDU, trailing bytes). *)
+  | Mismatch of { field : string; expected : int; got : int }
+      (** Well-formed, but for a different entity than the caller demanded
+          via [?expect_id]/[?expect_n] — e.g. a sponsor shipped a joiner a
+          state transfer cut for the wrong rank or view size. *)
+  | Invalid_state of string
+      (** Well-formed, but semantically impossible: id/cluster-size out of
+          range, sequence numbers below 1, REQ ahead of own seq, PAL
+          exceeding AL, ACK vectors sized for a different membership,
+          sending-log or parked PDUs that could not be where they claim. *)
+
+val pp_restore_error : Format.formatter -> restore_error -> unit
+
 val restore :
-  config:Config.t -> actions:actions -> string -> (t, string) result
+  ?expect_id:int ->
+  ?expect_n:int ->
+  config:Config.t -> actions:actions -> string -> (t, restore_error) result
 (** [restore ~config ~actions blob] rebuilds an entity from a {!checkpoint}
-    (id and cluster size come from the blob). The entity resumes with its
-    sequencing position and logs intact, so it never reuses sequence numbers
-    or re-delivers; call {!kick} afterwards to start catch-up. [Error]
-    describes the corruption. @raise Invalid_argument on invalid config. *)
+    (id and cluster size come from the blob; [?expect_id]/[?expect_n] assert
+    them when the caller knows what the blob must describe). The entity
+    resumes with its sequencing position and logs intact, so it never reuses
+    sequence numbers or re-delivers; call {!kick} afterwards to start
+    catch-up. [Error] describes the corruption.
+    @raise Invalid_argument on invalid config. *)
+
+val bootstrap_checkpoint :
+  config:Config.t ->
+  id:int ->
+  n:int ->
+  req:int array ->
+  headers:(int * int * int array) list ->
+  string
+(** The canonical post-view-change-barrier checkpoint, built from data: the
+    state of rank [id] in an [n]-member view where every member's REQ vector
+    has converged to [req] (the barrier's universal-acceptance guarantee),
+    all AL/PAL rows equal [req], every log is empty, the sending log is
+    fully pruned, and [headers] carries the accepted-header table (entries
+    [(src, seq, ack)]) that Transitive-mode reach computation needs across
+    the epoch boundary. {!restore} of the result always succeeds. The
+    membership layer uses one such blob per member to open a new epoch —
+    survivors build their own locally; a joiner receives the same bytes from
+    its sponsor as the [co-checkpoint-v1] state transfer.
+    @raise Invalid_argument on invalid config, [n < 2], out-of-range [id],
+    REQ components below 1, or a header entry outside [req]'s bounds. *)
+
+val header_entries : t -> (int * int * int array) list
+(** The accepted-header table as [(src, seq, ack)] entries, ascending by
+    [(src, seq)] — the input the membership layer remaps into a new view's
+    {!bootstrap_checkpoint}. *)
+
+val epoch : t -> int
+(** The membership epoch this entity was configured with
+    ({!Config.t.epoch}); 0 for a static cluster. *)
+
+val find_received : t -> src:int -> seq:int -> Repro_pdu.Pdu.data option
+(** Any copy of PDU [(src, seq)] this entity still holds: parked
+    out-of-sequence, accepted (RRL), pre-acknowledged (PRL), acknowledged
+    (ARL, when [retain_arl]), or — for its own PDUs — in the sending log.
+    The view-change barrier uses it to harvest a departed source's PDUs
+    from whichever survivor still has them. *)
+
+val close_epoch : t -> req_matrix:int array array -> unit
+(** Barrier epilogue: fold the closing epoch's reconciled REQ matrix (row
+    [j] = member [j]'s final REQ vector, collected over the membership
+    control plane) into AL and PAL, then run the ordinary PACK/ACK scans.
+    The matrix proves universal acceptance of everything below its column
+    minima, so the scans flush every accepted PDU to the application in CPI
+    order without waiting for further confirmation traffic — after which a
+    fully reconciled entity reports [buffered = 0] and
+    [undelivered_data = 0], and the epoch can be cut over. Injects
+    knowledge only; sends nothing. @raise Invalid_argument unless
+    [req_matrix] is n×n. *)
 
 val add_observer : t -> (event -> unit) -> unit
 (** Register a protocol-event listener; all registered listeners fire in

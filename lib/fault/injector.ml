@@ -68,6 +68,9 @@ let apply t action =
   | Duplicate p -> t.duplicate <- p
   | Stall { entity; factor } -> t.stall.(entity) <- factor
   | Unstall e -> t.stall.(e) <- 1
+  (* Membership is the runner's job (Chaos.run_churn pairs these with
+     Group.propose); the medium itself is unaffected. *)
+  | Join _ | Leave _ -> ()
 
 let is_down t e = t.down.(e)
 
@@ -172,6 +175,27 @@ let on_datagram t ~dst ~src bytes =
   | Pass _ ->
     t.duplicated <- t.duplicated + 1;
     [ bytes; bytes ]
+
+let copies t ~dst ~src =
+  match verdict t ~dst ~src with
+  | Drop_crash ->
+    t.crash_drops <- t.crash_drops + 1;
+    0
+  | Drop_partition ->
+    t.partition_drops <- t.partition_drops + 1;
+    0
+  | Drop_loss ->
+    t.loss_drops <- t.loss_drops + 1;
+    0
+  | Corrupted ->
+    (* An opaque frame can't be bit-flipped-and-redecoded here; model the
+       receiver's magic/shape check rejecting the mangled frame. *)
+    t.corrupt_dropped <- t.corrupt_dropped + 1;
+    0
+  | Pass 1 -> 1
+  | Pass _ ->
+    t.duplicated <- t.duplicated + 1;
+    2
 
 let service_delay t ~dst d = d * t.stall.(dst)
 

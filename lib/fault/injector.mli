@@ -56,6 +56,14 @@ val faults_active : t -> bool
 
 val on_pdu : t -> dst:int -> src:int -> Repro_pdu.Pdu.t -> Repro_pdu.Pdu.t list
 val on_datagram : t -> dst:int -> src:int -> bytes -> bytes list
+
+val copies : t -> dst:int -> src:int -> int
+(** [copies] is the same verdict for an opaque frame the injector can't re-encode
+    (membership control frames): 0, 1 or 2 surviving copies. A corruption
+    draw drops the copy — modeling the receiver's magic/shape check
+    rejecting a mangled control frame — and is counted in
+    [corrupt_dropped]. *)
+
 val service_delay : t -> dst:int -> Repro_sim.Simtime.t -> Repro_sim.Simtime.t
 
 val pp_stats : Format.formatter -> stats -> unit

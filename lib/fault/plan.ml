@@ -10,6 +10,8 @@ type action =
   | Duplicate of float
   | Stall of { entity : int; factor : int }
   | Unstall of int
+  | Join of int
+  | Leave of int
 
 type event = { at : Simtime.t; action : action }
 
@@ -42,7 +44,8 @@ let validate ~n t =
              (Simtime.to_string at)
              (Simtime.to_string t.horizon));
       match action with
-      | Crash e | Restart e | Unstall e -> check_entity ~n ~name:t.name e
+      | Crash e | Restart e | Unstall e | Join e | Leave e ->
+        check_entity ~n ~name:t.name e
       | Stall { entity; factor } ->
         check_entity ~n ~name:t.name entity;
         if factor < 1 then
@@ -80,6 +83,8 @@ let pp_action ppf = function
   | Duplicate p -> Format.fprintf ppf "duplicate %.2f" p
   | Stall { entity; factor } -> Format.fprintf ppf "stall %d x%d" entity factor
   | Unstall e -> Format.fprintf ppf "unstall %d" e
+  | Join e -> Format.fprintf ppf "join %d" e
+  | Leave e -> Format.fprintf ppf "leave %d" e
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>plan %s: %s@," t.name t.description;
@@ -192,5 +197,61 @@ let all =
     mayhem;
   ]
 
+(* Churn plans target the membership runner (Chaos.run_churn): a group
+   medium of 5 endpoints whose epoch-0 members are every node the plan
+   does not script a Join for (the runner derives this), so a scripted
+   joiner starts outside the group and bootstraps in mid-run. *)
+
+let churn_join_leave =
+  {
+    name = "churn_join_leave";
+    description =
+      "node 4 joins at 30ms (checkpoint bootstrap), node 1 leaves at 150ms";
+    events =
+      [ { at = ms 30; action = Join 4 }; { at = ms 150; action = Leave 1 } ];
+    horizon = ms 500;
+  }
+
+let churn_evict =
+  {
+    name = "churn_evict";
+    description =
+      "10% loss from 10ms; node 3 crash-stops at 40ms and is evicted by \
+       suspicion; loss heals at 130ms";
+    events =
+      [
+        { at = ms 10; action = Loss 0.10 };
+        { at = ms 40; action = Crash 3 };
+        { at = ms 130; action = Loss 0. };
+      ];
+    horizon = ms 600;
+  }
+
+let churn_mayhem =
+  {
+    name = "churn_mayhem";
+    description =
+      "join and voluntary leave while 10% loss rides along and node 3 \
+       crash-stops into an eviction";
+    events =
+      [
+        { at = ms 10; action = Loss 0.10 };
+        { at = ms 30; action = Join 4 };
+        { at = ms 120; action = Loss 0. };
+        { at = ms 150; action = Leave 1 };
+        { at = ms 250; action = Crash 3 };
+      ];
+    horizon = ms 900;
+  }
+
+let churn_all = [ churn_join_leave; churn_evict; churn_mayhem ]
+
+let churning t =
+  List.exists
+    (fun { action; _ } ->
+      match action with Join _ | Leave _ -> true | _ -> false)
+    t.events
+
 let names = List.map (fun p -> p.name) all
-let find name = List.find_opt (fun p -> p.name = name) all
+let churn_names = List.map (fun p -> p.name) churn_all
+let find name = List.find_opt (fun p -> p.name = name) (all @ churn_all)

@@ -28,6 +28,11 @@ type action =
   | Stall of { entity : int; factor : int }
       (** Multiply the entity's per-message service time by [factor]. *)
   | Unstall of int  (** Restore normal service time. *)
+  | Join of int
+      (** Membership churn (the churn runner {!Chaos.run_churn} only):
+          the node proposes to join the group and is bootstrapped by
+          checkpoint state transfer. *)
+  | Leave of int  (** The member proposes a voluntary leave. *)
 
 type event = { at : Repro_sim.Simtime.t; action : action }
 
@@ -73,5 +78,28 @@ val mayhem : t
 (** Loss, a crash and a partition overlapping — the kitchen sink. *)
 
 val all : t list
+(** The fixed-membership plans above — everything {!Chaos.run} accepts. *)
+
+(** {2 Churn plans} — for the membership runner ({!Chaos.run_churn}):
+    a 5-endpoint group whose epoch-0 members are 0-3, node 4 in reserve
+    as the joiner. *)
+
+val churn_join_leave : t
+(** Node 4 joins mid-run, node 1 later leaves voluntarily. *)
+
+val churn_evict : t
+(** Node 3 crash-stops under a loss window and is evicted by suspicion. *)
+
+val churn_mayhem : t
+(** Join, voluntary leave and a crash-driven eviction under loss. *)
+
+val churn_all : t list
+val churn_names : string list
+
+val churning : t -> bool
+(** Does the plan script any [Join]/[Leave]? Such plans only make sense
+    against a dynamic-membership group. *)
+
 val names : string list
 val find : string -> t option
+(** Looks up fixed-membership and churn plans alike. *)

@@ -1,18 +1,26 @@
-(** Liveness watchdog over a simulated cluster.
+(** Liveness watchdog over a simulated cluster, built on the shared
+    consecutive-miss suspicion policy ({!Repro_member.Suspicion}).
 
-    Samples every live entity on a fixed period and watches for a stalled
-    receipt ladder: an entity with outstanding work (undelivered accepted
-    data, parked out-of-sequence PDUs, or flow-blocked requests) whose
-    delivered count has not advanced and whose backlog has not shrunk for
-    [stall_intervals] consecutive samples. Such an entity is
-    {!Repro_core.Entity.kick}ed — CTL broadcast (triggering peer
-    anti-entropy), RETs re-issued for known gaps, heartbeat re-armed —
-    and the recovery is counted.
+    Samples every entity on a fixed period and renders one of two
+    suspicion verdicts instead of a single liveness bit:
 
-    The watchdog is pure recovery-forcing: a kick only performs actions
-    the protocol could have taken on its own, so it can never violate
-    safety; it turns "stalled until some timer eventually fires" into
-    "stalled at most [period * stall_intervals]". *)
+    - {b stalled} — the entity is up but its receipt ladder has stopped:
+      outstanding work (undelivered accepted data, parked out-of-sequence
+      PDUs, or flow-blocked requests) with no delivery progress and no
+      shrinking backlog for [stall_intervals] consecutive samples. That is
+      recoverable: the entity is {!Repro_core.Entity.kick}ed — CTL
+      broadcast (triggering peer anti-entropy), RETs re-issued for known
+      gaps, heartbeat re-armed — and the recovery is counted. A kick only
+      performs actions the protocol could have taken on its own, so it can
+      never violate safety; it turns "stalled until some timer eventually
+      fires" into "stalled at most [period * stall_intervals]".
+    - {b departed} — the entity shows no sign of life for
+      [departure_intervals] consecutive samples while the rest of the
+      cluster has outstanding work (silence with nothing pending is
+      idleness, never suspicion). No kick can help a dead peer; the
+      watchdog reports it through [on_suspect] so a membership layer can
+      propose an eviction ({!Repro_member.Group.install_suspicion} is the
+      closed-loop version). A later restart clears the verdict. *)
 
 type t
 
@@ -20,12 +28,23 @@ val install :
   cluster:Repro_core.Cluster.t ->
   period:Repro_sim.Simtime.t ->
   ?stall_intervals:int ->
+  ?departure_intervals:int ->
+  ?on_suspect:(int -> Repro_member.Suspicion.verdict -> unit) ->
   until:Repro_sim.Simtime.t ->
   unit ->
   t
-(** Arm the watchdog on the cluster's engine. [stall_intervals] defaults
-    to 3. The periodic check disarms itself after [until] so the engine
-    can drain to quiescence. *)
+(** Arm the watchdog on the cluster's engine. [stall_intervals] (the
+    consecutive-miss threshold for a stall verdict) defaults to 3;
+    [departure_intervals] defaults to twice that — declaring a peer dead
+    is the costlier mistake. [on_suspect] is invoked with the entity id on
+    every kick ([Stalled]) and once per down spell when the departure
+    threshold is crossed ([Departed]); it never sees [Healthy]. The
+    periodic check disarms itself after [until] so the engine can drain to
+    quiescence.
+    @raise Invalid_argument on thresholds < 1. *)
 
 val recoveries : t -> int
 (** Number of kicks issued so far. *)
+
+val departures : t -> int
+(** Number of departure verdicts rendered (at most one per down spell). *)

@@ -1,0 +1,55 @@
+type verdict = Healthy | Stalled | Departed
+
+type state = {
+  mutable silent : int; (* consecutive intervals with no sign of life *)
+  mutable stuck : int; (* consecutive alive-but-no-progress intervals *)
+  mutable departed : bool; (* latched *)
+}
+
+type t = {
+  stall_threshold : int;
+  departure_threshold : int;
+  subjects : state array;
+}
+
+let create ?(stall_threshold = 3) ?(departure_threshold = 3) ~n () =
+  if stall_threshold < 1 then invalid_arg "Suspicion.create: stall_threshold";
+  if departure_threshold < 1 then
+    invalid_arg "Suspicion.create: departure_threshold";
+  if n < 1 then invalid_arg "Suspicion.create: n";
+  {
+    stall_threshold;
+    departure_threshold;
+    subjects = Array.init n (fun _ -> { silent = 0; stuck = 0; departed = false });
+  }
+
+let observe t ~subject ~alive ~progressed ~backlog =
+  let s = t.subjects.(subject) in
+  if s.departed then Departed
+  else begin
+    if alive then begin
+      s.silent <- 0;
+      if progressed || backlog = 0 then s.stuck <- 0 else s.stuck <- s.stuck + 1
+    end
+    else begin
+      (* Silence without anyone waiting is idleness: a quiescent cluster
+         must never accumulate suspicion, or every quiet period would end
+         in a spurious eviction. *)
+      if backlog > 0 then s.silent <- s.silent + 1 else s.silent <- 0;
+      s.stuck <- 0
+    end;
+    if s.silent >= t.departure_threshold then begin
+      s.departed <- true;
+      Departed
+    end
+    else if s.stuck >= t.stall_threshold then Stalled
+    else Healthy
+  end
+
+let reset t ~subject =
+  let s = t.subjects.(subject) in
+  s.silent <- 0;
+  s.stuck <- 0;
+  s.departed <- false
+
+let misses t ~subject = t.subjects.(subject).silent

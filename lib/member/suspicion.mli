@@ -1,0 +1,53 @@
+(** Failure-suspicion policy: consecutive-miss counting that separates the
+    two ways a peer can look unhealthy.
+
+    A {e stalled} peer is alive — its packets keep arriving — but its
+    receipt ladder has stopped: outstanding work and no delivery progress.
+    That is recoverable ({!Repro_core.Entity.kick} re-arms its timers and
+    triggers peer anti-entropy), so the watchdog kicks it and otherwise
+    leaves it alone. A {e departed} peer shows no signs of life at all
+    while the rest of the cluster is demonstrably waiting on it; no kick
+    can help, and the membership layer's only remedy is to propose an
+    eviction and close the epoch without it.
+
+    The policy is deliberately pure (no clocks, no transport): callers feed
+    it one observation per subject per sampling interval and act on the
+    verdict. Both the simulated-cluster watchdog
+    ({!Repro_fault.Watchdog}) and the dynamic-membership group
+    ({!Group.install_suspicion}) drive it, so unit tests of the threshold
+    behavior cover both consumers. *)
+
+type verdict =
+  | Healthy
+  | Stalled
+      (** Alive but making no progress on a non-empty backlog for at least
+          [stall_threshold] consecutive observations — kick it. *)
+  | Departed
+      (** No signs of life for at least [departure_threshold] consecutive
+          observations while someone is waiting on it — evict it. *)
+
+type t
+
+val create :
+  ?stall_threshold:int -> ?departure_threshold:int -> n:int -> unit -> t
+(** Policy over subjects [0..n-1]. Both thresholds are consecutive-miss
+    counts and default to 3. [departure_threshold] should generally be at
+    least [stall_threshold]: declaring a node dead is the costlier mistake.
+    @raise Invalid_argument on thresholds < 1 or [n < 1]. *)
+
+val observe : t -> subject:int -> alive:bool -> progressed:bool -> backlog:int -> verdict
+(** Feed one sampling interval's observation of [subject]:
+    [alive] — any sign of life this interval (a packet heard from it, one
+    of its knowledge rows advancing); [progressed] — its observable work
+    advanced (deliveries, backlog shrank); [backlog] — outstanding work
+    attributable to it. Verdicts latch: once [Departed], every further
+    observation answers [Departed] until {!reset} (an eviction decision
+    must not flap). [Stalled] un-latches by itself as soon as the subject
+    progresses. Silence with no backlog is idleness, not death — it counts
+    toward departure only once there is a backlog. *)
+
+val reset : t -> subject:int -> unit
+(** Forget history for [subject] — e.g. after a restart or re-join. *)
+
+val misses : t -> subject:int -> int
+(** Consecutive intervals without a sign of life (for telemetry/tests). *)

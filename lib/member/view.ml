@@ -1,0 +1,75 @@
+type t = Repro_pdu.Memberwire.view = { epoch : int; members : int array }
+
+let validate t =
+  if t.epoch < 0 then invalid_arg "View: negative epoch";
+  if Array.length t.members = 0 then invalid_arg "View: empty membership";
+  Array.iteri
+    (fun i m ->
+      if m < 0 then invalid_arg "View: negative node id";
+      if i > 0 && m <= t.members.(i - 1) then
+        invalid_arg "View: members must be strictly ascending")
+    t.members
+
+let initial members =
+  let t = { epoch = 0; members = Array.copy members } in
+  validate t;
+  if Array.length members < 2 then
+    invalid_arg "View.initial: needs at least 2 members";
+  t
+
+let size t = Array.length t.members
+
+let rank t ~node =
+  (* Membership arrays are tiny (tens of nodes); linear scan is fine and
+     keeps the sortedness requirement a validation concern only. *)
+  let r = ref None in
+  Array.iteri (fun i m -> if m = node then r := Some i) t.members;
+  !r
+
+let mem t node = rank t ~node <> None
+
+let node t ~rank =
+  if rank < 0 || rank >= size t then invalid_arg "View.node: rank out of range";
+  t.members.(rank)
+
+let coordinator ?excluding t =
+  let c =
+    Array.fold_left
+      (fun acc m ->
+        if Some m = excluding then acc
+        else match acc with None -> Some m | Some _ -> acc)
+      None t.members
+  in
+  match c with
+  | Some m -> m
+  | None -> invalid_arg "View.coordinator: no eligible member"
+
+let apply t change =
+  let open Repro_pdu.Memberwire in
+  match change with
+  | Join n ->
+    if n < 0 then Error "join: negative node id"
+    else if mem t n then Error (Printf.sprintf "join: node %d already a member" n)
+    else
+      let members =
+        Array.of_list (List.sort Int.compare (n :: Array.to_list t.members))
+      in
+      Ok { epoch = t.epoch + 1; members }
+  | Leave n | Evict n ->
+    if not (mem t n) then Error (Printf.sprintf "remove: node %d not a member" n)
+    else if size t <= 2 then Error "remove: view would shrink below 2 members"
+    else
+      Ok
+        {
+          epoch = t.epoch + 1;
+          members = Array.of_list (List.filter (( <> ) n) (Array.to_list t.members));
+        }
+
+let rank_map ~closing ~next r =
+  if r < 0 || r >= size next then None else rank closing ~node:next.members.(r)
+
+let equal a b = a.epoch = b.epoch && a.members = b.members
+
+let pp ppf t =
+  Format.fprintf ppf "e%d{%s}" t.epoch
+    (String.concat "," (Array.to_list (Array.map string_of_int t.members)))

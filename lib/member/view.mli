@@ -1,0 +1,52 @@
+(** Epoch-stamped membership views.
+
+    A view names the cluster's membership at one epoch: an array of global
+    node ids, strictly ascending. The {e rank} of a node is its index in
+    that array — ranks are the dense id space the protocol entities run in
+    (PDU [src] fields, REQ/AL/PAL indices), so a view is exactly the
+    translation table between the stable global ids of the membership layer
+    and the per-epoch rank space of {!Repro_core.Entity}.
+
+    The type is shared with {!Repro_pdu.Memberwire} so views travel in
+    membership frames without conversion. *)
+
+type t = Repro_pdu.Memberwire.view = { epoch : int; members : int array }
+
+val validate : t -> unit
+(** @raise Invalid_argument unless [epoch >= 0] and [members] is non-empty,
+    strictly ascending and all non-negative. *)
+
+val initial : int array -> t
+(** Epoch-0 view over the given global node ids.
+    @raise Invalid_argument as {!validate}, or when fewer than 2 members
+    (an entity cluster needs at least 2). *)
+
+val size : t -> int
+val mem : t -> int -> bool
+
+val rank : t -> node:int -> int option
+(** The rank of global node id [node] in this view, if a member. *)
+
+val node : t -> rank:int -> int
+(** Global node id at [rank]. @raise Invalid_argument if out of range. *)
+
+val coordinator : ?excluding:int -> t -> int
+(** The member that conducts view changes: the lowest-id member, skipping
+    [excluding] (the eviction target must not coordinate its own eviction).
+    @raise Invalid_argument if no member qualifies. *)
+
+val apply : t -> Repro_pdu.Memberwire.change -> (t, string) result
+(** The successor view: epoch + 1 with the change applied. [Error]s instead
+    of producing an unusable view — joining an existing member, removing a
+    non-member, or shrinking below 2 members. *)
+
+val rank_map : closing:t -> next:t -> int -> int option
+(** [rank_map ~closing ~next] translates the next view's rank space into
+    the closing one: [Some old_rank] for a survivor, [None] for a fresh
+    joiner. This is the [map] that {!Repro_clock.Vector_clock.remap} and
+    {!Repro_clock.Matrix_clock.remap} take, and the one the barrier uses to
+    remap REQ vectors and header tables into a new epoch's
+    [co-checkpoint-v1] bootstrap blobs. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

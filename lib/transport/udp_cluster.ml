@@ -36,9 +36,17 @@ let max_batch_pdus = 16
 let max_batch_payload = 1024
 
 type t = {
-  n : int;
-  nodes : node array;
-  timers : timer Repro_util.Pqueue.t;
+  mutable n : int;
+  mutable nodes : node array;
+  mutable timers : timer Repro_util.Pqueue.t;
+      (* Replaced wholesale at a view change: abandoning the queue is the
+         generation guard that keeps a closed epoch's heartbeat and RET
+         retries from firing into the new view. *)
+  base_config : Config.t;
+      (* The epoch-0 template; each view change re-derives the effective
+         per-epoch [cid] from it. *)
+  mutable epoch : int;
+  mutable view_changes : int;
   rng : Repro_util.Prng.t;
   loss : float;
   started_at_mono : int; (* Monoclock µs at creation; stamp origin *)
@@ -156,6 +164,137 @@ let rec flush_node t node =
 
 let flush_all t = Array.iter (fun node -> flush_node t node) t.nodes
 
+(* Build a node whose entity is produced by [make] from actions closing
+   over the node's own record (egress queue, delivery list). [t_ref] is
+   indirect because epoch-0 nodes are built before the cluster record
+   exists; timers always read [t.timers] at arm time, so they land in the
+   current epoch's queue. *)
+let make_node (t_ref : t option ref) ~id ~socket ~addr ~wire ~traced
+    ~initial_buf ~rev_delivered make =
+  let rec node =
+    lazy
+      (let actions =
+         {
+           Entity.broadcast =
+             (fun pdu -> Queue.add (All, pdu) (Lazy.force node).out);
+           unicast =
+             (fun ~dst pdu -> Queue.add (One dst, pdu) (Lazy.force node).out);
+           deliver =
+             (fun d ->
+               let node = Lazy.force node in
+               node.rev_delivered <- d :: node.rev_delivered);
+           now = (fun () -> now_us (Option.get !t_ref));
+           set_timer =
+             (fun ~delay fn ->
+               let t = Option.get !t_ref in
+               Repro_util.Pqueue.push t.timers { at = now_us t + delay; fn });
+           available_buffer = (fun () -> initial_buf);
+         }
+       in
+       {
+         id;
+         socket;
+         addr;
+         entity = make actions;
+         wire;
+         traced;
+         out = Queue.create ();
+         rev_delivered;
+       })
+  in
+  Lazy.force node
+
+(* Monotonic µs since creation for every stamp (see [now_us]); the probe
+   serves the lifecycle tracker (iff instrumented) and the trace recorder
+   (iff tracing), like the simulated cluster's. Re-applied to the fresh
+   entities after a view change — note the [entity] label is the node's
+   {e rank}, which remaps across epochs. *)
+let attach_probe t node =
+  let id = node.id in
+  let received =
+    Option.map
+      (fun reg ->
+        Registry.counter reg
+          ~help:"Data PDUs received, including duplicates and out-of-order"
+          ~name:"co_pdus_received_total"
+          [ ("entity", string_of_int id) ])
+      t.registry
+  in
+  let now () = now_us t in
+  let backoff_h =
+    Option.map
+      (fun reg ->
+        Registry.histogram reg
+          ~help:"RET retry delay after each backoff step, microseconds"
+          ~name:"co_ret_backoff_us"
+          [ ("entity", string_of_int id) ])
+      t.registry
+  in
+  let lc f = match t.lifecycle with Some l -> f l | None -> () in
+  let tr f = match t.tracer with Some r -> f r | None -> () in
+  let is_data d = not (Pdu.is_confirmation d) in
+  Entity.set_probe node.entity
+    {
+      Entity.on_submit =
+        (fun () -> lc (fun l -> Lifecycle.submit l ~src:id ~now:(now ())));
+      on_transmit =
+        (fun d ->
+          lc (fun l ->
+              Lifecycle.first_send l ~src:d.src ~seq:d.seq ~data:(is_data d)
+                ~now:(now ()));
+          if is_data d then
+            tr (fun r -> Trace_ctx.on_send r ~src:d.src ~seq:d.seq ~now:(now ())));
+      on_receive =
+        (fun d ->
+          (match received with Some c -> Registry.inc c | None -> ());
+          if is_data d then
+            tr (fun r ->
+                Trace_ctx.on_receive r ~entity:id ~src:d.src ~seq:d.seq
+                  ~now:(now ())));
+      on_park =
+        (fun d ->
+          if is_data d then
+            tr (fun r -> Trace_ctx.on_park r ~entity:id ~src:d.src ~seq:d.seq));
+      on_accept =
+        (fun d ->
+          lc (fun l ->
+              Lifecycle.accept l ~entity:id ~src:d.src ~seq:d.seq
+                ~data:(is_data d) ~now:(now ()));
+          if is_data d then
+            tr (fun r ->
+                Trace_ctx.on_accept r ~entity:id ~src:d.src ~seq:d.seq
+                  ~now:(now ())));
+      on_preack =
+        (fun d ->
+          lc (fun l ->
+              Lifecycle.preack l ~entity:id ~src:d.src ~seq:d.seq
+                ~data:(is_data d) ~now:(now ()));
+          if is_data d then
+            tr (fun r ->
+                Trace_ctx.on_preack r ~entity:id ~src:d.src ~seq:d.seq
+                  ~now:(now ())));
+      on_ack =
+        (fun d ->
+          lc (fun l ->
+              Lifecycle.ack l ~entity:id ~src:d.src ~seq:d.seq
+                ~data:(is_data d) ~now:(now ())));
+      on_deliver =
+        (fun d ->
+          lc (fun l ->
+              Lifecycle.deliver l ~entity:id ~src:d.src ~seq:d.seq
+                ~now:(now ()));
+          tr (fun r ->
+              Trace_ctx.on_deliver r ~entity:id ~src:d.src ~seq:d.seq
+                ~now:(now ())));
+      on_deliver_batch =
+        (fun size -> lc (fun l -> Lifecycle.deliver_batch l ~size));
+      on_ret_backoff =
+        (fun delay ->
+          match backoff_h with
+          | Some h -> Registry.observe h delay
+          | None -> ());
+    }
+
 let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
     ?traced ~n () =
   if n < 2 then invalid_arg "Udp_cluster.create: n must be >= 2";
@@ -189,39 +328,10 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
   let t_ref = ref None in
   let nodes =
     Array.init n (fun id ->
-        let rec node =
-          lazy
-            (let actions =
-               {
-                 Entity.broadcast =
-                   (fun pdu -> Queue.add (All, pdu) (Lazy.force node).out);
-                 unicast =
-                   (fun ~dst pdu -> Queue.add (One dst, pdu) (Lazy.force node).out);
-                 deliver =
-                   (fun d ->
-                     let node = Lazy.force node in
-                     node.rev_delivered <- d :: node.rev_delivered);
-                 now = (fun () -> now_us (Option.get !t_ref));
-                 set_timer =
-                   (fun ~delay fn ->
-                     let t = Option.get !t_ref in
-                     Repro_util.Pqueue.push t.timers
-                       { at = now_us t + delay; fn });
-                 available_buffer = (fun () -> config.Config.initial_buf);
-               }
-             in
-             {
-               id;
-               socket = sockets.(id);
-               addr = addrs.(id);
-               entity = Entity.create ~config ~id ~n ~actions;
-               wire = wires.(id);
-               traced = traced.(id);
-               out = Queue.create ();
-               rev_delivered = [];
-             })
-        in
-        Lazy.force node)
+        make_node t_ref ~id ~socket:sockets.(id) ~addr:addrs.(id)
+          ~wire:wires.(id) ~traced:traced.(id)
+          ~initial_buf:config.Config.initial_buf ~rev_delivered:[]
+          (fun actions -> Entity.create ~config ~id ~n ~actions))
   in
   let uniform =
     Array.for_all (fun w -> w = wires.(0)) wires
@@ -231,6 +341,9 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
       n;
       nodes;
       timers;
+      base_config = config;
+      epoch = 0;
+      view_changes = 0;
       rng = Repro_util.Prng.create ~seed;
       loss;
       started_at_mono = Monoclock.now_us ();
@@ -256,100 +369,8 @@ let create ?registry ?(loss = 0.) ?(seed = 0) ?(config = Config.default) ?wires
     }
   in
   t_ref := Some t;
-  (* Monotonic µs since creation for every stamp (see [now_us]); the
-     probe serves the lifecycle tracker (iff instrumented) and the trace
-     recorder (iff tracing), like the simulated cluster's. *)
   (if Option.is_some t.lifecycle || Option.is_some t.tracer then
-     Array.iter
-       (fun node ->
-         let id = node.id in
-         let received =
-           Option.map
-             (fun reg ->
-               Registry.counter reg
-                 ~help:
-                   "Data PDUs received, including duplicates and out-of-order"
-                 ~name:"co_pdus_received_total"
-                 [ ("entity", string_of_int id) ])
-             registry
-         in
-         let now () = now_us t in
-         let backoff_h =
-           Option.map
-             (fun reg ->
-               Registry.histogram reg
-                 ~help:"RET retry delay after each backoff step, microseconds"
-                 ~name:"co_ret_backoff_us"
-                 [ ("entity", string_of_int id) ])
-             registry
-         in
-         let lc f = match t.lifecycle with Some l -> f l | None -> () in
-         let tr f = match t.tracer with Some r -> f r | None -> () in
-         let is_data d = not (Pdu.is_confirmation d) in
-         Entity.set_probe node.entity
-           {
-             Entity.on_submit =
-               (fun () -> lc (fun l -> Lifecycle.submit l ~src:id ~now:(now ())));
-             on_transmit =
-               (fun d ->
-                 lc (fun l ->
-                     Lifecycle.first_send l ~src:d.src ~seq:d.seq
-                       ~data:(is_data d) ~now:(now ()));
-                 if is_data d then
-                   tr (fun r ->
-                       Trace_ctx.on_send r ~src:d.src ~seq:d.seq ~now:(now ())));
-             on_receive =
-               (fun d ->
-                 (match received with Some c -> Registry.inc c | None -> ());
-                 if is_data d then
-                   tr (fun r ->
-                       Trace_ctx.on_receive r ~entity:id ~src:d.src ~seq:d.seq
-                         ~now:(now ())));
-             on_park =
-               (fun d ->
-                 if is_data d then
-                   tr (fun r ->
-                       Trace_ctx.on_park r ~entity:id ~src:d.src ~seq:d.seq));
-             on_accept =
-               (fun d ->
-                 lc (fun l ->
-                     Lifecycle.accept l ~entity:id ~src:d.src ~seq:d.seq
-                       ~data:(is_data d) ~now:(now ()));
-                 if is_data d then
-                   tr (fun r ->
-                       Trace_ctx.on_accept r ~entity:id ~src:d.src ~seq:d.seq
-                         ~now:(now ())));
-             on_preack =
-               (fun d ->
-                 lc (fun l ->
-                     Lifecycle.preack l ~entity:id ~src:d.src ~seq:d.seq
-                       ~data:(is_data d) ~now:(now ()));
-                 if is_data d then
-                   tr (fun r ->
-                       Trace_ctx.on_preack r ~entity:id ~src:d.src ~seq:d.seq
-                         ~now:(now ())));
-             on_ack =
-               (fun d ->
-                 lc (fun l ->
-                     Lifecycle.ack l ~entity:id ~src:d.src ~seq:d.seq
-                       ~data:(is_data d) ~now:(now ())));
-             on_deliver =
-               (fun d ->
-                 lc (fun l ->
-                     Lifecycle.deliver l ~entity:id ~src:d.src ~seq:d.seq
-                       ~now:(now ()));
-                 tr (fun r ->
-                     Trace_ctx.on_deliver r ~entity:id ~src:d.src ~seq:d.seq
-                       ~now:(now ())));
-             on_deliver_batch =
-               (fun size -> lc (fun l -> Lifecycle.deliver_batch l ~size));
-             on_ret_backoff =
-               (fun delay ->
-                 match backoff_h with
-                 | Some h -> Registry.observe h delay
-                 | None -> ());
-           })
-       t.nodes);
+     Array.iter (attach_probe t) t.nodes);
   t
 
 let size t = t.n
@@ -471,6 +492,147 @@ let run_until_quiescent t ~max_seconds =
   in
   loop ()
 
+type change = Add_node | Remove_node of int
+
+(* The view-change barrier's commit precondition, transport-style: every
+   node has drained its protocol work and egress queue and all REQ vectors
+   agree. Datagrams may still sit in kernel buffers — after the cut they
+   are duplicates of PDUs every member already accepted, and the new
+   epoch's cid guard fences them off. *)
+let reconciled t =
+  let r0 = Entity.req t.nodes.(0).entity in
+  Array.for_all
+    (fun node ->
+      Queue.is_empty node.out
+      && Entity.undelivered_data node.entity = 0
+      && Entity.pending_count node.entity = 0
+      && Entity.queued_requests node.entity = 0
+      && Entity.req node.entity = r0)
+    t.nodes
+
+let commit_view_change t change =
+  if t.closed then invalid_arg "Udp_cluster.commit_view_change: closed";
+  (match change with
+  | Remove_node l when l < 0 || l >= t.n ->
+    invalid_arg "Udp_cluster.commit_view_change: rank out of range"
+  | Remove_node _ when t.n <= 2 ->
+    invalid_arg "Udp_cluster.commit_view_change: view would shrink below 2"
+  | Remove_node _ | Add_node -> ());
+  if not (reconciled t) then
+    Error
+      "cluster not reconciled: drive it to quiescence first \
+       (run_until_quiescent)"
+  else begin
+    let old = t.nodes in
+    let n_old = t.n in
+    let r = Entity.req old.(0).entity in
+    let epoch = t.epoch + 1 in
+    let n_new, map =
+      match change with
+      | Add_node -> (n_old + 1, fun k -> if k < n_old then Some k else None)
+      | Remove_node l -> (n_old - 1, fun k -> Some (if k < l then k else k + 1))
+    in
+    let inv = Array.make n_old (-1) in
+    for k = 0 to n_new - 1 do
+      match map k with Some o -> inv.(o) <- k | None -> ()
+    done;
+    let req' =
+      Array.init n_new (fun k -> match map k with Some o -> r.(o) | None -> 1)
+    in
+    let remap_vec v =
+      Array.init n_new (fun k -> match map k with Some o -> v.(o) | None -> 1)
+    in
+    (* Mirror of the membership layer's translate: only the sub-cut history
+       of surviving sources crosses the boundary, re-homed into the new
+       rank space. *)
+    let headers_of e =
+      List.filter_map
+        (fun (src, seq, ack) ->
+          if inv.(src) >= 0 && seq < r.(src) then
+            Some (inv.(src), seq, remap_vec ack)
+          else None)
+        (Entity.header_entries e)
+    in
+    let config' =
+      {
+        t.base_config with
+        Config.cid =
+          Repro_member.Group.epoch_cid ~cid:t.base_config.Config.cid ~epoch;
+        epoch;
+      }
+    in
+    (* Abandoning the timer queue is the generation guard (see [t.timers]);
+       the fresh entities re-arm from [kick] below. *)
+    t.timers <-
+      Repro_util.Pqueue.create ~cmp:(fun a b -> Simtime.compare a.at b.at);
+    t.epoch <- epoch;
+    t.view_changes <- t.view_changes + 1;
+    let t_ref = ref (Some t) in
+    (* The joiner restores the very bytes its sponsor (the lowest-ranked
+       survivor) would build for its rank — the co-checkpoint-v1 state
+       transfer, here shipped in-process since the joiner's socket is born
+       on this host. *)
+    let sponsor = match map 0 with Some o -> o | None -> assert false in
+    t.nodes <-
+      Array.init n_new (fun k ->
+          let socket, addr, wire, traced, rev_delivered =
+            match map k with
+            | Some o ->
+              (* Survivors keep their sockets: datagrams already in their
+                 kernel buffers become the stale stragglers the cid guard
+                 must fence. Delivery history continues across epochs. *)
+              ( old.(o).socket,
+                old.(o).addr,
+                old.(o).wire,
+                old.(o).traced,
+                old.(o).rev_delivered )
+            | None ->
+              let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+              Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+              Unix.set_nonblock fd;
+              ( fd,
+                Unix.getsockname fd,
+                t.base_config.Config.wire,
+                t.base_config.Config.tracing,
+                [] )
+          in
+          let basis =
+            match map k with Some o -> old.(o).entity | None -> old.(sponsor).entity
+          in
+          let blob =
+            Entity.bootstrap_checkpoint ~config:config' ~id:k ~n:n_new
+              ~req:req' ~headers:(headers_of basis)
+          in
+          make_node t_ref ~id:k ~socket ~addr ~wire ~traced
+            ~initial_buf:config'.Config.initial_buf ~rev_delivered
+            (fun actions ->
+              match
+                Entity.restore ~expect_id:k ~expect_n:n_new ~config:config'
+                  ~actions blob
+              with
+              | Ok e -> e
+              | Error err ->
+                invalid_arg
+                  (Format.asprintf "Udp_cluster: cut bootstrap rejected: %a"
+                     Entity.pp_restore_error err)));
+    t.n <- n_new;
+    (match change with
+    | Remove_node l -> (
+      (* The leaver's socket dies with its epoch; stale datagrams queued on
+         it vanish — uniformly forgotten, which is legal post-barrier (no
+         member still needs them). *)
+      try Unix.close old.(l).socket with Unix.Unix_error _ -> ())
+    | Add_node -> ());
+    (if Option.is_some t.lifecycle || Option.is_some t.tracer then
+       Array.iter (attach_probe t) t.nodes);
+    Array.iter (fun node -> Entity.kick node.entity) t.nodes;
+    flush_all t;
+    Ok ()
+  end
+
+let epoch t = t.epoch
+let view_changes t = t.view_changes
+
 let deliveries t ~entity = List.rev t.nodes.(entity).rev_delivered
 
 let entity t i = t.nodes.(i).entity
@@ -509,6 +671,8 @@ let sync_registry t =
       "co_udp_datagrams_dropped_total" t.dropped;
     c ~help:"Datagrams that failed PDU decoding" "co_udp_decode_errors_total"
       t.decode_errors;
+    c ~help:"Committed membership view changes" "co_view_changes_total"
+      t.view_changes;
     Wirestats.to_registry t.wirestats reg
 
 let close t =

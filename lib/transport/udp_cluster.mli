@@ -68,8 +68,49 @@ val run_until_quiescent : t -> max_seconds:float -> bool
     out-of-sequence PDUs and no queued requests (then drain briefly), or the
     deadline passes. Returns whether quiescence was reached. *)
 
+(** An administrative membership change. [Add_node] binds a fresh socket
+    and joins it as the new view's last rank; [Remove_node l] closes rank
+    [l]'s socket and shifts higher ranks down. *)
+type change = Add_node | Remove_node of int
+
+val reconciled : t -> bool
+(** The view-change barrier's commit precondition: every node has drained
+    its protocol work and egress queue, and all REQ vectors agree.
+    Datagrams may still sit in kernel buffers — after a cut those are
+    duplicates of PDUs every member already accepted, which the next
+    epoch's cid guard fences off. *)
+
+val commit_view_change : t -> change -> (unit, string) result
+(** Commit a membership change: close the epoch, remap every survivor's
+    REQ baseline and accepted-header table into the new rank space, and
+    rebuild each member from a {!Repro_core.Entity.bootstrap_checkpoint}
+    under the next epoch's derived cid
+    ({!Repro_member.Group.epoch_cid}). A joiner restores the sponsor's
+    (rank 0's) blob — the co-checkpoint-v1 state transfer, shipped
+    in-process since its socket is born here. The closing epoch's timers
+    are abandoned (a dead epoch's heartbeat or RET retry never fires into
+    the new view) and every new entity is {!Repro_core.Entity.kick}ed.
+
+    This is the {e mechanism} half of membership over real sockets: the
+    caller plays coordinator and must first drive the cluster to the
+    barrier ({!run_until_quiescent}); [Error] reports an unmet
+    {!reconciled} precondition and commits nothing. The full timer-driven
+    barrier protocol (quiesce/reconcile/repair, suspicion-driven eviction)
+    lives in {!Repro_member.Group} over the simulated medium.
+
+    @raise Invalid_argument on a closed cluster, an out-of-range rank, or
+    a removal that would shrink the view below 2. *)
+
+val epoch : t -> int
+(** Committed membership epoch (0 at creation). *)
+
+val view_changes : t -> int
+(** Committed view changes (mirrored as [co_view_changes_total] by
+    {!sync_registry}). *)
+
 val deliveries : t -> entity:int -> Repro_pdu.Pdu.data list
-(** Application deliveries at [entity], in causal delivery order. *)
+(** Application deliveries at [entity], in causal delivery order — across
+    epochs for a member that survived view changes. *)
 
 val entity : t -> int -> Repro_core.Entity.t
 

@@ -6,6 +6,7 @@ module Trace = Repro_sim.Trace
 module Simtime = Repro_sim.Simtime
 module Config = Repro_core.Config
 module Cluster = Repro_core.Cluster
+module Entity = Repro_core.Entity
 module Pdu = Repro_pdu.Pdu
 module Workload = Repro_harness.Workload
 module Experiment = Repro_harness.Experiment
@@ -64,6 +65,62 @@ let test_explore_por_agreement () =
     with_por.Explorer.states;
   check bool_t "fewer transitions" true
     (with_por.Explorer.transitions <= without.Explorer.transitions)
+
+(* Churn scopes use [Never] confirmation: a 3-member view under
+   [Immediate] is explosive regardless of churn (the no-churn n=3
+   baseline already truncates with one broadcast), and both churn kinds
+   pass through a 3-member view on at least one side of the cut. *)
+let explore_churn ?(drops = 0) ?fault ~n ~script ~churn ~post_script () =
+  let base = Explorer.default_config ~n in
+  Explorer.run
+    {
+      base with
+      Explorer.script;
+      churn = Some churn;
+      post_script;
+      max_drops = drops;
+      protocol =
+        { base.Explorer.protocol with Config.defer = Config.Never; fault };
+    }
+
+let test_explore_join () =
+  (* One epoch-0 broadcast, then a member joins (bootstrapped from the
+     sponsor's checkpoint) and the joiner itself broadcasts: the new-view
+     PDU must deliver causally after the pre-cut traffic everywhere. *)
+  assert_clean "join n=2 b=1 post=1"
+    (explore_churn ~n:2 ~script:[ (0, "a") ] ~churn:Explorer.Join
+       ~post_script:[ (2, "c") ] ())
+
+let test_explore_leave () =
+  (* Rank 1 leaves after two epoch-0 broadcasts; its stale loopback and
+     confirmation copies stay in flight across the cut and must all bounce
+     off the survivors' cid guard. *)
+  assert_clean "leave n=3 b=2 post=1"
+    (explore_churn ~n:3
+       ~script:[ (0, "a"); (1, "b") ]
+       ~churn:(Explorer.Leave 1) ~post_script:[ (0, "c") ] ())
+
+let test_explore_catches_skip_epoch () =
+  (* With the cid guard seeded away, a stale epoch-0 straggler delivered
+     after the cut either trips the monitor's fence or crashes the entity
+     outright (old-view ack vectors no longer match the resized clocks) —
+     both are counterexamples, and the schedule must cross the cut. *)
+  let o =
+    explore_churn ~n:3
+      ~script:[ (0, "a"); (1, "b") ]
+      ~churn:(Explorer.Leave 1) ~post_script:[ (0, "c") ]
+      ~fault:Config.Skip_epoch_guard ()
+  in
+  match o.Explorer.violation with
+  | None -> Alcotest.fail "seeded skip-epoch not caught"
+  | Some r ->
+    check bool_t "caught by the epoch fence" true
+      (List.mem r.Explorer.violation.Invariants.invariant
+         [ "no-cross-epoch-delivery"; "runtime-exception" ]);
+    check bool_t "schedule crosses the cut" true
+      (List.exists
+         (fun line -> String.length line >= 4 && String.sub line 0 4 = "cut:")
+         r.Explorer.schedule)
 
 let violation_invariant name (o : Explorer.outcome) =
   match o.Explorer.violation with
@@ -154,6 +211,42 @@ let test_monitor_causal_inversion () =
     (List.exists
        (fun v -> v.Invariants.invariant = "causal-delivery-order")
        issues)
+
+let test_monitor_epoch_fence () =
+  let m = Invariants.Monitor.create ~n:2 in
+  let actions =
+    {
+      Entity.broadcast = ignore;
+      unicast = (fun ~dst:_ _ -> ());
+      deliver = ignore;
+      now = (fun () -> Simtime.of_ms 0);
+      set_timer = (fun ~delay:_ _ -> ());
+      available_buffer = (fun () -> 8);
+    }
+  in
+  let config = { Config.default with Config.cid = 7 } in
+  let e = Entity.create ~config ~id:0 ~n:2 ~actions in
+  check int_t "baseline snapshot clean" 0
+    (List.length (Invariants.Monitor.note_step m e));
+  (* mk_data stamps cid 0; the snapshot above taught the monitor to expect
+     cid 7, so the stale PDU must be flagged at accept time already (a
+     closed epoch's PDU is accepted but never acknowledged). *)
+  let stale = mk_data ~src:1 ~seq:1 ~ack:[| 1; 1 |] ~payload:"s" in
+  let fenced issues =
+    List.exists
+      (fun v -> v.Invariants.invariant = "no-cross-epoch-delivery")
+      issues
+  in
+  check bool_t "accept flagged" true
+    (fenced (Invariants.Monitor.note_accept m ~entity:0 stale));
+  check bool_t "delivery flagged" true
+    (fenced (Invariants.Monitor.note_delivery m ~entity:0 stale));
+  (* A committed view change resets the slot: no expectation (and no
+     delivery history) until the next snapshot re-baselines. *)
+  Invariants.Monitor.note_view_change m ~entity:0;
+  check int_t "fence down after view change" 0
+    (List.length (Invariants.Monitor.note_accept m ~entity:0 stale));
+  check int_t "history reset" 0 (Invariants.Monitor.delivered_count m ~entity:0)
 
 (* --- Runtime assertions (Paranoid end-to-end) --- *)
 
@@ -316,6 +409,10 @@ let () =
             test_explore_catches_skip_minpal;
           Alcotest.test_case "rejects Deferred" `Quick
             test_explore_rejects_deferred;
+          Alcotest.test_case "join commits cleanly" `Slow test_explore_join;
+          Alcotest.test_case "leave commits cleanly" `Slow test_explore_leave;
+          Alcotest.test_case "catches skip-epoch" `Quick
+            test_explore_catches_skip_epoch;
         ] );
       ( "state-hash",
         [
@@ -330,6 +427,7 @@ let () =
             test_monitor_duplicate_delivery;
           Alcotest.test_case "causal inversion" `Quick
             test_monitor_causal_inversion;
+          Alcotest.test_case "epoch fence" `Quick test_monitor_epoch_fence;
         ] );
       ( "runtime",
         [

@@ -9,6 +9,10 @@ module Trace_lint = Repro_check.Trace_lint
 module Plan = Repro_fault.Plan
 module Injector = Repro_fault.Injector
 module Chaos = Repro_fault.Chaos
+module Watchdog = Repro_fault.Watchdog
+module Suspicion = Repro_member.Suspicion
+module Engine = Repro_sim.Engine
+module Network = Repro_sim.Network
 
 let check = Alcotest.check
 let int_t = Alcotest.int
@@ -118,7 +122,9 @@ let test_checkpoint_roundtrip () =
   let e' =
     match Entity.restore ~config ~actions blob with
     | Ok e' -> e'
-    | Error msg -> Alcotest.fail ("restore failed: " ^ msg)
+    | Error err ->
+      Alcotest.fail
+        (Format.asprintf "restore failed: %a" Entity.pp_restore_error err)
   in
   check int_t "id" (Entity.id e) (Entity.id e');
   check int_t "n" (Entity.cluster_size e) (Entity.cluster_size e');
@@ -313,8 +319,97 @@ let test_chaos_mayhem () = assert_ok "mayhem" (run_plan Plan.mayhem)
 
 let test_plans_validate () =
   List.iter (fun p -> Plan.validate ~n:4 p) Plan.all;
+  List.iter (fun p -> Plan.validate ~n:5 p) Plan.churn_all;
   check bool_t "find" true (Plan.find "loss_burst" = Some Plan.loss_burst);
-  check bool_t "find unknown" true (Plan.find "nope" = None)
+  check bool_t "find churn" true
+    (Plan.find "churn_evict" = Some Plan.churn_evict);
+  check bool_t "find unknown" true (Plan.find "nope" = None);
+  check bool_t "churning" true (Plan.churning Plan.churn_join_leave);
+  check bool_t "not churning" false (Plan.churning Plan.mayhem)
+
+(* --- Watchdog suspicion callback --- *)
+
+(* A peer that crash-stops while the survivors still have gaps to close
+   (a loss window keeps their backlog non-empty) must be reported as
+   Departed — once per down spell, after the consecutive-miss threshold —
+   and never a live peer. *)
+let test_watchdog_departure_callback () =
+  let cfg = Cluster.default_config ~n:4 in
+  let cluster = Cluster.create { cfg with seed = 5 } in
+  let inj = Injector.create ~n:4 ~seed:5 () in
+  Network.set_fault_hook (Cluster.network cluster) (Injector.on_pdu inj);
+  for k = 0 to 5 do
+    for src = 0 to 3 do
+      Cluster.submit_at cluster
+        ~at:Simtime.(of_ms (2 + (6 * k)) + of_us (131 * src))
+        ~src
+        (Printf.sprintf "m%d.%d" src k)
+    done
+  done;
+  Injector.apply inj (Plan.Loss 0.3);
+  let engine = Cluster.engine cluster in
+  Engine.schedule engine ~at:(Simtime.of_ms 20) (fun () ->
+      Injector.apply inj (Plan.Crash 3);
+      Cluster.crash cluster ~id:3);
+  Engine.schedule engine ~at:(Simtime.of_ms 80) (fun () ->
+      Injector.apply inj (Plan.Loss 0.));
+  let events = ref [] in
+  let dog =
+    Watchdog.install ~cluster ~period:(Simtime.of_ms 5) ~stall_intervals:2
+      ~departure_intervals:4
+      ~on_suspect:(fun id v -> events := (id, v) :: !events)
+      ~until:(Simtime.of_ms 300) ()
+  in
+  Cluster.run ~until:(Simtime.of_ms 300) cluster;
+  Cluster.run ~max_events:500_000 cluster;
+  check int_t "one departure verdict" 1 (Watchdog.departures dog);
+  check int_t "reported exactly once for the dead peer" 1
+    (List.length
+       (List.filter (fun ev -> ev = (3, Suspicion.Departed)) !events));
+  check bool_t "no live peer reported departed" true
+    (List.for_all
+       (fun (id, v) -> v <> Suspicion.Departed || id = 3)
+       !events);
+  (* Survivors converge without the dead peer wedging them. *)
+  check bool_t "survivors live" true
+    (List.sort compare (Cluster.live_ids cluster) = [ 0; 1; 2 ])
+
+(* --- Churn plans (dynamic membership under the fault injector) --- *)
+
+let assert_churn_ok plan (o : Chaos.churn_outcome) =
+  if not o.c_ok then
+    Alcotest.fail
+      (Format.asprintf "churn plan %s failed:@.%a" plan Chaos.pp_churn_outcome
+         o)
+
+let test_churn_join_leave () =
+  let o = Chaos.run_churn Plan.churn_join_leave in
+  assert_churn_ok "churn_join_leave" o;
+  check int_t "two view changes" 2 o.epochs;
+  check bool_t "joiner bootstrapped by state transfer" true
+    (o.state_transfer_bytes > 0);
+  check bool_t "joiner is a member" true (List.mem 4 o.members);
+  check bool_t "leaver is gone" true (not (List.mem 1 o.members))
+
+let test_churn_evict () =
+  let o = Chaos.run_churn Plan.churn_evict in
+  assert_churn_ok "churn_evict" o;
+  check bool_t "suspicion evicted" true (o.evictions >= 1);
+  check bool_t "evictee out of the view" true (not (List.mem 3 o.members));
+  check bool_t "loss actually bit" true
+    ((o.c_stats : Injector.stats).loss_drops > 0)
+
+let test_churn_mayhem () =
+  let o = Chaos.run_churn Plan.churn_mayhem in
+  assert_churn_ok "churn_mayhem" o;
+  check bool_t "join+leave+evict all landed" true (o.epochs >= 3);
+  check bool_t "eviction" true (o.evictions >= 1);
+  check bool_t "state transfer" true (o.state_transfer_bytes > 0)
+
+let test_chaos_rejects_churn_plans () =
+  Alcotest.match_raises "churn plan refused"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Chaos.run ~n:5 Plan.churn_join_leave))
 
 let () =
   Alcotest.run "fault"
@@ -365,5 +460,18 @@ let () =
           Alcotest.test_case "corruption" `Quick test_chaos_corruption;
           Alcotest.test_case "duplication" `Quick test_chaos_duplication;
           Alcotest.test_case "mayhem" `Quick test_chaos_mayhem;
+          Alcotest.test_case "rejects churn plans" `Quick
+            test_chaos_rejects_churn_plans;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "departure callback" `Quick
+            test_watchdog_departure_callback;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "join_leave" `Quick test_churn_join_leave;
+          Alcotest.test_case "evict" `Quick test_churn_evict;
+          Alcotest.test_case "mayhem" `Quick test_churn_mayhem;
         ] );
     ]

@@ -137,6 +137,79 @@ let test_fault_injected_corruption () =
   check bool_t "corruption injected" true (s.corrupt_dropped > 0);
   check bool_t "checksum rejected them" true (Udp.decode_errors t > 0)
 
+(* A full membership cycle over real sockets: broadcast in epoch 0, admit
+   a joiner (bootstrapped from the sponsor's checkpoint), broadcast across
+   the wider view — the joiner included as a source — then remove a
+   member and converge again in the shrunken view. *)
+let test_view_change_join_then_remove () =
+  let t = Udp.create ~config:fast_config ~n:2 () in
+  Fun.protect ~finally:(fun () -> Udp.close t) @@ fun () ->
+  Udp.submit t ~src:0 "e0-a";
+  Udp.submit t ~src:1 "e0-b";
+  check bool_t "epoch 0 quiescent" true
+    (Udp.run_until_quiescent t ~max_seconds:5.);
+  check bool_t "reconciled before cut" true (Udp.reconciled t);
+  (match Udp.commit_view_change t Udp.Add_node with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "join refused: %s" e);
+  check int_t "epoch advanced" 1 (Udp.epoch t);
+  check int_t "view grew" 3 (Udp.size t);
+  Udp.submit t ~src:2 "e1-from-joiner";
+  Udp.run_for t ~seconds:0.05;
+  Udp.submit t ~src:0 "e1-reply";
+  check bool_t "epoch 1 quiescent" true
+    (Udp.run_until_quiescent t ~max_seconds:10.);
+  (* The joiner must hold exactly the new-epoch traffic, in causal order;
+     survivors appended it to their epoch-0 history. *)
+  check
+    (Alcotest.list Alcotest.string)
+    "joiner delivered epoch 1"
+    [ "e1-from-joiner"; "e1-reply" ]
+    (payloads t ~entity:2);
+  check
+    (Alcotest.list Alcotest.string)
+    "survivor history spans epochs"
+    [ "e0-a"; "e0-b"; "e1-from-joiner"; "e1-reply" ]
+    (payloads t ~entity:0);
+  (match Udp.commit_view_change t (Udp.Remove_node 1) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "removal refused: %s" e);
+  check int_t "second epoch" 2 (Udp.epoch t);
+  check int_t "view shrank" 2 (Udp.size t);
+  (* Old rank 2 (the joiner) is rank 1 now and must still converge. *)
+  Udp.submit t ~src:1 "e2-c";
+  check bool_t "epoch 2 quiescent" true
+    (Udp.run_until_quiescent t ~max_seconds:10.);
+  check
+    (Alcotest.list Alcotest.string)
+    "post-removal delivery"
+    [ "e1-from-joiner"; "e1-reply"; "e2-c" ]
+    (payloads t ~entity:1);
+  check int_t "two view changes" 2 (Udp.view_changes t)
+
+let test_view_change_requires_reconciliation () =
+  let t = Udp.create ~config:fast_config ~n:2 () in
+  Fun.protect ~finally:(fun () -> Udp.close t) @@ fun () ->
+  Udp.submit t ~src:0 "in-flight";
+  (* The submit flushed datagrams but nothing has been received: entity 1
+     still owes delivery work, so the barrier precondition fails. *)
+  (match Udp.commit_view_change t Udp.Add_node with
+  | Ok () -> Alcotest.fail "cut committed without the barrier"
+  | Error _ -> ());
+  check int_t "no epoch advance" 0 (Udp.epoch t);
+  check bool_t "quiescent" true (Udp.run_until_quiescent t ~max_seconds:5.);
+  (match Udp.commit_view_change t Udp.Add_node with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-barrier join refused: %s" e);
+  Alcotest.check_raises "shrink below 2"
+    (Invalid_argument
+       "Udp_cluster.commit_view_change: view would shrink below 2")
+    (fun () ->
+      let t2 = Udp.create ~config:fast_config ~n:2 () in
+      Fun.protect
+        ~finally:(fun () -> Udp.close t2)
+        (fun () -> ignore (Udp.commit_view_change t2 (Udp.Remove_node 0))))
+
 let test_close_is_idempotent () =
   let t = Udp.create ~n:2 () in
   Udp.close t;
@@ -155,6 +228,10 @@ let () =
           Alcotest.test_case "garbage datagrams" `Quick test_garbage_datagrams_ignored;
           Alcotest.test_case "injected corruption" `Slow
             test_fault_injected_corruption;
+          Alcotest.test_case "view change join then remove" `Quick
+            test_view_change_join_then_remove;
+          Alcotest.test_case "view change needs the barrier" `Quick
+            test_view_change_requires_reconciliation;
           Alcotest.test_case "close idempotent" `Quick test_close_is_idempotent;
         ] );
     ]
