@@ -1111,18 +1111,52 @@ let micro () =
   Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* PAC scenario sweep: every named scenario under CO / CBCAST / TO,    *)
+(* one BENCH_pac_<scenario>.json each (see lib/scenario).              *)
+
+let pac () =
+  Report.header "PAC scenario sweep (BENCH_pac_<scenario>.json)";
+  let seed = 42 in
+  List.iter
+    (fun sc ->
+      let compiled = Repro_scenario.Scenario.compile ~seed sc in
+      let results =
+        List.map
+          (fun p -> Repro_scenario.Runner.run ~compiled ~seed p)
+          Repro_scenario.Runner.all_protocols
+      in
+      let grid = Repro_scenario.Runner.deadline_grid compiled results in
+      let rescaled =
+        List.map (Repro_scenario.Runner.rescale ~deadlines_ms:grid) results
+      in
+      Report.para
+        (Printf.sprintf "%s: %s" sc.Repro_scenario.Scenario.name
+           sc.Repro_scenario.Scenario.description);
+      Table.print
+        (Report.pac_table
+           ~title:(Printf.sprintf "PAC curves - %s" sc.Repro_scenario.Scenario.name)
+           (List.map (fun r -> r.Repro_scenario.Runner.curve) rescaled));
+      let file =
+        Printf.sprintf "BENCH_pac_%s.json" sc.Repro_scenario.Scenario.name
+      in
+      Out_channel.with_open_bin file (fun oc ->
+          output_string oc
+            (Repro_scenario.Runner.artifact_json ~compiled ~seed results));
+      Printf.printf "wrote %s\n\n" file)
+    Repro_scenario.Scenario.builtins
 
 (* The artifact set: "json" alone yields every BENCH_*.json a CI run
-   tracks, so the throughput scenario (smoke depth) rides along with the
-   simulator-driven summaries. *)
+   tracks, so the throughput scenario (smoke depth) and the PAC sweep
+   ride along with the simulator-driven summaries. *)
 let json () =
   json ();
-  throughput_smoke ()
+  throughput_smoke ();
+  pac ()
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("micro", micro); ("json", json);
-    ("loss_sweep", loss_sweep); ("throughput", throughput);
+    ("pac", pac); ("loss_sweep", loss_sweep); ("throughput", throughput);
     ("throughput_smoke", throughput_smoke); ("throughput_v1", throughput_v1) ]
 
 let () =

@@ -389,6 +389,110 @@ let chaos_cmd plan_name list_plans churn n seed per_entity wire tracing
     if List.for_all Fun.id oks then 0 else 1
   end
 
+let scenario_cmd name list_scenarios seed protocol out metrics_out =
+  if list_scenarios then begin
+    print_endline "named scenarios (cosim scenario --name <name>):";
+    List.iter
+      (fun s ->
+        Printf.printf "  %-14s %s\n" s.Repro_scenario.Scenario.name
+          s.Repro_scenario.Scenario.description)
+      Repro_scenario.Scenario.builtins;
+    0
+  end
+  else begin
+    let scenarios =
+      match name with
+      | "all" -> Repro_scenario.Scenario.builtins
+      | name -> (
+        match Repro_scenario.Scenario.find name with
+        | Some s -> [ s ]
+        | None ->
+          prerr_endline
+            ("unknown scenario " ^ name ^ " (cosim scenario --list shows them)");
+          exit 2)
+    in
+    let protocols =
+      match protocol with
+      | "all" -> Repro_scenario.Runner.all_protocols
+      | p -> (
+        match Repro_scenario.Runner.protocol_of_name p with
+        | Some p -> [ p ]
+        | None ->
+          prerr_endline ("unknown protocol " ^ p ^ " (co, cbcast, tobcast, all)");
+          exit 2)
+    in
+    let registry = Registry.global () in
+    let oks =
+      List.map
+        (fun sc ->
+          let compiled = Repro_scenario.Scenario.compile ~seed sc in
+          let results =
+            List.map
+              (fun p -> Repro_scenario.Runner.run ~compiled ~seed p)
+              protocols
+          in
+          Repro_harness.Report.header
+            (Printf.sprintf "scenario %s (seed %d)"
+               sc.Repro_scenario.Scenario.name seed);
+          Repro_harness.Report.para sc.Repro_scenario.Scenario.description;
+          let grid = Repro_scenario.Runner.deadline_grid compiled results in
+          let rescaled =
+            List.map (Repro_scenario.Runner.rescale ~deadlines_ms:grid) results
+          in
+          Table.print
+            (Repro_harness.Report.pac_table
+               (List.map (fun r -> r.Repro_scenario.Runner.curve) rescaled));
+          List.iter
+            (fun (r : Repro_scenario.Runner.result) ->
+              let c = r.Repro_scenario.Runner.curve in
+              Printf.printf "%-8s submitted=%d delivered=%d/%d stalled=%d%s\n"
+                (Repro_scenario.Runner.protocol_name
+                   r.Repro_scenario.Runner.protocol)
+                r.Repro_scenario.Runner.submitted c.Repro_harness.Pac.delivered
+                c.Repro_harness.Pac.expected r.Repro_scenario.Runner.stalled
+                (match r.Repro_scenario.Runner.oracle with
+                | Some o when Oracle.ok o -> "  oracle=ok"
+                | Some _ -> "  oracle=VIOLATION"
+                | None -> ""))
+            rescaled;
+          Repro_scenario.Runner.to_registry registry ~compiled results;
+          let file =
+            match out with
+            | Some f -> f
+            | None ->
+              Printf.sprintf "BENCH_pac_%s.json" sc.Repro_scenario.Scenario.name
+          in
+          let oc = open_out file in
+          output_string oc
+            (Repro_scenario.Runner.artifact_json ~compiled ~seed results);
+          close_out oc;
+          Printf.printf "PAC curves written to %s\n" file;
+          (* The gate: CO must keep exact causal order, and whenever its
+             curve reports 1.0 the full oracle (liveness included) must
+             agree. *)
+          List.for_all
+            (fun (r : Repro_scenario.Runner.result) ->
+              match r.Repro_scenario.Runner.protocol with
+              | Repro_scenario.Runner.Co ->
+                r.Repro_scenario.Runner.causal_ok
+                && (Repro_harness.Pac.terminal r.Repro_scenario.Runner.curve
+                    < 1.0
+                   ||
+                   match r.Repro_scenario.Runner.oracle with
+                   | Some o -> Oracle.ok o
+                   | None -> false)
+              | _ -> true)
+            results)
+        scenarios
+    in
+    (match metrics_out with
+    | Some file ->
+      Exporter.write registry ~file;
+      Printf.printf "metrics written to %s\n" file
+    | None -> ());
+    if List.for_all Fun.id oks then 0 else 1
+  end
+
 let examples_cmd () =
   print_endline "runnable examples (dune exec examples/<name>.exe):";
   print_endline "  quickstart        - 3-entity causal broadcast in a page of code";
@@ -535,6 +639,35 @@ let chaos_term =
 
 let examples_term = Term.(const examples_cmd $ const ())
 
+let scenario_name_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "name" ] ~docv:"SCENARIO"
+        ~doc:"Named scenario to run, or $(b,all) for every built-in one.")
+
+let list_scenarios_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List the named scenarios.")
+
+let scenario_protocol_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "protocol" ] ~docv:"PROTO"
+        ~doc:"$(b,co), $(b,cbcast), $(b,tobcast) or $(b,all).")
+
+let scenario_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Artifact path (default $(b,BENCH_pac_<scenario>.json); only \
+           sensible with a single --name).")
+
+let scenario_term =
+  Term.(
+    const scenario_cmd $ scenario_name_arg $ list_scenarios_arg $ seed_arg
+    $ scenario_protocol_arg $ scenario_out_arg $ metrics_out_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a CO cluster over a workload and report.") run_term;
@@ -548,6 +681,13 @@ let cmds =
             corruption, ...) against a cluster and check safety and \
             convergence after heal.")
       chaos_term;
+    Cmd.v
+      (Cmd.info "scenario"
+         ~doc:
+           "Compile a seeded scenario (workload + topology + faults + \
+            churn), run it under CO and the baselines, and write PAC \
+            delivery-probability curves to BENCH_pac_<name>.json.")
+      scenario_term;
     Cmd.v (Cmd.info "examples" ~doc:"List example scenarios.") examples_term;
   ]
 

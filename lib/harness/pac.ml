@@ -1,0 +1,120 @@
+type point = { deadline_ms : float; probability : float }
+
+type curve = {
+  protocol : string;
+  expected : int;
+  delivered : int;
+  points : point list;
+}
+
+let curve ~protocol ~expected ~deadlines_ms ~latencies_ms =
+  if expected < 0 then invalid_arg "Pac.curve: negative expected";
+  if List.exists (fun l -> l < 0.) latencies_ms then
+    invalid_arg "Pac.curve: negative latency";
+  if List.length latencies_ms > expected then
+    invalid_arg "Pac.curve: more latencies than obligations";
+  let sorted = List.sort Float.compare latencies_ms in
+  let deadlines = List.sort_uniq Float.compare deadlines_ms in
+  (* One pass over both sorted lists: [met] counts latencies <= deadline. *)
+  let points =
+    let rec walk met remaining = function
+      | [] -> []
+      | d :: ds ->
+          let rec advance met = function
+            | l :: ls when l <= d -> advance (met + 1) ls
+            | rest -> (met, rest)
+          in
+          let met, remaining = advance met remaining in
+          let probability =
+            if expected = 0 then 1. else float_of_int met /. float_of_int expected
+          in
+          { deadline_ms = d; probability } :: walk met remaining ds
+    in
+    walk 0 sorted deadlines
+  in
+  { protocol; expected; delivered = List.length latencies_ms; points }
+
+let deadline_grid ~horizon_ms latency_pools =
+  let pooled = List.sort Float.compare (List.concat latency_pools) in
+  let n = List.length pooled in
+  let arr = Array.of_list pooled in
+  let percentile p =
+    if n = 0 then []
+    else begin
+      let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
+      [ arr.(max 0 (min (n - 1) rank)) ]
+    end
+  in
+  let quantiles = List.concat_map percentile [ 25.; 50.; 75.; 90.; 95.; 99. ] in
+  let maxima = if n = 0 then [] else [ arr.(n - 1) ] in
+  List.sort_uniq Float.compare (quantiles @ maxima @ [ horizon_ms ])
+
+let terminal c =
+  if c.expected = 0 then 1. else float_of_int c.delivered /. float_of_int c.expected
+
+let monotone c =
+  let rec ok prev = function
+    | [] -> true
+    | p :: ps -> p.probability >= prev && ok p.probability ps
+  in
+  ok 0. c.points
+
+let probability_at c ~deadline_ms =
+  List.fold_left
+    (fun acc p -> if p.deadline_ms <= deadline_ms then p.probability else acc)
+    0. c.points
+
+(* %.17g round-trips every float exactly, so identical curves render to
+   identical bytes (the determinism gate [cmp]s whole artifacts). *)
+let num x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.17g" x
+
+let json_number = num
+
+let to_json c =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"protocol\":%S,\"expected\":%d,\"delivered\":%d,"
+       c.protocol c.expected c.delivered);
+  Buffer.add_string b
+    (Printf.sprintf "\"terminal_probability\":%s,\"points\":[" (num (terminal c)));
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"deadline_ms\":%s,\"p\":%s}" (num p.deadline_ms)
+           (num p.probability)))
+    c.points;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let to_registry registry ~scenario c =
+  let module R = Repro_obs.Registry in
+  let base = [ ("scenario", scenario); ("protocol", c.protocol) ] in
+  List.iter
+    (fun p ->
+      let g =
+        R.gauge registry
+          ~help:"P[delivered within deadline] for a scenario run"
+          ~name:"co_pac_delivery_probability"
+          (("deadline_ms", num p.deadline_ms) :: base)
+      in
+      R.set g p.probability)
+    c.points;
+  let g =
+    R.gauge registry ~help:"Fraction of delivery obligations ever met"
+      ~name:"co_pac_terminal_probability" base
+  in
+  R.set g (terminal c);
+  let e =
+    R.counter registry ~help:"Delivery obligations (messages x observers)"
+      ~name:"co_pac_expected_total" base
+  in
+  R.counter_set e c.expected;
+  let d =
+    R.counter registry ~help:"Delivery obligations met within the horizon"
+      ~name:"co_pac_delivered_total" base
+  in
+  R.counter_set d c.delivered

@@ -1,0 +1,66 @@
+(** PAC-style delivery-probability oracle (after Livshits & Moses,
+    "Probable Approximate Coordination").
+
+    Instead of only asserting exact causal order, a PAC curve measures
+    {e P[delivered within deadline d]} over a run: the fraction of
+    (message, observer) delivery obligations met within [d], for a ladder
+    of deadlines. Latency/consistency trade-offs between protocols become
+    a first-class, comparable output: a protocol that stalls under loss
+    (CBCAST) caps below 1.0, a protocol that recovers (CO) reaches 1.0
+    later, a sequencer (TO) shifts the whole curve right.
+
+    Curves are monotone in the deadline by construction, and the terminal
+    probability is exactly [delivered / expected] — 1.0 iff every
+    obligation was met. *)
+
+type point = { deadline_ms : float; probability : float }
+
+type curve = {
+  protocol : string;
+  expected : int;  (** (message, observer) delivery obligations. *)
+  delivered : int;  (** ... of which were met (ever). *)
+  points : point list;  (** Ascending in deadline; probability monotone. *)
+}
+
+val curve :
+  protocol:string -> expected:int -> deadlines_ms:float list
+  -> latencies_ms:float list -> curve
+(** [curve ~protocol ~expected ~deadlines_ms ~latencies_ms] evaluates
+    P[delivered within d] at each deadline: latencies are the achieved
+    (delivery − send) samples, one per met obligation; obligations with no
+    sample count as never delivered. Deadlines are sorted and deduplicated.
+    @raise Invalid_argument if [expected < 0], or a latency is negative,
+    or there are more latencies than obligations. *)
+
+val deadline_grid : horizon_ms:float -> float list list -> float list
+(** A shared deadline ladder for comparable curves: the pooled samples'
+    {25, 50, 75, 90, 95, 99}th percentiles plus the maximum sample and the
+    scenario horizon, sorted and deduplicated. Deterministic in its
+    inputs. *)
+
+val terminal : curve -> float
+(** [delivered / expected] (1.0 when [expected = 0]). *)
+
+val monotone : curve -> bool
+(** Probabilities never decrease with the deadline — true for any curve
+    built by {!curve}; exposed for the property suite. *)
+
+val probability_at : curve -> deadline_ms:float -> float
+(** Curve value at the largest evaluated deadline [<= deadline_ms]
+    (0 before the first point). *)
+
+val json_number : float -> string
+(** The deterministic float rendering {!to_json} uses ([%.17g], or [%.1f]
+    for integral values) — exposed so composite artifacts embedding curves
+    format every number the same way. *)
+
+val to_json : curve -> string
+(** One curve as a JSON object (stable field order, deterministic
+    formatting — byte-identical for identical inputs). *)
+
+val to_registry :
+  Repro_obs.Registry.t -> scenario:string -> curve -> unit
+(** Export the curve as [co_pac_*] series: one
+    [co_pac_delivery_probability{scenario,protocol,deadline_ms}] gauge per
+    point, plus [co_pac_terminal_probability], [co_pac_expected_total] and
+    [co_pac_delivered_total]. *)

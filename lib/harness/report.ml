@@ -64,6 +64,36 @@ let ladder_table ?(title = "Receipt ladder (first send -> stage)")
   row "deliver" ladder.Repro_obs.Lifecycle.deliver;
   tbl
 
+let pac_table ?(title = "PAC delivery probability by deadline")
+    (curves : Pac.curve list) =
+  let deadlines =
+    List.sort_uniq Float.compare
+      (List.concat_map
+         (fun (c : Pac.curve) ->
+           List.map (fun (p : Pac.point) -> p.Pac.deadline_ms) c.Pac.points)
+         curves)
+  in
+  let tbl =
+    Table.create ~title
+      ~columns:
+        (("deadline ms", Table.Right)
+        :: List.map (fun (c : Pac.curve) -> (c.Pac.protocol, Table.Right)) curves)
+  in
+  List.iter
+    (fun d ->
+      Table.add_row tbl
+        (Table.fmt_float ~digits:3 d
+        :: List.map
+             (fun c ->
+               Table.fmt_float ~digits:4 (Pac.probability_at c ~deadline_ms:d))
+             curves))
+    deadlines;
+  Table.add_rule tbl;
+  Table.add_row tbl
+    ("terminal"
+    :: List.map (fun c -> Table.fmt_float ~digits:4 (Pac.terminal c)) curves);
+  tbl
+
 let attribution_table ?(title = "Delivery delay attribution")
     (s : Repro_obs.Critpath.summary) =
   let tbl =

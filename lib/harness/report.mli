@@ -21,6 +21,12 @@ val ladder_table :
     count, mean and p50/p90/p99 in milliseconds (quantiles are log₂-bucket
     upper bounds, see {!Repro_obs.Histogram}). *)
 
+val pac_table : ?title:string -> Pac.curve list -> Repro_util.Table.t
+(** Render one column per protocol curve over the union of their
+    deadlines (each cell is the curve's value at the largest evaluated
+    deadline [<=] the row's, so columns stay comparable even when grids
+    differ), plus a terminal-probability footer row. *)
+
 val attribution_table :
   ?title:string -> Repro_obs.Critpath.summary -> Repro_util.Table.t
 (** Render the per-cause delivery-delay decomposition: one row per

@@ -64,6 +64,113 @@ let bursty ~n ~rng ~burst_size ~burst_gap ~bursts ?(bytes_per_msg = 64) () =
   done;
   by_time !entries
 
+let hotspot ~n ~rng ~hot ~hot_share ~total ~interval ?(bytes_per_msg = 64) ()
+    =
+  if hot < 0 || hot >= n then invalid_arg "Workload.hotspot: hot out of range";
+  if hot_share < 0. || hot_share > 1. then
+    invalid_arg "Workload.hotspot: hot_share outside [0,1]";
+  let entries = ref [] in
+  for index = 0 to total - 1 do
+    let src =
+      if Repro_util.Prng.bernoulli rng ~p:hot_share then hot
+      else begin
+        (* Uniform over the other entities (or everyone at n = 1). *)
+        if n = 1 then hot
+        else begin
+          let r = Repro_util.Prng.int rng (n - 1) in
+          if r >= hot then r + 1 else r
+        end
+      end
+    in
+    entries :=
+      { at = index * interval; src; payload = payload ~bytes_per_msg ~src ~index }
+      :: !entries
+  done;
+  by_time !entries
+
+let zipf_quotas ~n ~exponent ~total =
+  if exponent < 0. then invalid_arg "Workload.zipf: negative exponent";
+  if n <= 0 then invalid_arg "Workload.zipf: n must be > 0";
+  let weights =
+    Array.init n (fun rank -> 1. /. Float.pow (float_of_int (rank + 1)) exponent)
+  in
+  let wsum = Array.fold_left ( +. ) 0. weights in
+  (* Largest-remainder apportionment: quotas sum to [total] exactly and
+     match the declared skew as closely as integer counts allow. *)
+  let exact = Array.map (fun w -> float_of_int total *. w /. wsum) weights in
+  let quotas = Array.map (fun x -> int_of_float (Float.floor x)) exact in
+  let assigned = Array.fold_left ( + ) 0 quotas in
+  let by_remainder =
+    List.sort
+      (fun a b ->
+        Float.compare
+          (exact.(a) -. Float.floor exact.(a))
+          (exact.(b) -. Float.floor exact.(b)))
+      (List.init n Fun.id)
+    |> List.rev
+  in
+  List.iteri
+    (fun i rank -> if i < total - assigned then quotas.(rank) <- quotas.(rank) + 1)
+    by_remainder;
+  quotas
+
+let zipf ~n ~exponent ~total ~interval ?(bytes_per_msg = 64) () =
+  let quotas = zipf_quotas ~n ~exponent ~total in
+  let span = max 1 (total * interval) in
+  let entries = ref [] in
+  for src = 0 to n - 1 do
+    let q = quotas.(src) in
+    if q > 0 then begin
+      let gap = span / q in
+      (* Stagger ranks so equal-rate sources do not submit in lockstep. *)
+      let stagger = src * gap / n in
+      for index = 0 to q - 1 do
+        entries :=
+          {
+            at = stagger + (index * gap);
+            src;
+            payload = payload ~bytes_per_msg ~src ~index;
+          }
+          :: !entries
+      done
+    end
+  done;
+  by_time !entries
+
+let diurnal ~n ~rng ~period ~cycles ~peak_interval_ms ~trough_interval_ms
+    ?(bytes_per_msg = 64) () =
+  if peak_interval_ms <= 0. || trough_interval_ms <= 0. then
+    invalid_arg "Workload.diurnal: intervals must be > 0";
+  if period <= 0 then invalid_arg "Workload.diurnal: period must be > 0";
+  let duration = period * cycles in
+  let rate_peak = 1. /. peak_interval_ms and rate_trough = 1. /. trough_interval_ms in
+  let rate_max = Float.max rate_peak rate_trough in
+  (* Sinusoidal arrival rate between trough and peak; per-entity thinned
+     Poisson (Lewis–Shedler), so the load curve is the declared diurnal
+     shape while every draw comes from the caller's seeded [rng]. *)
+  let rate at =
+    let phase = 2. *. Float.pi *. float_of_int at /. float_of_int period in
+    rate_trough +. ((rate_peak -. rate_trough) *. (1. -. Float.cos phase) /. 2.)
+  in
+  let entries = ref [] in
+  for src = 0 to n - 1 do
+    let rec arrivals at index =
+      let gap =
+        Simtime.of_ms_f (Repro_util.Prng.exponential rng ~mean:(1. /. rate_max))
+      in
+      let at = at + max 1 gap in
+      if at <= duration then
+        if Repro_util.Prng.float rng rate_max <= rate at then begin
+          entries :=
+            { at; src; payload = payload ~bytes_per_msg ~src ~index } :: !entries;
+          arrivals at (index + 1)
+        end
+        else arrivals at index
+    in
+    arrivals Simtime.zero 0
+  done;
+  by_time !entries
+
 let single_source ~src ~n ~count ~interval ?(bytes_per_msg = 64) () =
   ignore n;
   let entries = ref [] in

@@ -32,6 +32,38 @@ val bursty :
 (** Each burst: one random entity emits [burst_size] back-to-back messages;
     bursts are [burst_gap] apart. Stresses buffer overrun. *)
 
+val hotspot :
+  n:int -> rng:Repro_util.Prng.t -> hot:int -> hot_share:float -> total:int
+  -> interval:Repro_sim.Simtime.t -> ?bytes_per_msg:int -> unit -> entry list
+(** [total] messages at a fixed [interval]; each message's sender is [hot]
+    with probability [hot_share], else uniform over the remaining entities.
+    Stresses the skewed-sender regime the uniform benches never reach.
+    @raise Invalid_argument if [hot] out of range or [hot_share] outside
+    [0,1]. *)
+
+val zipf_quotas : n:int -> exponent:float -> total:int -> int array
+(** Largest-remainder apportionment of [total] messages over Zipf weights
+    [1/(rank+1)^exponent] — quotas sum to [total] exactly. Exposed for the
+    property suite, which checks the generated workload matches the
+    declared skew. *)
+
+val zipf :
+  n:int -> exponent:float -> total:int -> interval:Repro_sim.Simtime.t
+  -> ?bytes_per_msg:int -> unit -> entry list
+(** Skewed senders: entity of rank [r] submits a share of [total]
+    proportional to [1/(r+1)^exponent] ([exponent = 0] is uniform), each
+    source evenly spaced over the schedule span. Deterministic — no rng —
+    so the per-sender frequencies match the declared skew exactly. *)
+
+val diurnal :
+  n:int -> rng:Repro_util.Prng.t -> period:Repro_sim.Simtime.t -> cycles:int
+  -> peak_interval_ms:float -> trough_interval_ms:float -> ?bytes_per_msg:int
+  -> unit -> entry list
+(** Sinusoidal load curve: per-entity Poisson arrivals whose rate swings
+    between [1/trough_interval_ms] (cycle start) and [1/peak_interval_ms]
+    (mid-cycle) over each [period], for [cycles] periods (thinning, so all
+    randomness comes from the seeded [rng]). *)
+
 val single_source :
   src:int -> n:int -> count:int -> interval:Repro_sim.Simtime.t
   -> ?bytes_per_msg:int -> unit -> entry list

@@ -1,0 +1,73 @@
+module Engine = Repro_sim.Engine
+module Network = Repro_sim.Network
+module Prng = Repro_util.Prng
+module Plan = Repro_fault.Plan
+
+type t = {
+  down : bool array;
+  mutable group_of : int option array option;
+      (** [Some g]: entity's partition group, [None] = isolated; the outer
+          option is "no partition installed". *)
+  mutable loss : float;
+  rng : Prng.t;
+}
+
+let apply t = function
+  | Plan.Crash e | Plan.Leave e -> t.down.(e) <- true
+  | Plan.Restart e | Plan.Join e -> t.down.(e) <- false
+  | Plan.Partition groups ->
+      let m = Array.make (Array.length t.down) None in
+      List.iteri
+        (fun gid members -> List.iter (fun e -> m.(e) <- Some gid) members)
+        groups;
+      t.group_of <- Some m
+  | Plan.Heal -> t.group_of <- None
+  | Plan.Loss p -> t.loss <- p
+  | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Stall _ | Plan.Unstall _ ->
+      invalid_arg "Scenario driver: unsupported action"
+
+let reject_unsupported plan =
+  List.iter
+    (fun { Plan.action; _ } ->
+      match action with
+      | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Stall _ | Plan.Unstall _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Scenario driver: plan %s scripts corrupt/duplicate/stall, \
+                which has no protocol-agnostic interpretation"
+               plan.Plan.name)
+      | _ -> ())
+    plan.Plan.events
+
+let create ~engine ~n ~seed ~plan ~initially_down =
+  reject_unsupported plan;
+  let t =
+    {
+      down = Array.make n false;
+      group_of = None;
+      loss = 0.;
+      rng = Prng.create ~seed;
+    }
+  in
+  List.iter (fun e -> t.down.(e) <- true) initially_down;
+  List.iter
+    (fun { Plan.at; action } ->
+      Engine.schedule engine ~at (fun () -> apply t action))
+    plan.Plan.events;
+  t
+
+let severed t ~src ~dst =
+  match t.group_of with
+  | None -> false
+  | Some m -> (
+      match (m.(src), m.(dst)) with
+      | Some a, Some b -> a <> b
+      | _ -> true (* An isolated entity talks to nobody but itself. *))
+
+let arm t net =
+  Network.set_drop_filter net (fun ~dst ~src _ ->
+      t.down.(src) || t.down.(dst)
+      || severed t ~src ~dst
+      || (t.loss > 0. && Prng.bernoulli t.rng ~p:t.loss))
+
+let is_down t e = t.down.(e)

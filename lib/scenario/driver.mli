@@ -1,0 +1,39 @@
+(** Protocol-agnostic fault driver for compiled scenarios.
+
+    The chaos layer's {!Repro_fault.Injector} is bound to the CO PDU type;
+    scenario runs also need the same faults applied to the baselines'
+    networks (CBCAST / tobcast payloads). This driver interprets the
+    network-level subset of a {!Repro_fault.Plan} — partitions, loss
+    windows, and down/up transitions (Crash/Restart/Join/Leave, all
+    modeled as network silence) — through
+    {!Repro_sim.Network.set_drop_filter}, which is polymorphic in the
+    payload, so one implementation serves every protocol.
+
+    Loss draws come from a private seeded {!Repro_util.Prng}: a
+    [(plan, seed)] pair replays bit-identically for a given protocol.
+    Loopback copies never reach the drop filter (the medium delivers them
+    losslessly), matching the iid-loss semantics of the network itself. *)
+
+type t
+
+val create :
+  engine:Repro_sim.Engine.t ->
+  n:int ->
+  seed:int ->
+  plan:Repro_fault.Plan.t ->
+  initially_down:int list ->
+  t
+(** Schedules every plan event on [engine] (so create before running it).
+    @raise Invalid_argument if the plan contains actions this driver
+    cannot express protocol-agnostically ([Corrupt], [Duplicate],
+    [Stall], [Unstall] — use the chaos {!Repro_fault.Injector} for
+    those). *)
+
+val arm : t -> 'a Repro_sim.Network.t -> unit
+(** Install the driver's drop filter on a network: copies to or from a
+    down entity, copies crossing a partition boundary, and a seeded
+    bernoulli draw at the current loss probability. Replaces any previous
+    filter on that network. *)
+
+val is_down : t -> int -> bool
+(** For gating workload submissions at fire time. *)

@@ -1,0 +1,52 @@
+(* Shared QCheck/Alcotest glue.
+
+   Every qcheck suite funnels through [qsuite]/[to_alcotest] here so the
+   behavior is uniform across suites:
+
+   - the reproduction seed comes from QCHECK_SEED when set, else is
+     self-initialized, and is announced as "qcheck random seed: <n>" —
+     the exact line the stock qcheck-alcotest glue prints and the CI
+     wire-compat job greps for (passing ~rand below suppresses the
+     library's own print, so we print it ourselves);
+   - every test draws from a fresh state seeded with that one seed, so a
+     failure replays identically no matter which subset of the suite runs;
+   - any qcheck failure prints the one-command replay line for the suite
+     it happened in (see README, Testing). *)
+
+let seed =
+  lazy
+    (match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> n
+        | None -> failwith "QCHECK_SEED must be an integer")
+    | None ->
+        Random.self_init ();
+        Random.int 1_000_000_000)
+
+let announced = ref false
+
+let announce () =
+  if not !announced then begin
+    announced := true;
+    Printf.printf "qcheck random seed: %d\n%!" (Lazy.force seed)
+  end
+
+let repro_line () =
+  let exe = Filename.remove_extension (Filename.basename Sys.executable_name) in
+  Printf.sprintf "QCHECK_SEED=%d dune exec test/%s.exe" (Lazy.force seed) exe
+
+let to_alcotest ?(long = false) test =
+  announce ();
+  let rand = Random.State.make [| Lazy.force seed |] in
+  let name, speed, run = QCheck_alcotest.to_alcotest ~long ~rand test in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Printf.eprintf "\nreplay this qcheck failure with:\n  %s\n%!"
+          (repro_line ());
+        raise e )
+
+let qsuite ?long tests = List.map (fun t -> to_alcotest ?long t) tests

@@ -159,6 +159,155 @@ let test_mc_set_row_mismatch () =
     (Invalid_argument "Matrix_clock.set_row: length mismatch") (fun () ->
       MC.set_row m ~row:0 [| 1 |])
 
+(* --- Matrix_clock remap (view-change resizes) --- *)
+
+let mc_of_cells n cells =
+  let m = MC.create ~n ~init:0 in
+  List.iteri (fun idx v -> MC.set m ~row:(idx / n) ~col:(idx mod n) v) cells;
+  m
+
+let arb_cells n =
+  QCheck.make
+    ~print:QCheck.Print.(list int)
+    QCheck.Gen.(list_size (return (n * n)) (int_bound 50))
+
+let test_mc_remap_identity () =
+  let m = mc_of_cells 3 [ 4; 2; 3; 0; 0; 0; 9; 1; 7 ] in
+  let r = MC.remap m ~n:3 ~init:99 ~map:(fun i -> Some i) in
+  check int_t "size" 3 (MC.size r);
+  for row = 0 to 2 do
+    for col = 0 to 2 do
+      check int_t
+        (Printf.sprintf "identity cell %d,%d" row col)
+        (MC.get m ~row ~col) (MC.get r ~row ~col)
+    done
+  done
+
+let test_mc_remap_shrink_then_regrow () =
+  (* Old index 1 departs; the compacted 2x2 view later regrows to 3 with a
+     fresh joiner at the last rank. Survivors keep their mutual knowledge,
+     every joiner-facing cell starts at init. *)
+  let m = mc_of_cells 3 [ 5; 6; 7; 1; 2; 3; 8; 9; 4 ] in
+  let shrunk =
+    MC.remap m ~n:2 ~init:0 ~map:(function
+      | 0 -> Some 0
+      | 1 -> Some 2
+      | _ -> None)
+  in
+  check int_t "survivor 0,0" 5 (MC.get shrunk ~row:0 ~col:0);
+  check int_t "survivor 0,1" 7 (MC.get shrunk ~row:0 ~col:1);
+  check int_t "survivor 1,0" 8 (MC.get shrunk ~row:1 ~col:0);
+  check int_t "survivor 1,1" 4 (MC.get shrunk ~row:1 ~col:1);
+  let regrown =
+    MC.remap shrunk ~n:3 ~init:0 ~map:(fun i -> if i < 2 then Some i else None)
+  in
+  check int_t "kept across regrow" 5 (MC.get regrown ~row:0 ~col:0);
+  check int_t "kept across regrow 2" 4 (MC.get regrown ~row:1 ~col:1);
+  for i = 0 to 2 do
+    check int_t "joiner row is init" 0 (MC.get regrown ~row:2 ~col:i);
+    check int_t "joiner col is init" 0 (MC.get regrown ~row:i ~col:2)
+  done;
+  (* The col_min cache is rebuilt consistently by the resize. *)
+  check bool_t "col_min over joiner col" true (MC.col_min regrown 2 = 0);
+  check bool_t "col_min survivor col" true
+    (MC.col_min regrown 0 = min 5 (min 8 0))
+
+let naive_col_min m col =
+  let rec go row acc =
+    if row = MC.size m then acc else go (row + 1) (min acc (MC.get m ~row ~col))
+  in
+  go 0 max_int
+
+let prop_mc_remap_permutation =
+  QCheck.Test.make ~name:"remap by rank permutation relabels cells" ~count:200
+    (arb_cells 4) (fun cells ->
+      let n = 4 in
+      let m = mc_of_cells n cells in
+      let perm i = (i + 1) mod n in
+      (* new rank -> old rank *)
+      let r = MC.remap m ~n ~init:0 ~map:(fun i -> Some (perm i)) in
+      let ok = ref true in
+      for row = 0 to n - 1 do
+        for col = 0 to n - 1 do
+          if MC.get r ~row ~col <> MC.get m ~row:(perm row) ~col:(perm col)
+          then ok := false
+        done
+      done;
+      for col = 0 to n - 1 do
+        if MC.col_min r col <> naive_col_min r col then ok := false
+      done;
+      !ok)
+
+let prop_mc_shrink_regrow =
+  QCheck.Test.make
+    ~name:"shrink-then-regrow keeps survivors, resets joiner, identity is \
+           a no-op"
+    ~count:200
+    (QCheck.pair (arb_cells 4) QCheck.(1 -- 3))
+    (fun (cells, leaver) ->
+      let n = 4 in
+      let m = mc_of_cells n cells in
+      let survivors =
+        Array.of_list (List.filter (fun i -> i <> leaver) (List.init n Fun.id))
+      in
+      let shrunk =
+        MC.remap m ~n:(n - 1) ~init:0 ~map:(fun i -> Some survivors.(i))
+      in
+      let regrown =
+        MC.remap shrunk ~n ~init:0 ~map:(fun i ->
+            if i < n - 1 then Some i else None)
+      in
+      let ok = ref true in
+      for row = 0 to n - 2 do
+        for col = 0 to n - 2 do
+          if
+            MC.get regrown ~row ~col
+            <> MC.get m ~row:survivors.(row) ~col:survivors.(col)
+          then ok := false
+        done
+      done;
+      for i = 0 to n - 1 do
+        if MC.get regrown ~row:(n - 1) ~col:i <> 0 then ok := false;
+        if MC.get regrown ~row:i ~col:(n - 1) <> 0 then ok := false
+      done;
+      (* Identity resize must be an exact copy whatever init is passed. *)
+      let id = MC.remap m ~n ~init:9 ~map:(fun i -> Some i) in
+      for row = 0 to n - 1 do
+        for col = 0 to n - 1 do
+          if MC.get id ~row ~col <> MC.get m ~row ~col then ok := false
+        done
+      done;
+      !ok)
+
+let prop_mc_set_row_monotone =
+  QCheck.Test.make
+    ~name:"set_row is raise-only and col_min stays exact after remap"
+    ~count:200
+    (QCheck.pair (arb_cells 4) (arb_cells 4))
+    (fun (init_cells, row_cells) ->
+      let n = 4 in
+      (* Route the initial state through a remap so the monotonicity and
+         cached-col_min checks run against a resized matrix. *)
+      let m =
+        MC.remap (mc_of_cells n init_cells) ~n ~init:0 ~map:(fun i -> Some i)
+      in
+      let before = Array.init n (fun r -> MC.row m r) in
+      let rows = Array.of_list row_cells in
+      for r = 0 to n - 1 do
+        MC.set_row m ~row:r (Array.init n (fun c -> rows.((r * n) + c)))
+      done;
+      let ok = ref true in
+      for r = 0 to n - 1 do
+        for c = 0 to n - 1 do
+          if MC.get m ~row:r ~col:c <> max before.(r).(c) rows.((r * n) + c)
+          then ok := false
+        done
+      done;
+      for c = 0 to n - 1 do
+        if MC.col_min m c <> naive_col_min m c then ok := false
+      done;
+      !ok)
+
 (* --- Causality --- *)
 
 let test_causality_chain () =
@@ -228,7 +377,7 @@ let test_causality_send_stamp () =
   check bool_t "stamp exists" true (Causality.send_stamp c 1 <> None);
   check bool_t "unknown stamp" true (Causality.send_stamp c 2 = None)
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let qsuite tests = Qutil.qsuite ~long:false tests
 
 let () =
   Alcotest.run "clock"
@@ -260,7 +409,16 @@ let () =
           Alcotest.test_case "raise_to" `Quick test_mc_raise_to;
           Alcotest.test_case "copy" `Quick test_mc_copy_independent;
           Alcotest.test_case "set_row mismatch" `Quick test_mc_set_row_mismatch;
-        ] );
+          Alcotest.test_case "remap identity" `Quick test_mc_remap_identity;
+          Alcotest.test_case "remap shrink-then-regrow" `Quick
+            test_mc_remap_shrink_then_regrow;
+        ]
+        @ qsuite
+            [
+              prop_mc_remap_permutation;
+              prop_mc_shrink_regrow;
+              prop_mc_set_row_monotone;
+            ] );
       ( "causality",
         [
           Alcotest.test_case "chain" `Quick test_causality_chain;

@@ -678,8 +678,7 @@ let () =
             test_transitive_detects_chain;
         ] );
       ( "fuzz",
-        List.map
-          (QCheck_alcotest.to_alcotest ~long:false)
+        Qutil.qsuite ~long:false
           [
             prop_entity_survives_hostile_streams Config.Direct;
             prop_entity_survives_hostile_streams Config.Transitive;

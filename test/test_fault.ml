@@ -108,6 +108,72 @@ let make_entity ?(config = { Config.default with Config.defer = Config.Never })
 
 let dt ~src ~seq ~ack = Pdu.data ~cid:0 ~src ~seq ~ack ~buf:64 ~payload:"x"
 
+(* Deterministic regression for the RET re-arm liveness fix: a retry timer
+   that fires early (before [retry_due] considers the request due) must stay
+   armed while the gap is outstanding. Before the fix the callback dropped
+   the timer on [retry_due = None], so a lost RET was never re-requested and
+   the missing PDU stalled forever. *)
+let test_ret_timer_rearms_on_early_fire () =
+  let config =
+    {
+      Config.default with
+      Config.defer = Config.Never;
+      ret_retry_timeout = Simtime.of_ms 10;
+      ret_jitter_pct = 0;
+    }
+  in
+  let sent = ref [] in
+  let timers = ref [] in
+  let clock = ref 0 in
+  let actions =
+    {
+      Entity.broadcast = (fun p -> sent := !sent @ [ p ]);
+      unicast = (fun ~dst:_ p -> sent := !sent @ [ p ]);
+      deliver = (fun _ -> ());
+      now = (fun () -> !clock);
+      set_timer = (fun ~delay cb -> timers := !timers @ [ (delay, cb) ]);
+      available_buffer = (fun () -> 64);
+    }
+  in
+  let e = Entity.create ~config ~id:0 ~n:3 ~actions in
+  let rets () =
+    List.length
+      (List.filter (function Pdu.Ret _ -> true | _ -> false) !sent)
+  in
+  let fire () =
+    match !timers with
+    | [] -> Alcotest.fail "expected an armed RET timer"
+    | (delay, cb) :: rest ->
+      timers := rest;
+      cb ();
+      delay
+  in
+  (* seq 2 arrives while seq 1 is expected: gap -> RET + timer at the base
+     timeout. *)
+  Entity.receive e (dt ~src:1 ~seq:2 ~ack:[| 1; 1; 1 |]);
+  check int_t "RET sent on gap" 1 (rets ());
+  check int_t "one timer armed" 1 (List.length !timers);
+  (* Early firing (clock still inside the timeout): not due, but the gap is
+     outstanding -> the callback must re-arm, not drop the timer. *)
+  clock := Simtime.of_ms 5;
+  let d1 = fire () in
+  check int_t "initial delay is base timeout" (Simtime.of_ms 10) d1;
+  check int_t "no RET on early fire" 1 (rets ());
+  check int_t "timer re-armed while gap outstanding" 1 (List.length !timers);
+  (* Due firing: the RET is re-sent, backoff doubles, timer stays armed. *)
+  clock := Simtime.of_ms 12;
+  let d2 = fire () in
+  check int_t "re-arm kept base delay" (Simtime.of_ms 10) d2;
+  check int_t "RET re-sent once due" 2 (rets ());
+  check int_t "timer re-armed after retry" 1 (List.length !timers);
+  (* The gap closes: seq 1 lands, seq 2 un-parks, nothing outstanding. *)
+  Entity.receive e (dt ~src:1 ~seq:1 ~ack:[| 1; 1; 1 |]);
+  check bool_t "gap closed" true (Entity.pending_seqs e ~src:1 = []);
+  let d3 = fire () in
+  check int_t "retry delay backed off" (Simtime.of_ms 20) d3;
+  check int_t "no RET after repair" 2 (rets ());
+  check int_t "timer dropped once gap closed" 0 (List.length !timers)
+
 let test_checkpoint_roundtrip () =
   let config = { Config.default with Config.defer = Config.Never } in
   let _h, actions, e = make_entity ~config ~n:3 () in
@@ -418,6 +484,8 @@ let () =
         [
           Alcotest.test_case "retry_due re-arms after timeout" `Quick
             test_retry_due_rearms;
+          Alcotest.test_case "RET timer re-arms on early fire (PR-7 fix)"
+            `Quick test_ret_timer_rearms_on_early_fire;
           Alcotest.test_case "overlapping F1/F2 gaps" `Quick
             test_overlapping_gaps;
           Alcotest.test_case "satisfied_up_to shrinks outstanding" `Quick

@@ -326,7 +326,7 @@ let prop_determinism =
       in
       run () = run ())
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let qsuite tests = Qutil.qsuite ~long:false tests
 
 let () =
   Alcotest.run "integration"

@@ -460,7 +460,7 @@ let prop_ring_differential =
       done;
       !ok)
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let qsuite tests = Qutil.qsuite ~long:false tests
 
 let () =
   Alcotest.run "logs_prop"

@@ -123,6 +123,37 @@ let test_suspicion_stall_vs_departure () =
     = Suspicion.Healthy);
   check bool_t "stuck again 1" true (stuck () = Suspicion.Healthy)
 
+let test_suspicion_departure_boundary_exact () =
+  (* Off-by-one guard on the departure boundary, at the default thresholds:
+     the verdict must stay Healthy through departure_intervals - 1 silent
+     observations and flip to Departed on exactly the departure_intervals-th
+     — not one early, not one late. *)
+  let s = Suspicion.create ~n:2 () in
+  let silent subject =
+    Suspicion.observe s ~subject ~alive:false ~progressed:false ~backlog:1
+  in
+  let threshold = 3 (* Suspicion.create's default departure_threshold *) in
+  for i = 1 to threshold - 1 do
+    check bool_t
+      (Printf.sprintf "healthy after %d of %d misses" i threshold)
+      true
+      (silent 0 = Suspicion.Healthy);
+    check int_t (Printf.sprintf "misses = %d" i) i (Suspicion.misses s ~subject:0)
+  done;
+  check bool_t "departs exactly at the threshold" true
+    (silent 0 = Suspicion.Departed);
+  check int_t "misses = threshold" threshold (Suspicion.misses s ~subject:0);
+  (* A subject that is alive but not progressing for the same number of
+     intervals stalls — it must never cross into Departed while alive. *)
+  let stuck () =
+    Suspicion.observe s ~subject:1 ~alive:true ~progressed:false ~backlog:1
+  in
+  for _ = 1 to threshold - 1 do ignore (stuck ()) done;
+  check bool_t "alive subject stalls, never departs" true
+    (stuck () = Suspicion.Stalled);
+  check bool_t "stays stalled past the boundary" true
+    (stuck () = Suspicion.Stalled)
+
 (* ------------------------------------------------------------------ *)
 (* epoch_cid                                                           *)
 
@@ -584,6 +615,8 @@ let () =
             test_suspicion_alive_resets_silence;
           Alcotest.test_case "stall vs departure" `Quick
             test_suspicion_stall_vs_departure;
+          Alcotest.test_case "departure boundary is exact" `Quick
+            test_suspicion_departure_boundary_exact;
         ] );
       ( "group",
         [
@@ -606,6 +639,5 @@ let () =
           Alcotest.test_case "bootstrap validates" `Quick
             test_bootstrap_checkpoint_validates;
         ] );
-      ( "differential",
-        [ QCheck_alcotest.to_alcotest ~long:true test_differential_churn ] );
+      ("differential", Qutil.qsuite ~long:true [ test_differential_churn ]);
     ]

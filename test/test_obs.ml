@@ -317,7 +317,7 @@ let test_spans_under_exploration () =
 
 (* ------------------------------------------------------------------ *)
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let qsuite tests = Qutil.qsuite ~long:false tests
 
 let () =
   Alcotest.run "obs"

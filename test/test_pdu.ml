@@ -236,7 +236,7 @@ let prop_codec_garbage_no_raise =
       | Ok _ | Error _ -> true
       | exception _ -> false)
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let qsuite tests = Qutil.qsuite ~long:false tests
 
 let () =
   Alcotest.run "pdu"

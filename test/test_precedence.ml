@@ -355,7 +355,7 @@ let prop_lemma42_detects_mutation =
         pdus;
       !ok)
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let qsuite tests = Qutil.qsuite ~long:false tests
 
 let () =
   Alcotest.run "precedence"

@@ -593,7 +593,7 @@ let test_udp_traced_interop () =
   check int_t "no decode errors across traced/untraced/v1" 0
     (Udp.decode_errors t)
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let qsuite tests = Qutil.qsuite ~long:false tests
 
 let () =
   Alcotest.run "trace"

@@ -385,7 +385,7 @@ let test_chart_sparkline_flat () =
   let s = Chart.sparkline [ 5.; 5.; 5. ] in
   check bool_t "constant series renders uniformly" true (String.length s = 9)
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let qsuite tests = Qutil.qsuite ~long:false tests
 
 let () =
   Alcotest.run "util"

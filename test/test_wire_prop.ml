@@ -510,7 +510,7 @@ let test_udp_mixed_interop () =
   done;
   check int_t "no decode errors across versions" 0 (Udp.decode_errors t)
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let qsuite tests = Qutil.qsuite ~long:false tests
 
 let () =
   Alcotest.run "wire_prop"
